@@ -1,0 +1,56 @@
+// Command dmemo-bench regenerates the reproduction experiments (DESIGN.md
+// §4, E1–E10), printing one table per experiment.
+//
+// Usage:
+//
+//	dmemo-bench            # run everything at full scale
+//	dmemo-bench -quick     # smaller workloads
+//	dmemo-bench -exp E4    # one experiment
+//	dmemo-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E10)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick}
+	runners := bench.All()
+	if *exp != "" {
+		r, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dmemo-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []bench.Runner{r}
+	}
+	failed := false
+	for _, r := range runners {
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmemo-bench: %s: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		tbl.Fprint(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

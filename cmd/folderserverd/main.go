@@ -1,0 +1,50 @@
+// Command folderserverd runs one standalone folder server over TCP: a
+// directory of unordered queues speaking the wire protocol directly.
+// Normally folder servers live inside each host's memo server (Fig. 1); a
+// standalone daemon is useful for dedicating a machine to folder storage or
+// for debugging the protocol with raw clients.
+//
+//	folderserverd -id 3 -host bonnie -listen :7441
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/folder"
+	"repro/internal/sharedmem"
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+)
+
+func main() {
+	id := flag.Int("id", 0, "folder server id (from the ADF FOLDERS section)")
+	host := flag.String("host", "", "logical host name")
+	listen := flag.String("listen", ":7441", "TCP listen address")
+	arena := flag.Int("arena", 0, "shared-memory arena size in bytes (0 = heap)")
+	arch := flag.String("arch", "sun4", "architecture name selecting the shared-memory protocol")
+	noCache := flag.Bool("no-thread-cache", false, "disable thread caching (E1 ablation)")
+	flag.Parse()
+
+	if *host == "" {
+		fmt.Fprintln(os.Stderr, "folderserverd: -host is required")
+		os.Exit(2)
+	}
+	var opts []folder.Option
+	if *arena > 0 {
+		opts = append(opts, folder.WithArena(sharedmem.New(*arch, *arena)))
+	}
+	store := folder.NewStore(opts...)
+	srv := folder.NewServer(*id, *host, store, threadcache.Config{Disable: *noCache})
+
+	l, err := transport.NewTCP().Listen(*listen)
+	if err != nil {
+		log.Fatalf("folderserverd: %v", err)
+	}
+	log.Printf("folderserverd: folder server %d on %s listening at %s", *id, *host, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("folderserverd: %v", err)
+	}
+}

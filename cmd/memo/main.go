@@ -1,0 +1,212 @@
+// Command memo is the D-Memo application launcher (paper §4.4): "the user
+// enters 'memo adf' on the command line". It parses and validates the ADF
+// (merging in a system default ADF if one is given), registers the
+// application with the memo servers, and starts the application's processes.
+//
+// The paper's launcher recompiled the boss/worker directories and started
+// real executables on each host. In this reproduction the network is
+// simulated in-process, so memo boots the simulated cluster and runs a
+// built-in demo program per process (-demo), or simply validates and prints
+// the registration plan (-n).
+//
+// Usage:
+//
+//	memo app.adf                    # validate, boot, register, report
+//	memo -n app.adf                 # dry run: validate and print the plan
+//	memo -default system.adf app.adf
+//	memo -demo jobjar app.adf       # run the built-in job-jar demo workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/transferable"
+)
+
+func main() {
+	dryRun := flag.Bool("n", false, "validate and print the plan without booting")
+	defaultADF := flag.String("default", "", "system default ADF supplying missing sections")
+	demo := flag.String("demo", "", "run a built-in demo workload: jobjar")
+	latency := flag.Duration("latency", 0, "simulated base link latency (e.g. 200us)")
+	lambda := flag.Float64("lambda", 0, "placement topology attenuation (§5)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memo [flags] <adf-file>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *defaultADF, *dryRun, *demo, *latency, *lambda); err != nil {
+		fmt.Fprintln(os.Stderr, "memo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(adfPath, defaultPath string, dryRun bool, demo string, latency time.Duration, lambda float64) error {
+	src, err := os.ReadFile(adfPath)
+	if err != nil {
+		return err
+	}
+	f, err := adf.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if defaultPath != "" {
+		dsrc, err := os.ReadFile(defaultPath)
+		if err != nil {
+			return err
+		}
+		def, err := adf.Parse(string(dsrc))
+		if err != nil {
+			return fmt.Errorf("default ADF: %w", err)
+		}
+		f = adf.Merge(def, f)
+	}
+	if err := adf.Validate(f); err != nil {
+		return err
+	}
+
+	fmt.Printf("application %q\n", f.App)
+	fmt.Printf("  hosts:          %d\n", len(f.Hosts))
+	fmt.Printf("  folder servers: %d\n", len(f.Folders))
+	fmt.Printf("  processes:      %d\n", len(f.Processes))
+	fmt.Printf("  links:          %d\n", len(f.Links))
+	if dryRun {
+		fmt.Print("\nnormalized ADF:\n\n")
+		fmt.Print(adf.Format(f))
+		return nil
+	}
+
+	c, err := cluster.Boot(f, cluster.Options{BaseLatency: latency, Lambda: lambda})
+	if err != nil {
+		return err
+	}
+	defer c.Shutdown()
+	fmt.Println("\ncluster booted; application registered with every memo server")
+	for host, share := range c.Place.HostShares() {
+		fmt.Printf("  intended memo share %-12s %.1f%%\n", host, 100*share)
+	}
+
+	switch demo {
+	case "":
+		fmt.Println("no demo selected; shutting down (use -demo jobjar to run a workload)")
+		return nil
+	case "jobjar":
+		return demoJobJar(c, f)
+	}
+	return fmt.Errorf("unknown demo %q", demo)
+}
+
+// demoJobJar runs the paper's boss/worker paradigm: the boss drops tasks in
+// a job jar, workers drain it, results return through a results folder.
+// Before launch it "pumps" a program image for every PROCESSES directory to
+// the hosts that run it — the §4.4 executable distribution for hosts
+// without NFS.
+func demoJobJar(c *cluster.Cluster, f *adf.File) error {
+	if err := pumpPrograms(c, f); err != nil {
+		return err
+	}
+	const tasks = 64
+	var processed atomic.Int64
+	bodies := map[string]cluster.ProcFunc{}
+	boss := func(p adf.Process, m *core.Memo) error {
+		jobs := m.NamedKey("jobs")
+		results := m.NamedKey("results")
+		for i := 0; i < tasks; i++ {
+			if err := m.Put(jobs, transferable.Int64(int64(i))); err != nil {
+				return err
+			}
+		}
+		var sum int64
+		for i := 0; i < tasks; i++ {
+			v, err := m.Get(results)
+			if err != nil {
+				return err
+			}
+			n, _ := transferable.AsInt(v)
+			sum += n
+		}
+		// Poison one per non-boss process.
+		for i := 0; i < len(f.Processes)-1; i++ {
+			m.Put(jobs, transferable.Int64(-1))
+		}
+		fmt.Printf("boss: %d tasks done, checksum %d\n", tasks, sum)
+		return nil
+	}
+	worker := func(p adf.Process, m *core.Memo) error {
+		jobs := m.NamedKey("jobs")
+		results := m.NamedKey("results")
+		for {
+			v, err := m.Get(jobs)
+			if err != nil {
+				return err
+			}
+			n, _ := transferable.AsInt(v)
+			if n < 0 {
+				return nil
+			}
+			processed.Add(1)
+			if err := m.Put(results, transferable.Int64(n*n)); err != nil {
+				return err
+			}
+		}
+	}
+	// Process directory names come from the ADF; the first process id is
+	// the boss by convention, all directories map to boss/worker programs.
+	seen := map[string]bool{}
+	for i, p := range f.Processes {
+		if seen[p.Dir] {
+			continue
+		}
+		seen[p.Dir] = true
+		if i == 0 {
+			bodies[p.Dir] = boss
+		} else {
+			bodies[p.Dir] = worker
+		}
+	}
+	if err := c.Run(bodies); err != nil {
+		return err
+	}
+
+	fmt.Printf("workers processed %d tasks\n", processed.Load())
+	fmt.Println("observed memo distribution:")
+	for host, share := range c.HostPutShares() {
+		fmt.Printf("  %-12s %.1f%%\n", host, 100*share)
+	}
+	return nil
+}
+
+// pumpPrograms ships a synthetic program image per PROCESSES directory to
+// each host that runs it, then verifies the fetch path.
+func pumpPrograms(c *cluster.Cluster, f *adf.File) error {
+	m, err := c.NewMemo(f.Hosts[0].Name)
+	if err != nil {
+		return err
+	}
+	shipped := map[string]bool{}
+	for _, p := range f.Processes {
+		key := p.Dir + "@" + p.Host
+		if shipped[key] {
+			continue
+		}
+		shipped[key] = true
+		image := []byte("#!dmemo-program " + p.Dir)
+		if err := m.PumpProgram(p.Host, p.Dir, image); err != nil {
+			return fmt.Errorf("pump %s to %s: %w", p.Dir, p.Host, err)
+		}
+		back, err := m.FetchProgram(p.Host, p.Dir)
+		if err != nil || string(back) != string(image) {
+			return fmt.Errorf("verify pumped %s on %s: %v", p.Dir, p.Host, err)
+		}
+	}
+	fmt.Printf("pumped %d program images to their hosts (no NFS needed)\n", len(shipped))
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command memoserverd runs a standalone memo server over real TCP — the
+// per-machine system service of §4.1/§4.4. Application launchers register
+// ADFs with it over the wire protocol (wire.OpRegister); folder requests
+// are served locally or forwarded to peer memo servers.
+//
+// In the paper the inetd daemon started memo servers on demand; here an
+// operator (or a process manager) starts one per machine:
+//
+//	memoserverd -host glen-ellyn -listen :7440
+//
+// The -host name must match the HOSTS entry that applications' ADFs use for
+// this machine, and -peer maps remote host names to their TCP addresses
+// (the simulation uses logical names; TCP needs real addresses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/memoserver"
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+)
+
+// peerMap resolves logical host names to TCP addresses.
+type peerMap map[string]string
+
+func (p peerMap) String() string {
+	parts := make([]string, 0, len(p))
+	for k, v := range p {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerMap) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want host=addr, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
+func main() {
+	host := flag.String("host", "", "this machine's logical host name (as in ADFs)")
+	listen := flag.String("listen", ":7440", "TCP listen address")
+	peers := peerMap{}
+	flag.Var(peers, "peer", "logical-host=tcp-addr mapping (repeatable)")
+	noCache := flag.Bool("no-thread-cache", false, "disable thread caching (E1 ablation)")
+	flag.Parse()
+
+	if *host == "" {
+		fmt.Fprintln(os.Stderr, "memoserverd: -host is required")
+		os.Exit(2)
+	}
+
+	tcp := transport.NewTCP()
+	node := memoserver.NewWithDialer(*host, &mappedTransport{inner: tcp, listen: *listen, peers: peers},
+		memoserver.Config{
+			Cache:       threadcache.Config{Disable: *noCache},
+			FolderCache: threadcache.Config{Disable: *noCache},
+		})
+	if err := node.Start(); err != nil {
+		log.Fatalf("memoserverd: %v", err)
+	}
+	log.Printf("memoserverd: host %s listening on %s", *host, *listen)
+	select {} // serve forever
+}
+
+// mappedTransport lets the memo server use logical addresses ("host/memo")
+// over TCP by mapping the host part through the peer table.
+type mappedTransport struct {
+	inner  *transport.TCP
+	listen string
+	peers  peerMap
+}
+
+func (t *mappedTransport) Listen(addr string) (transport.Listener, error) {
+	// The node asks to listen on "host/memo"; bind the configured TCP port.
+	return t.inner.Listen(t.listen)
+}
+
+func (t *mappedTransport) Dial(addr string) (transport.Conn, error) {
+	host := transport.HostOf(addr)
+	real, ok := t.peers[host]
+	if !ok {
+		return nil, fmt.Errorf("memoserverd: no -peer mapping for host %q", host)
+	}
+	return t.inner.Dial(real)
+}
+
+func (t *mappedTransport) Name() string { return "tcp-mapped" }

@@ -1,0 +1,121 @@
+// Dataflow wires a three-stage computation with put_delayed triggers
+// (§6.3.3): operations fire only when their operands arrive, with the
+// operands held in futures and an I-structure collecting the results.
+//
+// The pipeline computes, for each input x: square it, add the running
+// epoch, and store into an I-structure — each stage triggered by the
+// previous stage's memo arrival rather than by polling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/collect"
+	"repro/internal/transferable"
+)
+
+const adfText = `APP dataflow
+HOSTS
+a 2 sun4 1
+b 2 sun4 1
+FOLDERS
+0-1 a
+2-3 b
+PROCESSES
+0 boss a
+1 worker b
+PPC
+a <-> b 1
+`
+
+const items = 8
+
+func main() {
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	m, err := c.NewMemo("a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wm, err := c.NewMemo("b")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Results land in an I-structure: write-once cells, blocking reads.
+	results, err := collect.NewIStructure(m, items)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The worker's job jar: operations appear here only when triggered.
+	jar := collect.NewJobJar(wm, "ops")
+
+	// Stage wiring: when input i arrives, drop an operation descriptor
+	// into the job jar (put_delayed: the §6.3.3 pattern verbatim).
+	for i := uint32(0); i < items; i++ {
+		op := transferable.NewRecord().
+			Set("op", transferable.String("square-and-store")).
+			Set("slot", transferable.Uint32(i))
+		if err := collect.Trigger(m, m.NamedKey("input", i), jar.CommonKey(), op); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Worker: executes operations as they become available.
+	go func() {
+		ris := collect.BindIStructure(wm, results.Name(), items)
+		for i := 0; i < items; i++ {
+			task, err := jar.GetWork()
+			if err != nil {
+				return
+			}
+			rec := task.(*transferable.Record)
+			slotV, _ := rec.Get("slot")
+			slot := uint32(slotV.(transferable.Uint32))
+			// The operand is the memo that fired the trigger; it is still
+			// in the input folder (triggers release, they do not consume).
+			operand, err := wm.Get(wm.NamedKey("input", slot))
+			if err != nil {
+				return
+			}
+			x, _ := transferable.AsInt(operand)
+			if err := ris.Set(slot, transferable.Int64(x*x)); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Feed inputs in scrambled order: dataflow doesn't care.
+	order := []uint32{3, 0, 7, 1, 5, 2, 6, 4}
+	for _, i := range order {
+		if err := m.Put(m.NamedKey("input", i), transferable.Int64(int64(i)+10)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Read results; each read blocks until its producer has fired.
+	fmt.Println("dataflow results (input x -> x²):")
+	for i := uint32(0); i < items; i++ {
+		v, err := results.Get(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, _ := transferable.AsInt(v)
+		want := int64(i+10) * int64(i+10)
+		status := "ok"
+		if n != want {
+			status = fmt.Sprintf("WRONG (want %d)", want)
+		}
+		fmt.Printf("  slot %d: %4d %s\n", i, n, status)
+		if n != want {
+			log.Fatal("dataflow produced a wrong value")
+		}
+	}
+}

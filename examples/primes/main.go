@@ -1,0 +1,149 @@
+// Primes counts primes below a bound with the job-jar paradigm (§6.2.4):
+// the boss drops range tasks into a common jar; workers drain it with
+// get_alt against their individual jars, which carry per-process orders
+// (here: a final "report" task that only a specific process may perform,
+// the paper's file-I/O example).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adf"
+	"repro/internal/cluster"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/transferable"
+)
+
+const adfText = `APP primes
+HOSTS
+boss 1 sun4 1
+w1   2 sun4 1
+w2   2 sun4 1
+FOLDERS
+0 boss
+1 w1
+2 w2
+PROCESSES
+0 boss boss
+1 worker w1
+2 worker w2
+3 worker w1
+4 worker w2
+PPC
+boss <-> w1 1
+boss <-> w2 1
+`
+
+const (
+	limit     = 100000
+	chunk     = 5000
+	nWorkers  = 4
+	wantCount = 9592 // π(100000)
+)
+
+func main() {
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	err = c.Run(map[string]cluster.ProcFunc{
+		"boss":   bossProc,
+		"worker": workerProc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func bossProc(p adf.Process, m *core.Memo) error {
+	jar := collect.NewJobJar(m, "ranges")
+	results := collect.NamedQueue(m, "results")
+
+	tasks := 0
+	for lo := 2; lo < limit; lo += chunk {
+		hi := lo + chunk
+		if hi > limit {
+			hi = limit
+		}
+		task := transferable.NewList(transferable.Int64(int64(lo)), transferable.Int64(int64(hi)))
+		if err := jar.Add(task); err != nil {
+			return err
+		}
+		tasks++
+	}
+	total := int64(0)
+	for i := 0; i < tasks; i++ {
+		v, err := results.Dequeue()
+		if err != nil {
+			return err
+		}
+		n, _ := transferable.AsInt(v)
+		total += n
+	}
+	// Per-process orders: process 1 reports, everyone else stops. The
+	// report order goes in process 1's *individual* jar — only it can take
+	// the task (the paper's "operations that must be performed by a
+	// particular process").
+	// The report order doubles as process 1's stop.
+	if err := jar.AddLocal(1, transferable.NewList(transferable.String("report"), transferable.Int64(total))); err != nil {
+		return err
+	}
+	for pid := uint32(2); pid <= nWorkers; pid++ {
+		if err := jar.AddLocal(pid, transferable.NewList(transferable.String("stop"))); err != nil {
+			return err
+		}
+	}
+	if total != wantCount {
+		return fmt.Errorf("π(%d) = %d, want %d", limit, total, wantCount)
+	}
+	return nil
+}
+
+func workerProc(p adf.Process, m *core.Memo) error {
+	jar := collect.NewJobJar(m, "ranges").WithLocal(uint32(p.ID))
+	results := collect.NamedQueue(m, "results")
+	for {
+		task, err := jar.GetWork() // get_alt over individual + common jars
+		if err != nil {
+			return err
+		}
+		l := task.(*transferable.List)
+		if s, ok := transferable.AsString(l.At(0)); ok {
+			switch s {
+			case "stop":
+				return nil
+			case "report":
+				n, _ := transferable.AsInt(l.At(1))
+				fmt.Printf("process %d reports: %d primes below %d\n", p.ID, n, limit)
+				return nil
+			}
+		}
+		lo, _ := transferable.AsInt(l.At(0))
+		hi, _ := transferable.AsInt(l.At(1))
+		count := int64(0)
+		for x := lo; x < hi; x++ {
+			if isPrime(x) {
+				count++
+			}
+		}
+		if err := results.Enqueue(transferable.Int64(count)); err != nil {
+			return err
+		}
+	}
+}
+
+func isPrime(x int64) bool {
+	if x < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= x; d++ {
+		if x%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/transferable"
+)
+
+// TestFacadeQuickstart exercises the public facade exactly as README's
+// quickstart does.
+func TestFacadeQuickstart(t *testing.T) {
+	const adfText = `APP facade
+HOSTS
+left 1 sun4 1
+right 1 sun4 1
+FOLDERS
+0 left
+1 right
+PROCESSES
+0 boss left
+1 worker right
+PPC
+left <-> right 1
+`
+	f, err := repro.ParseADF(adfText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.ValidateADF(f); err != nil {
+		t.Fatal(err)
+	}
+	c, err := repro.Boot(f, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	boss, err := c.NewMemo("left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := c.NewMemo("right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := boss.NamedKey("inbox")
+	if err := boss.Put(k, transferable.String("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := worker.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := transferable.AsString(v); s != "hello" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFacadeBootADF(t *testing.T) {
+	if _, err := repro.BootADF("garbage", repro.Options{}); err == nil {
+		t.Fatal("garbage ADF booted")
+	}
+	c, err := repro.BootADF(`APP one
+HOSTS
+h 1 sun4 1
+FOLDERS
+0 h
+PROCESSES
+0 boss h
+PPC
+`, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+}

@@ -1,0 +1,446 @@
+// Package adf parses and validates Application Description Files (paper
+// §4.3).
+//
+// An ADF defines an application's logical network: its name (APP), host
+// machines with processor counts and relative costs (HOSTS), folder-server
+// placement (FOLDERS), process-to-host assignment with source directories
+// (PROCESSES), and the logical point-to-point topology with link costs
+// (PPC). '#' starts a comment. Numeric names accept ranges ("3-8"). Any
+// missing section defaults to the corresponding section of the system ADF
+// (see Merge).
+//
+// Processor costs may be arithmetic expressions over previously defined
+// architecture names, as in the paper's SP-1 example "sun4*0.5": each HOSTS
+// line binds its architecture name to its evaluated cost, and later lines
+// may reference it.
+package adf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/routing"
+)
+
+// Host is one HOSTS line.
+type Host struct {
+	Name  string
+	Procs int
+	Arch  string
+	// Cost is the per-processor cost relative to other hosts; lower is
+	// cheaper (the paper's SP-1 processors cost half a SPARC).
+	Cost float64
+}
+
+// FolderServer is one FOLDERS entry after range expansion.
+type FolderServer struct {
+	ID   int
+	Host string
+}
+
+// Process is one PROCESSES entry after range expansion.
+type Process struct {
+	ID   int
+	Dir  string
+	Host string
+}
+
+// File is a parsed ADF.
+type File struct {
+	App       string
+	Hosts     []Host
+	Folders   []FolderServer
+	Processes []Process
+	Links     []routing.Link
+
+	// present tracks which sections appeared, for Merge defaulting.
+	present map[string]bool
+}
+
+// HasSection reports whether the named section (APP, HOSTS, FOLDERS,
+// PROCESSES, PPC) appeared in the source text.
+func (f *File) HasSection(name string) bool { return f.present[name] }
+
+// HostByName finds a host entry.
+func (f *File) HostByName(name string) (Host, bool) {
+	for _, h := range f.Hosts {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return Host{}, false
+}
+
+// Power reports a host's processing power: processors divided by per-
+// processor cost. This is the §5 "ratio percentage of processing power"
+// numerator; see placement.
+func (h Host) Power() float64 {
+	if h.Cost <= 0 {
+		return 0
+	}
+	return float64(h.Procs) / h.Cost
+}
+
+// Graph assembles the routing topology from the PPC section.
+func (f *File) Graph() (*routing.Graph, error) {
+	g := routing.NewGraph()
+	for _, h := range f.Hosts {
+		g.AddHost(h.Name)
+	}
+	for _, l := range f.Links {
+		if err := g.AddLink(l); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("adf: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads an ADF from source text.
+func Parse(src string) (*File, error) {
+	f := &File{present: make(map[string]bool)}
+	section := ""
+	archCost := map[string]float64{}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		head := strings.ToUpper(fields[0])
+		switch head {
+		case "APP":
+			if len(fields) != 2 {
+				return nil, errf(lineNo, "APP wants exactly one name, got %d fields", len(fields)-1)
+			}
+			if f.present["APP"] {
+				return nil, errf(lineNo, "duplicate APP section")
+			}
+			f.App = fields[1]
+			f.present["APP"] = true
+			section = ""
+			continue
+		case "HOSTS", "FOLDERS", "PROCESSES", "PPC":
+			if len(fields) != 1 {
+				return nil, errf(lineNo, "section keyword %s takes no arguments", head)
+			}
+			if f.present[head] {
+				return nil, errf(lineNo, "duplicate %s section", head)
+			}
+			f.present[head] = true
+			section = head
+			continue
+		}
+		switch section {
+		case "HOSTS":
+			if err := f.parseHost(lineNo, fields, archCost); err != nil {
+				return nil, err
+			}
+		case "FOLDERS":
+			if err := f.parseFolder(lineNo, fields); err != nil {
+				return nil, err
+			}
+		case "PROCESSES":
+			if err := f.parseProcess(lineNo, fields); err != nil {
+				return nil, err
+			}
+		case "PPC":
+			if err := f.parseLink(lineNo, fields); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(lineNo, "data line %q outside any section", line)
+		}
+	}
+	return f, nil
+}
+
+func (f *File) parseHost(lineNo int, fields []string, archCost map[string]float64) error {
+	if len(fields) != 4 {
+		return errf(lineNo, "HOSTS line wants: name procs arch cost")
+	}
+	procs, err := parseIntField(fields[1])
+	if err != nil {
+		return errf(lineNo, "bad processor count %q: %v", fields[1], err)
+	}
+	if procs < 1 {
+		return errf(lineNo, "host %s has %d processors", fields[0], procs)
+	}
+	arch := fields[2]
+	cost, err := evalExpr(fields[3], archCost)
+	if err != nil {
+		return errf(lineNo, "bad cost %q: %v", fields[3], err)
+	}
+	if cost <= 0 {
+		return errf(lineNo, "host %s has non-positive cost %g", fields[0], cost)
+	}
+	// First definition of an architecture binds its name for later
+	// expressions (the paper computes sp1 cost in terms of sun4).
+	if _, seen := archCost[arch]; !seen {
+		archCost[arch] = cost
+	}
+	f.Hosts = append(f.Hosts, Host{Name: fields[0], Procs: procs, Arch: arch, Cost: cost})
+	return nil
+}
+
+func (f *File) parseFolder(lineNo int, fields []string) error {
+	if len(fields) != 2 {
+		return errf(lineNo, "FOLDERS line wants: id[-id] host")
+	}
+	lo, hi, err := parseRange(fields[0])
+	if err != nil {
+		return errf(lineNo, "bad folder id %q: %v", fields[0], err)
+	}
+	for id := lo; id <= hi; id++ {
+		f.Folders = append(f.Folders, FolderServer{ID: id, Host: fields[1]})
+	}
+	return nil
+}
+
+func (f *File) parseProcess(lineNo int, fields []string) error {
+	if len(fields) != 3 {
+		return errf(lineNo, "PROCESSES line wants: id[-id] directory host")
+	}
+	lo, hi, err := parseRange(fields[0])
+	if err != nil {
+		return errf(lineNo, "bad process id %q: %v", fields[0], err)
+	}
+	for id := lo; id <= hi; id++ {
+		f.Processes = append(f.Processes, Process{ID: id, Dir: fields[1], Host: fields[2]})
+	}
+	return nil
+}
+
+func (f *File) parseLink(lineNo int, fields []string) error {
+	if len(fields) != 4 {
+		return errf(lineNo, "PPC line wants: host <->|-> host cost")
+	}
+	var duplex bool
+	switch fields[1] {
+	case "<->":
+		duplex = true
+	case "->":
+		duplex = false
+	default:
+		return errf(lineNo, "bad connector %q (want <-> or ->)", fields[1])
+	}
+	cost, err := evalExpr(fields[3], nil)
+	if err != nil {
+		return errf(lineNo, "bad link cost %q: %v", fields[3], err)
+	}
+	if cost <= 0 {
+		return errf(lineNo, "non-positive link cost %g", cost)
+	}
+	f.Links = append(f.Links, routing.Link{From: fields[0], To: fields[2], Cost: cost, Duplex: duplex})
+	return nil
+}
+
+// parseRange parses "7" or "3-8".
+func parseRange(s string) (lo, hi int, err error) {
+	if i := strings.IndexByte(s, '-'); i > 0 {
+		lo, err = parseIntField(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err = parseIntField(s[i+1:])
+		if err != nil {
+			return 0, 0, err
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("range %s is descending", s)
+		}
+		if hi-lo > 100000 {
+			return 0, 0, fmt.Errorf("range %s is implausibly large", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = parseIntField(s)
+	return lo, lo, err
+}
+
+func parseIntField(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("number too large: %q", s)
+		}
+	}
+	return n, nil
+}
+
+// Merge fills sections missing from app with the system default ADF's
+// sections (§4.3: "Any section missing will default to the appropriate
+// system ADF section"). The result is a new File; inputs are not modified.
+func Merge(def, app *File) *File {
+	out := &File{present: make(map[string]bool)}
+	pick := func(name string) *File {
+		if app.HasSection(name) {
+			return app
+		}
+		if def.HasSection(name) {
+			return def
+		}
+		return nil
+	}
+	if src := pick("APP"); src != nil {
+		out.App = src.App
+		out.present["APP"] = true
+	}
+	if src := pick("HOSTS"); src != nil {
+		out.Hosts = append(out.Hosts, src.Hosts...)
+		out.present["HOSTS"] = true
+	}
+	if src := pick("FOLDERS"); src != nil {
+		out.Folders = append(out.Folders, src.Folders...)
+		out.present["FOLDERS"] = true
+	}
+	if src := pick("PROCESSES"); src != nil {
+		out.Processes = append(out.Processes, src.Processes...)
+		out.present["PROCESSES"] = true
+	}
+	if src := pick("PPC"); src != nil {
+		out.Links = append(out.Links, src.Links...)
+		out.present["PPC"] = true
+	}
+	return out
+}
+
+// Validate checks cross-section consistency: every referenced host exists,
+// ids are unique, the topology connects every process host to every folder-
+// server host, and the application is runnable (≥1 folder server, ≥1
+// process).
+func Validate(f *File) error {
+	if f.App == "" {
+		return fmt.Errorf("adf: missing APP name")
+	}
+	hosts := make(map[string]bool, len(f.Hosts))
+	for _, h := range f.Hosts {
+		if hosts[h.Name] {
+			return fmt.Errorf("adf: duplicate host %s", h.Name)
+		}
+		hosts[h.Name] = true
+	}
+	if len(hosts) == 0 {
+		return fmt.Errorf("adf: no hosts")
+	}
+	if len(f.Folders) == 0 {
+		return fmt.Errorf("adf: no folder servers (at least one required)")
+	}
+	folderIDs := make(map[int]bool, len(f.Folders))
+	for _, fs := range f.Folders {
+		if !hosts[fs.Host] {
+			return fmt.Errorf("adf: folder server %d on unknown host %s", fs.ID, fs.Host)
+		}
+		if folderIDs[fs.ID] {
+			return fmt.Errorf("adf: duplicate folder server id %d", fs.ID)
+		}
+		folderIDs[fs.ID] = true
+	}
+	if len(f.Processes) == 0 {
+		return fmt.Errorf("adf: no processes")
+	}
+	procIDs := make(map[int]bool, len(f.Processes))
+	for _, p := range f.Processes {
+		if !hosts[p.Host] {
+			return fmt.Errorf("adf: process %d on unknown host %s", p.ID, p.Host)
+		}
+		if procIDs[p.ID] {
+			return fmt.Errorf("adf: duplicate process id %d", p.ID)
+		}
+		procIDs[p.ID] = true
+		if p.Dir == "" {
+			return fmt.Errorf("adf: process %d has no source directory", p.ID)
+		}
+	}
+	for _, l := range f.Links {
+		if !hosts[l.From] || !hosts[l.To] {
+			return fmt.Errorf("adf: link %s-%s references unknown host", l.From, l.To)
+		}
+	}
+	// Reachability: every process host must reach every folder-server host
+	// within the logical topology ("each software defined link must have a
+	// corresponding physical connection" — and requests must be routable).
+	g, err := f.Graph()
+	if err != nil {
+		return err
+	}
+	tbl := routing.Build(g)
+	for _, p := range f.Processes {
+		for _, fs := range f.Folders {
+			if !tbl.Reachable(p.Host, fs.Host) {
+				return fmt.Errorf("adf: process %d on %s cannot reach folder server %d on %s",
+					p.ID, p.Host, fs.ID, fs.Host)
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders the file back to ADF syntax (stable: sections in canonical
+// order, ranges not re-compressed).
+func Format(f *File) string {
+	var b strings.Builder
+	if f.App != "" {
+		fmt.Fprintf(&b, "APP %s\n", f.App)
+	}
+	if len(f.Hosts) > 0 {
+		b.WriteString("\nHOSTS\n")
+		for _, h := range f.Hosts {
+			fmt.Fprintf(&b, "%s %d %s %g\n", h.Name, h.Procs, h.Arch, h.Cost)
+		}
+	}
+	if len(f.Folders) > 0 {
+		b.WriteString("\nFOLDERS\n")
+		fs := append([]FolderServer(nil), f.Folders...)
+		sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+		for _, s := range fs {
+			fmt.Fprintf(&b, "%d %s\n", s.ID, s.Host)
+		}
+	}
+	if len(f.Processes) > 0 {
+		b.WriteString("\nPROCESSES\n")
+		ps := append([]Process(nil), f.Processes...)
+		sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+		for _, p := range ps {
+			fmt.Fprintf(&b, "%d %s %s\n", p.ID, p.Dir, p.Host)
+		}
+	}
+	if len(f.Links) > 0 {
+		b.WriteString("\nPPC\n")
+		for _, l := range f.Links {
+			conn := "->"
+			if l.Duplex {
+				conn = "<->"
+			}
+			fmt.Fprintf(&b, "%s %s %s %g\n", l.From, conn, l.To, l.Cost)
+		}
+	}
+	return b.String()
+}

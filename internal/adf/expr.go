@@ -1,0 +1,164 @@
+package adf
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// evalExpr evaluates a cost expression: numbers, previously bound
+// architecture names, + - * /, unary minus, and parentheses. The paper's
+// example is "sun4*0.5". vars may be nil when identifiers are not allowed
+// (PPC link costs).
+func evalExpr(src string, vars map[string]float64) (float64, error) {
+	p := &exprParser{src: src, vars: vars}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing characters at %q", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	vars map[string]float64
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseExpr() (float64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseTerm() (float64, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseFactor() (float64, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing closing parenthesis")
+		}
+		p.pos++
+		return v, nil
+	case c == '-':
+		p.pos++
+		v, err := p.parseFactor()
+		return -v, err
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if (c >= '0' && c <= '9') || c == '.' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", p.src[start:p.pos])
+		}
+		return v, nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		if p.vars == nil {
+			return 0, fmt.Errorf("identifiers not allowed here: %q", name)
+		}
+		v, ok := p.vars[name]
+		if !ok {
+			return 0, fmt.Errorf("unknown architecture %q (must be defined on an earlier HOSTS line)", name)
+		}
+		return v, nil
+	case c == 0:
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	return 0, fmt.Errorf("unexpected character %q", string(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

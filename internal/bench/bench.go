@@ -1,0 +1,125 @@
+// Package bench is the experiment harness: one function per experiment in
+// DESIGN.md §4 (E1–E10), each returning a printable table reproducing a
+// figure or claim of the paper. cmd/dmemo-bench drives them from the
+// command line; the repository-root bench_test.go wraps them as testing.B
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// D formats a duration compactly.
+func D(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// Config scales experiment workloads.
+type Config struct {
+	// Quick shrinks workloads for CI-speed runs.
+	Quick bool
+}
+
+// scale picks a workload size.
+func (c Config) scale(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(cfg Config) (*Table, error)
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "thread-cache", E1ThreadCache},
+		{"E2", "inter-machine hops", E2InterMachine},
+		{"E3", "topology routing", E3Topology},
+		{"E4", "memo distribution", E4Distribution},
+		{"E5", "locality-weighted placement", E5Locality},
+		{"E6", "grain size", E6Grain},
+		{"E7", "vs Linda", E7VsLinda},
+		{"E8", "coordination structures", E8Structures},
+		{"E9", "transferable scaling", E9Transferable},
+		{"E10", "languages on the API", E10Languages},
+	}
+}
+
+// Find locates an experiment by ID (case-insensitive).
+func Find(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

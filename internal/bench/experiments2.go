@@ -1,0 +1,575 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/folder"
+	"repro/internal/linda"
+	"repro/internal/lucid"
+	"repro/internal/mdc"
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+)
+
+// E6Grain reproduces §4.2: applications must pick medium-to-large grain
+// sizes; too-small grains drown in communication overhead, too-large grains
+// forfeit parallelism.
+//
+// Work units are simulated compute time (deadline waits), matching the rest
+// of the simulation: the paper's workers computed on independent machines,
+// which a single-CPU benchmark host cannot express with real cycles, but
+// deadline-based work overlaps exactly as independent processors would.
+// Communication remains the simulated link latency, so the grain tradeoff
+// is the ratio the paper describes.
+func E6Grain(cfg Config) (*Table, error) {
+	const adfText = `APP e6
+HOSTS
+boss 1 sun4 1
+w1 1 sun4 1
+w2 1 sun4 1
+w3 1 sun4 1
+FOLDERS
+0 boss
+PROCESSES
+0 boss boss
+PPC
+boss <-> w1 1
+boss <-> w2 1
+boss <-> w3 1
+`
+	totalWork := cfg.scale(1<<12, 1<<14) // abstract work units
+	const unitDur = 20 * time.Microsecond
+	workUnits := func(n int64) {
+		deadline := time.Now().Add(time.Duration(n) * unitDur)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	}
+	grains := []int{8, 64, 512, 2048, totalWork / 2, totalWork}
+	// Dedupe: small totalWork makes the fixed grains collide with the
+	// proportional ones.
+	seen := map[int]bool{}
+	uniq := grains[:0]
+	for _, g := range grains {
+		if g > 0 && g <= totalWork && !seen[g] {
+			seen[g] = true
+			uniq = append(uniq, g)
+		}
+	}
+	grains = uniq
+	serial := time.Duration(totalWork) * unitDur
+
+	t := &Table{
+		ID:      "E6",
+		Title:   "Grain size versus speedup (§4.2)",
+		Claim:   "small grains lose to communication overhead; huge grains lose parallelism",
+		Columns: []string{"grain (units/task)", "tasks", "elapsed", "speedup vs serial"},
+	}
+	best := 0.0
+	bestGrain := 0
+	var first, last float64
+	for gi, grain := range grains {
+		c, err := cluster.BootADF(adfText, cluster.Options{BaseLatency: 200 * time.Microsecond})
+		if err != nil {
+			return nil, err
+		}
+		boss, err := c.NewMemo("boss")
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		tasks := totalWork / grain
+		jobs := boss.NamedKey("jobs")
+		done := boss.NamedKey("done")
+		var wg sync.WaitGroup
+		workerMemos := make([]*core.Memo, 3)
+		for w := 0; w < 3; w++ {
+			workerMemos[w], err = c.NewMemo(fmt.Sprintf("w%d", w+1))
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for w := 0; w < 3; w++ {
+			worker := workerMemos[w]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					v, err := worker.Get(jobs)
+					if err != nil {
+						return
+					}
+					n, _ := transferable.AsInt(v)
+					if n < 0 {
+						return
+					}
+					workUnits(n)
+					if err := worker.Put(done, transferable.Int64(n)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < tasks; i++ {
+			if err := boss.Put(jobs, transferable.Int64(int64(grain))); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+		}
+		for i := 0; i < tasks; i++ {
+			if _, err := boss.Get(done); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		for w := 0; w < 3; w++ {
+			boss.Put(jobs, transferable.Int64(-1)) // poison
+		}
+		wg.Wait()
+		c.Shutdown()
+		speedup := float64(serial) / float64(elapsed)
+		if speedup > best {
+			best = speedup
+			bestGrain = grain
+		}
+		if gi == 0 {
+			first = speedup
+		}
+		last = speedup
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(grain), fmt.Sprint(tasks), D(elapsed), F(speedup),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("serial baseline %s (simulated compute, 3 workers available); best speedup %.2fx at grain %d", D(serial), best, bestGrain))
+	if best > first && best > last && best > 1 {
+		t.Notes = append(t.Notes, "shape holds: speedup peaks above 1x at a medium grain (crossover on both sides)")
+	} else {
+		t.Notes = append(t.Notes, "WARNING: no interior speedup peak observed")
+	}
+	return t, nil
+}
+
+// E7VsLinda reproduces the §7 positioning: D-Memo folder lookup is an
+// exact-name hash and stays flat as the space grows, while Linda associative
+// matching examines candidate tuples and degrades.
+func E7VsLinda(cfg Config) (*Table, error) {
+	sizes := []int{100, 1000, 10000}
+	if !cfg.Quick {
+		sizes = append(sizes, 100000)
+	}
+	ops := cfg.scale(2000, 20000)
+	t := &Table{
+		ID:      "E7",
+		Title:   "Folder lookup vs Linda associative matching (§7)",
+		Claim:   "tuple space is 'a flat directory of unordered queues'; exact-name lookup beats matching as the space grows",
+		Columns: []string{"resident items", "D-Memo ns/op", "Linda indexed ns/op", "Linda associative ns/op"},
+	}
+	var dmemoFirst, dmemoLast, assocFirst, assocLast float64
+	for si, n := range sizes {
+		// D-Memo: a folder store preloaded with n distinct folders.
+		store := folder.NewStore()
+		for i := 0; i < n; i++ {
+			store.Put(symbol.K(symbol.Symbol(1000+i)), []byte("noise"))
+		}
+		hot := symbol.K(7)
+		payload := []byte("payload")
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			store.Put(hot, payload)
+			if _, ok := store.GetSkip(hot); !ok {
+				return nil, fmt.Errorf("E7: lost memo")
+			}
+		}
+		dmemoNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+		// Linda indexed: distinct first-field actuals (best case).
+		spIdx := linda.NewSpace()
+		for i := 0; i < n; i++ {
+			spIdx.Out(linda.Tuple{transferable.String(fmt.Sprintf("noise%d", i)), transferable.Int64(int64(i))})
+		}
+		hotT := linda.Tuple{transferable.String("hot"), transferable.Int64(1)}
+		hotP := linda.Template{linda.A(transferable.String("hot")), linda.Any()}
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			spIdx.Out(hotT)
+			if _, ok := spIdx.Inp(hotP); !ok {
+				return nil, fmt.Errorf("E7: lost tuple")
+			}
+		}
+		lindaIdxNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+		// Linda associative: composite first fields defeat indexing; the
+		// match template uses a formal, so candidates are scanned.
+		spAssoc := linda.NewSpace()
+		for i := 0; i < n; i++ {
+			spAssoc.Out(linda.Tuple{
+				transferable.NewList(transferable.Int64(int64(i))),
+				transferable.Int64(int64(i)),
+			})
+		}
+		assocP := linda.Template{linda.F(transferable.TagList), linda.A(transferable.Int64(int64(n - 1)))}
+		assocOps := ops / 10
+		if assocOps == 0 {
+			assocOps = 1
+		}
+		start = time.Now()
+		for i := 0; i < assocOps; i++ {
+			if _, ok := spAssoc.Rdp(assocP); !ok {
+				return nil, fmt.Errorf("E7: associative match failed")
+			}
+		}
+		lindaAssocNs := float64(time.Since(start).Nanoseconds()) / float64(assocOps)
+
+		if si == 0 {
+			dmemoFirst, assocFirst = dmemoNs, lindaAssocNs
+		}
+		dmemoLast, assocLast = dmemoNs, lindaAssocNs
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), F(dmemoNs), F(lindaIdxNs), F(lindaAssocNs),
+		})
+	}
+	dmemoGrowth := dmemoLast / dmemoFirst
+	assocGrowth := assocLast / assocFirst
+	t.Notes = append(t.Notes, fmt.Sprintf("growth from smallest to largest space: D-Memo %.1fx, Linda associative %.1fx", dmemoGrowth, assocGrowth))
+	if assocGrowth > 4*dmemoGrowth {
+		t.Notes = append(t.Notes, "shape holds: associative matching degrades with space size; folder lookup stays flat")
+	} else {
+		t.Notes = append(t.Notes, "WARNING: expected associative matching to degrade much faster than folder lookup")
+	}
+	return t, nil
+}
+
+// E8Structures measures every §6.2/§6.3 coordination structure end to end
+// over a two-host cluster.
+func E8Structures(cfg Config) (*Table, error) {
+	const adfText = `APP e8
+HOSTS
+a 2 sun4 1
+b 2 sun4 1
+FOLDERS
+0-1 a
+2-3 b
+PROCESSES
+0 boss a
+PPC
+a <-> b 1
+`
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	m, err := c.NewMemo("a")
+	if err != nil {
+		return nil, err
+	}
+	ops := cfg.scale(500, 5000)
+	t := &Table{
+		ID:      "E8",
+		Title:   "Coordination structures built from folders (§6.2, §6.3)",
+		Claim:   "named objects, arrays, queues, job jars, futures, I-structures, locks, semaphores, barriers and dataflow triggers all reduce to put/get on folders",
+		Columns: []string{"structure", "operation", "ops", "us/op"},
+	}
+	row := func(name, op string, n int, d time.Duration) {
+		t.Rows = append(t.Rows, []string{name, op, fmt.Sprint(n), F(float64(d.Microseconds()) / float64(n))})
+	}
+
+	q := collect.NewQueue(m)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		q.Enqueue(transferable.Int64(int64(i)))
+		q.Dequeue()
+	}
+	row("queue", "enqueue+dequeue", ops, time.Since(start))
+
+	obj, err := collect.NewNamedObject(m, transferable.Int64(0))
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		obj.Update(func(v transferable.Value) (transferable.Value, error) {
+			n, _ := transferable.AsInt(v)
+			return transferable.Int64(n + 1), nil
+		})
+	}
+	row("named object", "atomic update", ops, time.Since(start))
+
+	arr := collect.NewArray(m, 64, 64)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		arr.Set(transferable.Int64(int64(i)), uint32(i%64), uint32((i/64)%64))
+		arr.Get(uint32(i%64), uint32((i/64)%64))
+	}
+	row("array", "set+get", ops, time.Since(start))
+
+	jar := collect.NewJobJar(m, "e8jar").WithLocal(1)
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		jar.Add(transferable.Int64(int64(i)))
+		jar.GetWork()
+	}
+	row("job jar", "add+get_work(alt)", ops, time.Since(start))
+
+	futOps := ops / 5
+	start = time.Now()
+	for i := 0; i < futOps; i++ {
+		f, err := collect.NewFuture(m)
+		if err != nil {
+			return nil, err
+		}
+		f.Resolve(transferable.Int64(int64(i)))
+		f.Wait()
+	}
+	row("future", "create+resolve+wait", futOps, time.Since(start))
+
+	lock, err := collect.NewLock(m)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		lock.Lock()
+		lock.Unlock()
+	}
+	row("lock", "lock+unlock", ops, time.Since(start))
+
+	sem, err := collect.NewSemaphore(m, 4)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		sem.P()
+		sem.V()
+	}
+	row("semaphore", "P+V", ops, time.Since(start))
+
+	barOps := ops / 10
+	bar, err := collect.NewBarrier(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := c.NewMemo("b")
+	if err != nil {
+		return nil, err
+	}
+	bar2 := collect.BindBarrier(m2, bar.Name(), 2)
+	start = time.Now()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < barOps; i++ {
+			if err := bar2.Await(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < barOps; i++ {
+		if err := bar.Await(); err != nil {
+			return nil, err
+		}
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	row("barrier", "2-party await", barOps, time.Since(start))
+
+	trigOps := ops / 5
+	start = time.Now()
+	for i := 0; i < trigOps; i++ {
+		operand := m.NamedKey("e8op", uint32(i))
+		sink := m.NamedKey("e8sink")
+		collect.Trigger(m, operand, sink, transferable.Int64(int64(i)))
+		m.Put(operand, transferable.Nil{})
+		m.Get(sink)
+		m.GetSkip(operand) // clean the trigger memo
+	}
+	row("dataflow trigger", "arm+fire+collect", trigOps, time.Since(start))
+
+	return t, nil
+}
+
+// E9Transferable reproduces §3.1.3: arbitrary structures (with sharing and
+// cycles) encode and decode in time linear in their size.
+func E9Transferable(cfg Config) (*Table, error) {
+	sizes := []int{100, 1000, 10000}
+	if !cfg.Quick {
+		sizes = append(sizes, 100000)
+	}
+	t := &Table{
+		ID:      "E9",
+		Title:   "Transferable linearization scaling (§3.1.3)",
+		Claim:   "spanning-tree encode/decode of arbitrary structures is (near-)linear in nodes",
+		Columns: []string{"nodes", "bytes", "encode ns/node", "decode ns/node"},
+	}
+	var firstEnc, lastEnc float64
+	for si, n := range sizes {
+		root := randomGraph(n)
+		nodes := transferable.NodeCount(root)
+		reps := cfg.scale(3, 10)
+		var data []byte
+		start := time.Now()
+		var err error
+		for r := 0; r < reps; r++ {
+			data, err = transferable.Marshal(root)
+			if err != nil {
+				return nil, err
+			}
+		}
+		encNs := float64(time.Since(start).Nanoseconds()) / float64(reps) / float64(nodes)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := transferable.Unmarshal(data, transferable.Domain64); err != nil {
+				return nil, err
+			}
+		}
+		decNs := float64(time.Since(start).Nanoseconds()) / float64(reps) / float64(nodes)
+		if si == 0 {
+			firstEnc = encNs
+		}
+		lastEnc = encNs
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nodes), fmt.Sprint(len(data)), F(encNs), F(decNs),
+		})
+	}
+	if lastEnc < 8*firstEnc {
+		t.Notes = append(t.Notes, "shape holds: per-node cost roughly flat across 3 orders of magnitude (linear total)")
+	} else {
+		t.Notes = append(t.Notes, "WARNING: per-node cost grew superlinearly")
+	}
+	return t, nil
+}
+
+// randomGraph builds a deterministic pseudo-random DAG-with-back-edges of
+// about n composite nodes, including shared substructure and cycles.
+func randomGraph(n int) transferable.Value {
+	nodes := make([]*transferable.List, n)
+	state := uint64(12345)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < n; i++ {
+		nodes[i] = transferable.NewList(transferable.Int64(int64(i)))
+	}
+	for i := 1; i < n; i++ {
+		parent := int(next() % uint64(i))
+		nodes[parent].Append(nodes[i])
+		if next()%8 == 0 { // shared reference
+			other := int(next() % uint64(i))
+			nodes[other].Append(nodes[i])
+		}
+		if next()%16 == 0 { // back edge (cycle)
+			nodes[i].Append(nodes[int(next()%uint64(i))])
+		}
+	}
+	return nodes[0]
+}
+
+// E10Languages reproduces §2's claim that higher-level languages run on the
+// API: MDC actor messaging and Lucid demand-driven evaluation.
+func E10Languages(cfg Config) (*Table, error) {
+	const adfText = `APP e10
+HOSTS
+a 2 sun4 1
+b 2 sun4 1
+FOLDERS
+0-1 a
+2-3 b
+PROCESSES
+0 boss a
+PPC
+a <-> b 1
+`
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	t := &Table{
+		ID:      "E10",
+		Title:   "Languages implemented on the API (§2)",
+		Claim:   "MDC (Actors) and Lucid (dataflow) run on top of D-Memo",
+		Columns: []string{"language", "workload", "metric", "value"},
+	}
+
+	// MDC ping-pong across hosts.
+	ma, err := c.NewMemo("a")
+	if err != nil {
+		return nil, err
+	}
+	mb, err := c.NewMemo("b")
+	if err != nil {
+		return nil, err
+	}
+	sysA := mdc.NewSystem(ma)
+	sysB := mdc.NewSystem(mb)
+	defer sysA.Shutdown()
+	defer sysB.Shutdown()
+	msgs := cfg.scale(500, 5000)
+	doneCh := make(chan struct{})
+	var pongRef mdc.Ref
+	pingRef := sysA.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		n, _ := transferable.AsInt(msg)
+		if n >= int64(msgs) {
+			close(doneCh)
+			ctx.Stop()
+			return nil
+		}
+		return ctx.Send(pongRef, transferable.Int64(n+1))
+	})
+	pongRef = sysB.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		n, _ := transferable.AsInt(msg)
+		return ctx.Send(pingRef, transferable.Int64(n+1))
+	})
+	start := time.Now()
+	sysA.Send(pingRef, transferable.Int64(0))
+	<-doneCh
+	elapsed := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		"MDC", fmt.Sprintf("ping-pong x%d (cross-host)", msgs), "msgs/sec",
+		F(float64(msgs) / elapsed.Seconds()),
+	})
+
+	// Lucid: fib via local cache, naturals via the distributed folder cache.
+	prog, err := lucid.Parse("fib = 0 fby g; g = 1 fby fib + g;")
+	if err != nil {
+		return nil, err
+	}
+	depth := cfg.scale(200, 1000)
+	start = time.Now()
+	ev := lucid.NewEvaluator(prog, nil)
+	if _, err := ev.At("fib", depth); err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"Lucid", fmt.Sprintf("fib stream to depth %d (local cache)", depth), "elements/sec",
+		F(float64(depth) / time.Since(start).Seconds()),
+	})
+
+	distDepth := cfg.scale(50, 300)
+	evF := lucid.NewEvaluator(prog, lucid.NewFolderCache(ma))
+	start = time.Now()
+	if _, err := evF.At("fib", distDepth); err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"Lucid", fmt.Sprintf("fib stream to depth %d (folder-space cache)", distDepth), "elements/sec",
+		F(float64(distDepth) / time.Since(start).Seconds()),
+	})
+	t.Notes = append(t.Notes, "both language layers execute purely through the Memo API")
+	return t, nil
+}

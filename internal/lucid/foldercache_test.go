@@ -1,0 +1,103 @@
+package lucid_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/lucid"
+)
+
+const adfText = `APP lucidtest
+HOSTS
+a 2 sun4 1
+b 2 sun4 1
+FOLDERS
+0-1 a
+2-3 b
+PROCESSES
+0 boss a
+1 worker b
+PPC
+a <-> b 1
+`
+
+func TestFolderCacheSharedAcrossHosts(t *testing.T) {
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	prog, err := lucid.Parse("n = 0 fby n + 1; sq = n * n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ma, err := c.NewMemo("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := c.NewMemo("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluator on host a fills the distributed memo table.
+	evA := lucid.NewEvaluator(prog, lucid.NewFolderCache(ma))
+	if v, err := evA.At("sq", 12); err != nil || v != 144 {
+		t.Fatalf("host a: sq(12) = %d, %v", v, err)
+	}
+	// Evaluator on host b reads elements host a computed (and computes the
+	// rest), through the shared folder space.
+	evB := lucid.NewEvaluator(prog, lucid.NewFolderCache(mb))
+	if v, err := evB.At("sq", 12); err != nil || v != 144 {
+		t.Fatalf("host b: sq(12) = %d, %v", v, err)
+	}
+	if v, err := evB.At("sq", 20); err != nil || v != 400 {
+		t.Fatalf("host b: sq(20) = %d, %v", v, err)
+	}
+}
+
+func TestFolderCacheConcurrentEvaluators(t *testing.T) {
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	prog, err := lucid.Parse("fib = 0 fby g; g = 1 fby fib + g;")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	results := make([]int64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		host := "a"
+		if w%2 == 1 {
+			host = "b"
+		}
+		m, err := c.NewMemo(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := lucid.NewEvaluator(prog, lucid.NewFolderCache(m))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = ev.At("fib", 25)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w] != 75025 {
+			t.Fatalf("worker %d: fib(25) = %d", w, results[w])
+		}
+	}
+}

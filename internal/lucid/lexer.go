@@ -1,0 +1,125 @@
+// Package lucid implements a small Lucid, the dataflow programming language
+// the paper reports implementing on top of D-Memo (§2, reference [5]:
+// "A Simulation of Demand Driven Dataflow: Translation of Lucid...").
+//
+// Programs are systems of stream equations:
+//
+//	n = 1 fby n + 1;
+//	fib = 0 fby (fib + next fib ... );
+//	out = n * n;
+//
+// Streams are infinite sequences of 64-bit integers (booleans are 0/1).
+// Operators: arithmetic (+ - * / %), comparison (== != < <= > >=), logic
+// (and, or, not), the Lucid temporal operators first / next / X fby Y /
+// X whenever P / X asa P, and if-then-else-fi. Evaluation is demand driven:
+// asking for element i of a stream demands exactly the elements it depends
+// on, memoized in a pluggable cache — a Go map for local runs, or D-Memo
+// folders so a cluster of workers shares one memo table (see eval.go).
+package lucid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent
+	tokKeyword
+	tokOp
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	pos  int // byte offset, for errors
+	line int
+}
+
+var keywords = map[string]bool{
+	"fby": true, "first": true, "next": true,
+	"whenever": true, "asa": true,
+	"if": true, "then": true, "else": true, "fi": true,
+	"and": true, "or": true, "not": true,
+	"true": true, "false": true,
+}
+
+// lexError reports a scan failure with position.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("lucid: line %d: %s", e.line, e.msg) }
+
+// lex scans source into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			n, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, &lexError{line, "bad number " + src[start:i]}
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], num: n, pos: start, line: line})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			kind := tokIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tokKeyword
+				word = strings.ToLower(word)
+			}
+			toks = append(toks, token{kind: kind, text: word, pos: start, line: line})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tokOp, text: two, pos: i, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ';', ',':
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i, line: line})
+				i++
+			default:
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,313 @@
+package lucid
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t testing.TB, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func take(t testing.TB, src, name string, n int) []int64 {
+	t.Helper()
+	ev := NewEvaluator(mustParse(t, src), nil)
+	out, err := ev.Take(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func eq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConstantStream(t *testing.T) {
+	got := take(t, "x = 7;", "x", 4)
+	if !eq(got, []int64{7, 7, 7, 7}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNaturalsViaFby(t *testing.T) {
+	got := take(t, "n = 0 fby n + 1;", "n", 6)
+	if !eq(got, []int64{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	src := `
+fib = 0 fby g;
+g = 1 fby fib + g;
+`
+	got := take(t, src, "fib", 10)
+	if !eq(got, []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFirstAndNext(t *testing.T) {
+	src := `
+n = 0 fby n + 1;
+f = first n;
+s = next n;
+`
+	if got := take(t, src, "f", 3); !eq(got, []int64{0, 0, 0}) {
+		t.Fatalf("first: %v", got)
+	}
+	if got := take(t, src, "s", 3); !eq(got, []int64{1, 2, 3}) {
+		t.Fatalf("next: %v", got)
+	}
+}
+
+func TestRunningSum(t *testing.T) {
+	src := `
+n = 1 fby n + 1;
+sum = first n fby sum + next n;
+`
+	got := take(t, src, "sum", 5)
+	if !eq(got, []int64{1, 3, 6, 10, 15}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWheneverFiltersEvens(t *testing.T) {
+	src := `
+n = 0 fby n + 1;
+evens = n whenever n % 2 == 0;
+`
+	got := take(t, src, "evens", 5)
+	if !eq(got, []int64{0, 2, 4, 6, 8}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAsaFindsFirst(t *testing.T) {
+	// The classic Lucid idiom: result = expr asa condition.
+	src := `
+n = 0 fby n + 1;
+sq = n * n;
+firstBig = sq asa sq > 50;
+`
+	got := take(t, src, "firstBig", 3)
+	if !eq(got, []int64{64, 64, 64}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	src := `
+n = 0 fby n + 1;
+x = if n % 2 == 0 then n else 0 - n fi;
+`
+	got := take(t, src, "x", 5)
+	if !eq(got, []int64{0, -1, 2, -3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLogicAndPrecedence(t *testing.T) {
+	src := `
+n = 0 fby n + 1;
+b = n > 1 and n < 4 or n == 0;
+arith = 2 + 3 * 4;
+neg = -n;
+`
+	if got := take(t, src, "b", 6); !eq(got, []int64{1, 0, 1, 1, 0, 0}) {
+		t.Fatalf("logic: %v", got)
+	}
+	if got := take(t, src, "arith", 1); got[0] != 14 {
+		t.Fatalf("precedence: %v", got)
+	}
+	if got := take(t, src, "neg", 3); !eq(got, []int64{0, -1, -2}) {
+		t.Fatalf("neg: %v", got)
+	}
+}
+
+func TestNotAndBooleans(t *testing.T) {
+	src := "x = not true fby not false;"
+	got := take(t, src, "x", 3)
+	if !eq(got, []int64{0, 1, 1}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHammingLikeMerge(t *testing.T) {
+	// Powers of two via doubling.
+	src := "p = 1 fby 2 * p;"
+	got := take(t, src, "p", 8)
+	if !eq(got, []int64{1, 2, 4, 8, 16, 32, 64, 128}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFactorialViaStreams(t *testing.T) {
+	src := `
+n = 1 fby n + 1;
+fact = 1 fby fact * n;
+`
+	got := take(t, src, "fact", 6)
+	if !eq(got, []int64{1, 1, 2, 6, 24, 120}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x",
+		"x =",
+		"x = ;",
+		"x = 1 y = 2",               // missing semicolon
+		"x = (1;",                   // unbalanced
+		"x = if 1 then 2;",          // missing else/fi
+		"x = y;",                    // undefined stream
+		"x = 1; x = 2;",             // duplicate
+		"x = 1 +;",                  // dangling op
+		"x = @;",                    // bad char
+		"x = 99999999999999999999;", // overflow
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestCircularDefinitionDetected(t *testing.T) {
+	ev := NewEvaluator(mustParse(t, "x = x + 1;"), nil)
+	if _, err := ev.At("x", 0); err == nil {
+		t.Fatal("circular definition evaluated")
+	}
+	if !strings.Contains(errString(ev, "x"), "circular") {
+		t.Fatal("error does not mention circularity")
+	}
+}
+
+func errString(ev *Evaluator, name string) string {
+	_, err := ev.At(name, 0)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestDivisionByZero(t *testing.T) {
+	ev := NewEvaluator(mustParse(t, "x = 1 / 0;"), nil)
+	if _, err := ev.At("x", 0); err == nil {
+		t.Fatal("division by zero evaluated")
+	}
+	ev2 := NewEvaluator(mustParse(t, "x = 1 % 0;"), nil)
+	if _, err := ev2.At("x", 0); err == nil {
+		t.Fatal("modulo by zero evaluated")
+	}
+}
+
+func TestWheneverNeverTrueBounded(t *testing.T) {
+	ev := NewEvaluator(mustParse(t, "x = 1 whenever false;"), nil)
+	ev.MaxScan = 1000
+	if _, err := ev.At("x", 0); err == nil {
+		t.Fatal("unsatisfiable whenever returned")
+	}
+}
+
+func TestUndefinedStreamAndNegativeIndex(t *testing.T) {
+	ev := NewEvaluator(mustParse(t, "x = 1;"), nil)
+	if _, err := ev.At("ghost", 0); err == nil {
+		t.Fatal("undefined stream evaluated")
+	}
+	if _, err := ev.At("x", -1); err == nil {
+		t.Fatal("negative index evaluated")
+	}
+}
+
+func TestMemoizationMakesFibLinear(t *testing.T) {
+	// Without memoization fib is exponential; with the cache, element 40
+	// evaluates instantly.
+	src := `
+fib = 0 fby g;
+g = 1 fby fib + g;
+`
+	cache := NewLocalCache()
+	ev := NewEvaluator(mustParse(t, src), cache)
+	v, err := ev.At("fib", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 102334155 {
+		t.Fatalf("fib(40) = %d", v)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache unused")
+	}
+}
+
+func TestSharedCacheAcrossEvaluators(t *testing.T) {
+	src := "n = 0 fby n + 1;"
+	prog := mustParse(t, src)
+	cache := NewLocalCache()
+	ev1 := NewEvaluator(prog, cache)
+	if _, err := ev1.At("n", 100); err != nil {
+		t.Fatal(err)
+	}
+	filled := cache.Len()
+	ev2 := NewEvaluator(prog, cache)
+	if v, err := ev2.At("n", 100); err != nil || v != 100 {
+		t.Fatalf("second evaluator: %d %v", v, err)
+	}
+	if cache.Len() != filled {
+		t.Fatalf("second evaluator recomputed: %d -> %d", filled, cache.Len())
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog := mustParse(t, "n = 0 fby n + 1; out = first n;")
+	s := prog.String()
+	if !strings.Contains(s, "n = (0 fby (n + 1));") || !strings.Contains(s, "out = (first n);") {
+		t.Fatalf("String() = %q", s)
+	}
+	// Rendered form re-parses to the same streams.
+	p2 := mustParse(t, s)
+	ev1 := NewEvaluator(prog, nil)
+	ev2 := NewEvaluator(p2, nil)
+	a, _ := ev1.Take("n", 5)
+	b, _ := ev2.Take("n", 5)
+	if !eq(a, b) {
+		t.Fatal("re-parsed program differs")
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := take(t, "# leading comment\nx = 1; # trailing\n", "x", 1)
+	if got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func BenchmarkFib30Memoized(b *testing.B) {
+	prog, err := Parse("fib = 0 fby g; g = 1 fby fib + g;")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ev := NewEvaluator(prog, nil)
+		if _, err := ev.At("fib", 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

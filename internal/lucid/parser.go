@@ -1,0 +1,441 @@
+package lucid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a Lucid expression node.
+type Expr interface {
+	String() string
+}
+
+// Num is an integer constant stream (the constant at every index).
+type Num struct{ V int64 }
+
+// Var references another equation's stream.
+type Var struct{ Name string }
+
+// Binary applies an arithmetic/comparison/logic operator pointwise.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is pointwise negation ("-", "not").
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// If is pointwise conditional (if c then a else b fi).
+type If struct {
+	Cond, Then, Else Expr
+}
+
+// First freezes a stream at its first element: (first X)_i = X_0.
+type First struct{ E Expr }
+
+// Next drops the first element: (next X)_i = X_{i+1}.
+type Next struct{ E Expr }
+
+// Fby is "followed by": (X fby Y)_0 = X_0, (X fby Y)_{i+1} = Y_i.
+type Fby struct{ L, R Expr }
+
+// Whenever filters: (X whenever P)_i = X_{t_i} where t_i is the index of
+// the i-th true element of P.
+type Whenever struct{ X, P Expr }
+
+// Asa is "as soon as": every element is X_t for the first t with P_t true.
+type Asa struct{ X, P Expr }
+
+func (e Num) String() string { return fmt.Sprintf("%d", e.V) }
+func (e Var) String() string { return e.Name }
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e Unary) String() string { return "(" + e.Op + " " + e.E.String() + ")" }
+func (e If) String() string {
+	return "if " + e.Cond.String() + " then " + e.Then.String() + " else " + e.Else.String() + " fi"
+}
+func (e First) String() string    { return "(first " + e.E.String() + ")" }
+func (e Next) String() string     { return "(next " + e.E.String() + ")" }
+func (e Fby) String() string      { return "(" + e.L.String() + " fby " + e.R.String() + ")" }
+func (e Whenever) String() string { return "(" + e.X.String() + " whenever " + e.P.String() + ")" }
+func (e Asa) String() string      { return "(" + e.X.String() + " asa " + e.P.String() + ")" }
+
+// Program is a system of equations.
+type Program struct {
+	// Equations maps stream names to their defining expressions.
+	Equations map[string]Expr
+	// Order lists names in source order (for display).
+	Order []string
+}
+
+// ParseError reports a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("lucid: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a program: a sequence of "name = expr ;" equations.
+// A trailing semicolon on the last equation is optional.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Equations: make(map[string]Expr)}
+	for p.peek().kind != tokEOF {
+		name := p.peek()
+		if name.kind != tokIdent {
+			return nil, p.errf("expected equation name, got %q", name.text)
+		}
+		p.next()
+		if !p.eatOp("=") {
+			return nil, p.errf("expected '=' after %q", name.text)
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Equations[name.text]; dup {
+			return nil, p.errf("duplicate equation for %q", name.text)
+		}
+		prog.Equations[name.text] = e
+		prog.Order = append(prog.Order, name.text)
+		if !p.eatOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' after equation for %q", name.text)
+		}
+	}
+	if len(prog.Equations) == 0 {
+		return nil, &ParseError{Line: 1, Msg: "empty program"}
+	}
+	// Every referenced variable must be defined.
+	for name, e := range prog.Equations {
+		for _, ref := range freeVars(e) {
+			if _, ok := prog.Equations[ref]; !ok {
+				return nil, &ParseError{Line: 1, Msg: fmt.Sprintf("equation %q references undefined stream %q", name, ref)}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// freeVars lists variable references in an expression, sorted.
+func freeVars(e Expr) []string {
+	set := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Var:
+			set[x.Name] = true
+		case Binary:
+			walk(x.L)
+			walk(x.R)
+		case Unary:
+			walk(x.E)
+		case If:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case First:
+			walk(x.E)
+		case Next:
+			walk(x.E)
+		case Fby:
+			walk(x.L)
+			walk(x.R)
+		case Whenever:
+			walk(x.X)
+			walk(x.P)
+		case Asa:
+			walk(x.X)
+			walk(x.P)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eatOp(op string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.peek().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Precedence (loosest to tightest):
+//
+//	fby (right-assoc)
+//	whenever, asa (left)
+//	or
+//	and
+//	== != < <= > >=
+//	+ -
+//	* / %
+//	unary - , not, first, next
+//	primary: number, true/false, var, ( expr ), if-then-else-fi
+func (p *parser) parseExpr() (Expr, error) { return p.parseFby() }
+
+func (p *parser) parseFby() (Expr, error) {
+	l, err := p.parseTemporal()
+	if err != nil {
+		return nil, err
+	}
+	if p.eatKeyword("fby") {
+		r, err := p.parseFby() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Fby{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseTemporal() (Expr, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatKeyword("whenever"):
+			r, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			l = Whenever{X: l, P: r}
+		case p.eatKeyword("asa"):
+			r, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			l = Asa{X: l, P: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("and") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return l, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: t.text, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.eatOp("-"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", E: e}, nil
+	case p.eatKeyword("not"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "not", E: e}, nil
+	case p.eatKeyword("first"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return First{E: e}, nil
+	case p.eatKeyword("next"):
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return Num{V: t.num}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.next()
+		return Num{V: 1}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.next()
+		return Num{V: 0}, nil
+	case t.kind == tokKeyword && t.text == "if":
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKeyword("then") {
+			return nil, p.errf("expected 'then'")
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKeyword("else") {
+			return nil, p.errf("expected 'else'")
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatKeyword("fi") {
+			return nil, p.errf("expected 'fi'")
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case t.kind == tokIdent:
+		p.next()
+		return Var{Name: t.text}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatOp(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+// String renders the program.
+func (prog *Program) String() string {
+	var b strings.Builder
+	for _, name := range prog.Order {
+		fmt.Fprintf(&b, "%s = %s;\n", name, prog.Equations[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,304 @@
+package mdc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mdc"
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+)
+
+const adfText = `APP mdctest
+HOSTS
+a 2 sun4 1
+b 2 sun4 1
+FOLDERS
+0-1 a
+2-3 b
+PROCESSES
+0 boss a
+1 worker b
+PPC
+a <-> b 1
+`
+
+func boot(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.BootADF(adfText, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func memoOn(t testing.TB, c *cluster.Cluster, host string) *core.Memo {
+	t.Helper()
+	m, err := c.NewMemo(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestActorEcho(t *testing.T) {
+	c := boot(t)
+	sys := mdc.NewSystem(memoOn(t, c, "a"))
+	defer sys.Shutdown()
+	reply := make(chan int64, 1)
+	collector := sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		n, _ := transferable.AsInt(msg)
+		reply <- n
+		return nil
+	})
+	doubler := sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		n, _ := transferable.AsInt(msg)
+		return ctx.Send(collector, transferable.Int64(2*n))
+	})
+	if err := sys.Send(doubler, transferable.Int64(21)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-reply:
+		if n != 42 {
+			t.Fatalf("got %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+func TestActorBecome(t *testing.T) {
+	c := boot(t)
+	sys := mdc.NewSystem(memoOn(t, c, "a"))
+	defer sys.Shutdown()
+	out := make(chan string, 3)
+	var polite, rude mdc.Behavior
+	polite = func(ctx *mdc.Context, msg transferable.Value) error {
+		out <- "please"
+		ctx.Become(rude)
+		return nil
+	}
+	rude = func(ctx *mdc.Context, msg transferable.Value) error {
+		out <- "now!"
+		return nil
+	}
+	a := sys.Spawn(polite)
+	for i := 0; i < 3; i++ {
+		sys.Send(a, transferable.Int64(int64(i)))
+	}
+	want := []string{"please", "now!", "now!"}
+	for i, w := range want {
+		select {
+		case got := <-out:
+			if got != w {
+				t.Fatalf("message %d: got %q want %q", i, got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("actor stalled")
+		}
+	}
+}
+
+func TestActorStop(t *testing.T) {
+	c := boot(t)
+	m := memoOn(t, c, "a")
+	sys := mdc.NewSystem(m)
+	defer sys.Shutdown()
+	processed := make(chan struct{}, 4)
+	a := sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		processed <- struct{}{}
+		ctx.Stop()
+		return nil
+	})
+	sys.Send(a, transferable.Int64(1))
+	select {
+	case <-processed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first message unprocessed")
+	}
+	// Actor stopped: further messages pile up in the mailbox unprocessed.
+	sys.Send(a, transferable.Int64(2))
+	select {
+	case <-processed:
+		t.Fatal("stopped actor processed a message")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The message is still in the mailbox folder.
+	if _, ok, _ := m.GetSkip(a.Key); !ok {
+		t.Fatal("mailbox empty; message lost")
+	}
+}
+
+func TestRefsTravelInMessages(t *testing.T) {
+	// Classic Actors hand-off: send an actor the ref of where to reply,
+	// across two processes on different hosts.
+	c := boot(t)
+	sysA := mdc.NewSystem(memoOn(t, c, "a"))
+	sysB := mdc.NewSystem(memoOn(t, c, "b"))
+	defer sysA.Shutdown()
+	defer sysB.Shutdown()
+
+	// Server on b: replies "pong" to whatever ref arrives.
+	sysB.SpawnNamed("ponger", func(ctx *mdc.Context, msg transferable.Value) error {
+		replyTo, ok := mdc.RefFrom(msg)
+		if !ok {
+			return fmt.Errorf("message was not a ref: %v", msg)
+		}
+		return ctx.Send(replyTo, transferable.String("pong"))
+	})
+
+	got := make(chan string, 1)
+	me := sysA.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		s, _ := transferable.AsString(msg)
+		got <- s
+		return nil
+	})
+	if err := sysA.Send(sysA.LookupNamed("ponger"), me.Value()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "pong" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no pong across hosts")
+	}
+}
+
+func TestWhenJoinPattern(t *testing.T) {
+	c := boot(t)
+	m := memoOn(t, c, "a")
+	sys := mdc.NewSystem(m)
+	defer sys.Shutdown()
+	x := m.NamedKey("opX")
+	y := m.NamedKey("opY")
+	sum := make(chan int64, 1)
+	sys.When([]symbol.Key{x, y}, false, func(vals []transferable.Value) error {
+		a, _ := transferable.AsInt(vals[0])
+		b, _ := transferable.AsInt(vals[1])
+		sum <- a + b
+		return nil
+	})
+	m.Put(x, transferable.Int64(30))
+	select {
+	case <-sum:
+		t.Fatal("join fired with one operand")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.Put(y, transferable.Int64(12))
+	select {
+	case s := <-sum:
+		if s != 42 {
+			t.Fatalf("sum %d", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("join never fired")
+	}
+}
+
+func TestWhenRecurring(t *testing.T) {
+	c := boot(t)
+	m := memoOn(t, c, "a")
+	sys := mdc.NewSystem(m)
+	defer sys.Shutdown()
+	in := m.NamedKey("stream-in")
+	out := make(chan int64, 8)
+	sys.When([]symbol.Key{in}, true, func(vals []transferable.Value) error {
+		n, _ := transferable.AsInt(vals[0])
+		out <- n * n
+		return nil
+	})
+	for i := int64(1); i <= 4; i++ {
+		m.Put(in, transferable.Int64(i))
+	}
+	got := make(map[int64]bool)
+	for i := 0; i < 4; i++ {
+		select {
+		case n := <-out:
+			got[n] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("recurring join stalled")
+		}
+	}
+	for _, want := range []int64{1, 4, 9, 16} {
+		if !got[want] {
+			t.Fatalf("missing %d in %v", want, got)
+		}
+	}
+}
+
+func TestBehaviorErrorRecorded(t *testing.T) {
+	c := boot(t)
+	sys := mdc.NewSystem(memoOn(t, c, "a"))
+	defer sys.Shutdown()
+	a := sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		return fmt.Errorf("deliberate failure")
+	})
+	sys.Send(a, transferable.Int64(1))
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sys.Errs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("error never recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShutdownStopsDispatchers(t *testing.T) {
+	c := boot(t)
+	sys := mdc.NewSystem(memoOn(t, c, "a"))
+	fired := make(chan struct{}, 1)
+	sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		fired <- struct{}{}
+		return nil
+	})
+	sys.Shutdown()
+	sys.Shutdown() // idempotent
+	select {
+	case <-fired:
+		t.Fatal("actor fired without a message")
+	default:
+	}
+}
+
+func TestPipelineOfActors(t *testing.T) {
+	// A 5-stage increment pipeline spread across two hosts.
+	c := boot(t)
+	sysA := mdc.NewSystem(memoOn(t, c, "a"))
+	sysB := mdc.NewSystem(memoOn(t, c, "b"))
+	defer sysA.Shutdown()
+	defer sysB.Shutdown()
+	final := make(chan int64, 1)
+	sink := sysA.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+		n, _ := transferable.AsInt(msg)
+		final <- n
+		return nil
+	})
+	next := sink
+	for i := 0; i < 5; i++ {
+		sys := sysA
+		if i%2 == 0 {
+			sys = sysB
+		}
+		downstream := next
+		next = sys.Spawn(func(ctx *mdc.Context, msg transferable.Value) error {
+			n, _ := transferable.AsInt(msg)
+			return ctx.Send(downstream, transferable.Int64(n+1))
+		})
+	}
+	sysA.Send(next, transferable.Int64(0))
+	select {
+	case n := <-final:
+		if n != 5 {
+			t.Fatalf("pipeline output %d want 5", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline stalled")
+	}
+}

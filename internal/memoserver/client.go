@@ -1,0 +1,105 @@
+package memoserver
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is an application process's connection to its local memo server
+// (Fig. 1: applications talk to the memo server on their own host; the memo
+// server does all remote work). One Client multiplexes any number of
+// concurrent requests over one physical connection.
+type Client struct {
+	Host string
+	App  string
+
+	mux    *transport.Mux
+	nextCh atomic.Uint64
+}
+
+// DialFunc matches Network.DialFrom.
+type DialFunc func(srcHost, addr string) (transport.Conn, error)
+
+// DialClient connects to the memo server on host.
+func DialClient(dial DialFunc, host, app string) (*Client, error) {
+	conn, err := dial(host, MemoAddr(host))
+	if err != nil {
+		return nil, fmt.Errorf("memoserver: dial %s: %w", host, err)
+	}
+	mux := transport.NewMux(conn, 4096)
+	go mux.Run()
+	return &Client{Host: host, App: app, mux: mux}, nil
+}
+
+// Do executes one request and waits for its response. Cancel aborts a
+// blocked operation by closing the request's virtual connection, which the
+// server observes and propagates to the folder wait.
+func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
+	ch := c.mux.Channel(c.nextCh.Add(1))
+	defer ch.Close()
+	if q.App == "" {
+		q.App = c.App
+	}
+	if err := ch.Send(wire.EncodeRequest(q)); err != nil {
+		return nil, err
+	}
+	type recvResult struct {
+		buf []byte
+		err error
+	}
+	rc := make(chan recvResult, 1)
+	go func() {
+		buf, err := ch.Recv()
+		rc <- recvResult{buf, err}
+	}()
+	select {
+	case r := <-rc:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return wire.DecodeResponse(r.buf)
+	case <-cancel:
+		ch.Close() // unblocks the server-side wait
+		return nil, ErrClientCanceled
+	}
+}
+
+// ErrClientCanceled reports a client-side cancellation.
+var ErrClientCanceled = errCanceled{}
+
+type errCanceled struct{}
+
+func (errCanceled) Error() string { return "memoserver: request canceled" }
+
+// Register registers an application with the memo server (the wire-level
+// §4.4 step used by remote launches; in-process boots call RegisterApp).
+func (c *Client) Register(adfText string) error {
+	resp, err := c.Do(&wire.Request{Op: wire.OpRegister, ADF: adfText}, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status == wire.StatusErr {
+		return fmt.Errorf("memoserver: register: %s", resp.Err)
+	}
+	return nil
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping() error {
+	resp, err := c.Do(&wire.Request{Op: wire.OpPing}, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("memoserver: ping: %s", resp.Err)
+	}
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	return c.mux.Close()
+}

@@ -1,0 +1,547 @@
+// Package memoserver implements D-Memo memo servers (paper §4.1, §4.4).
+//
+// One memo server runs per machine. It listens for connection requests from
+// application processes and from other memo servers, carries per-application
+// routing tables and placement maps installed at registration time, and
+// routes every folder request either to a folder server on its own host or
+// onward to the next-hop memo server along the application's logical
+// topology — "a path is established between an application program and a
+// folder server via one or more memo server threads".
+package memoserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adf"
+	"repro/internal/folder"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/sharedmem"
+	"repro/internal/symbol"
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Network is the transport view a memo server needs: listening on its own
+// address and dialing out from its host (so simulated link delays apply).
+type Network interface {
+	Listen(addr string) (transport.Listener, error)
+	DialFrom(srcHost, addr string) (transport.Conn, error)
+}
+
+// MemoAddr is the canonical memo-server address for a host.
+func MemoAddr(host string) string { return host + "/memo" }
+
+// App is one registered application's state on this memo server: its
+// description, routing table, placement map, and the folder servers that
+// live on this host ("each memo server is loaded with unique routing tables
+// for each application").
+type App struct {
+	File  *adf.File
+	Table *routing.Table
+	Place *placement.Map
+	// folderHost maps folder-server id to its host.
+	folderHost map[int]string
+	// local holds this host's folder servers for the app.
+	local map[int]*folder.Server
+	// programs holds pumped program images by source-directory name
+	// (§4.4's executable distribution without NFS).
+	progMu   sync.Mutex
+	programs map[string][]byte
+}
+
+// StoreProgram saves a pumped program image.
+func (a *App) StoreProgram(dir string, blob []byte) {
+	a.progMu.Lock()
+	defer a.progMu.Unlock()
+	if a.programs == nil {
+		a.programs = make(map[string][]byte)
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	a.programs[dir] = cp
+}
+
+// Program retrieves a pumped program image.
+func (a *App) Program(dir string) ([]byte, bool) {
+	a.progMu.Lock()
+	defer a.progMu.Unlock()
+	blob, ok := a.programs[dir]
+	return blob, ok
+}
+
+// Config tunes a Node.
+type Config struct {
+	// Cache configures the memo server's own thread cache.
+	Cache threadcache.Config
+	// FolderCache configures the thread caches of folder servers this
+	// node creates at registration.
+	FolderCache threadcache.Config
+	// Lambda is the placement topology attenuation (see placement).
+	Lambda float64
+	// Arena, when positive, allocates a shared-memory arena of that many
+	// bytes per folder server for memo payloads.
+	Arena int
+}
+
+// Node is one host's memo server.
+type Node struct {
+	Host string
+
+	net transport.Transport // for Listen
+	cfg Config
+	// dialFrom abstracts DialFrom for non-sim transports.
+	dialFrom func(src, addr string) (transport.Conn, error)
+
+	pool *threadcache.Pool
+
+	mu       sync.Mutex
+	apps     map[string]*App
+	peers    map[string]*peerLink
+	inbound  []*transport.Mux
+	listener transport.Listener
+	closed   bool
+
+	chanID atomic.Uint64
+
+	// Counters for experiments.
+	localOps   atomic.Int64
+	forwards   atomic.Int64
+	registered atomic.Int64
+}
+
+// peerLink is a cached connection to a neighbouring memo server.
+type peerLink struct {
+	mux *transport.Mux
+}
+
+// New creates a memo server for host over the given network. For the
+// simulated transport pass the *transport.Sim itself; for plain transports
+// use NewWithDialer.
+func New(host string, sim *transport.Sim, cfg Config) *Node {
+	return newNode(host, sim, sim.DialFrom, cfg)
+}
+
+// NewWithDialer creates a memo server over any transport; dials ignore the
+// source host.
+func NewWithDialer(host string, t transport.Transport, cfg Config) *Node {
+	return newNode(host, t, func(_, addr string) (transport.Conn, error) {
+		return t.Dial(addr)
+	}, cfg)
+}
+
+func newNode(host string, t transport.Transport, dial func(string, string) (transport.Conn, error), cfg Config) *Node {
+	return &Node{
+		Host:     host,
+		net:      t,
+		cfg:      cfg,
+		dialFrom: dial,
+		pool:     threadcache.New(cfg.Cache),
+		apps:     make(map[string]*App),
+		peers:    make(map[string]*peerLink),
+	}
+}
+
+// Start binds the memo-server address and begins serving.
+func (n *Node) Start() error {
+	l, err := n.net.Listen(MemoAddr(n.Host))
+	if err != nil {
+		return fmt.Errorf("memoserver %s: %w", n.Host, err)
+	}
+	n.mu.Lock()
+	n.listener = l
+	n.mu.Unlock()
+	go n.acceptLoop(l)
+	return nil
+}
+
+// Close stops the server, its folder servers, and peer links.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	l := n.listener
+	peers := n.peers
+	n.peers = map[string]*peerLink{}
+	apps := n.apps
+	inbound := n.inbound
+	n.inbound = nil
+	n.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, p := range peers {
+		p.mux.Close()
+	}
+	for _, m := range inbound {
+		m.Close()
+	}
+	for _, a := range apps {
+		for _, fs := range a.local {
+			fs.Close()
+		}
+	}
+	n.pool.Close()
+}
+
+func (n *Node) acceptLoop(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		mux := transport.NewMux(conn, 4096)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			mux.Close()
+			return
+		}
+		n.inbound = append(n.inbound, mux)
+		n.mu.Unlock()
+		go mux.Run()
+		go n.serveMux(mux)
+	}
+}
+
+func (n *Node) serveMux(mux *transport.Mux) {
+	for {
+		ch, err := mux.Accept()
+		if err != nil {
+			return
+		}
+		if err := n.pool.Submit(func() { n.serveChannel(ch) }); err != nil {
+			_ = ch.Send(wire.EncodeResponse(wire.Errf("memo server %s shutting down", n.Host)))
+			ch.Close()
+			return
+		}
+	}
+}
+
+// serveChannel answers requests on one virtual connection. One channel may
+// carry a sequence of requests (clients reuse channels between operations).
+func (n *Node) serveChannel(ch *transport.Channel) {
+	defer ch.Close()
+	for {
+		buf, err := ch.Recv()
+		if err != nil {
+			return
+		}
+		q, err := wire.DecodeRequest(buf)
+		var resp *wire.Response
+		if err != nil {
+			resp = wire.Errf("bad request: %v", err)
+		} else {
+			resp = n.Dispatch(q, ch.Done())
+		}
+		if err := ch.Send(wire.EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// RegisterApp installs an application: builds its routing table and
+// placement map and creates the folder servers assigned to this host
+// (§4.4). Idempotent for the same application name.
+func (n *Node) RegisterApp(f *adf.File) error {
+	if err := adf.Validate(f); err != nil {
+		return err
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return err
+	}
+	tbl := routing.Build(g)
+	place, err := placement.New(f, tbl, placement.Options{Lambda: n.cfg.Lambda})
+	if err != nil {
+		return err
+	}
+	app := &App{
+		File:       f,
+		Table:      tbl,
+		Place:      place,
+		folderHost: make(map[int]string),
+		local:      make(map[int]*folder.Server),
+	}
+	for _, fs := range f.Folders {
+		app.folderHost[fs.ID] = fs.Host
+	}
+
+	n.mu.Lock()
+	if _, ok := n.apps[f.App]; ok {
+		// Same app re-registered (every process registers on start-up;
+		// "multiple memo applications run concurrently using the same
+		// servers"). Keep the existing instance.
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	// Create local folder servers outside the lock; Forward may dispatch.
+	appName := f.App
+	for _, fs := range f.Folders {
+		if fs.Host != n.Host {
+			continue
+		}
+		opts := []folder.Option{
+			folder.WithForward(func(dest symbol.Key, payload []byte) {
+				n.forwardRelease(appName, dest, payload)
+			}),
+		}
+		if n.cfg.Arena > 0 {
+			host, _ := f.HostByName(n.Host)
+			opts = append(opts, folder.WithArena(sharedmem.New(host.Arch, n.cfg.Arena)))
+		}
+		store := folder.NewStore(opts...)
+		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache)
+	}
+
+	n.mu.Lock()
+	if _, ok := n.apps[f.App]; ok { // lost a race; drop ours
+		n.mu.Unlock()
+		for _, fs := range app.local {
+			fs.Close()
+		}
+		return nil
+	}
+	n.apps[f.App] = app
+	n.mu.Unlock()
+	n.registered.Add(1)
+	return nil
+}
+
+// AppNames lists registered applications.
+func (n *Node) AppNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.apps))
+	for name := range n.apps {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LocalFolderServer returns this host's folder server with the given id.
+func (n *Node) LocalFolderServer(app string, id int) (*folder.Server, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.apps[app]
+	if !ok {
+		return nil, false
+	}
+	fs, ok := a.local[id]
+	return fs, ok
+}
+
+// lookupApp fetches registered state.
+func (n *Node) lookupApp(name string) (*App, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.apps[name]
+	return a, ok
+}
+
+// Dispatch routes one request: to a local folder server, or toward the
+// target host via the next-hop memo server. It blocks for the response
+// (which may wait on a folder), honouring cancel.
+func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+	switch q.Op {
+	case wire.OpPing:
+		return wire.OK()
+	case wire.OpRegister:
+		f, err := adf.Parse(q.ADF)
+		if err != nil {
+			return wire.Errf("register: %v", err)
+		}
+		if err := n.RegisterApp(f); err != nil {
+			return wire.Errf("register: %v", err)
+		}
+		return wire.OK()
+	}
+
+	app, ok := n.lookupApp(q.App)
+	if !ok {
+		return wire.Errf("memo server %s: application %q not registered", n.Host, q.App)
+	}
+	// Host-addressed operations (§4.4 program pumping).
+	if q.Op == wire.OpPump || q.Op == wire.OpFetch {
+		if q.TargetHost == "" || q.TargetHost == n.Host {
+			switch q.Op {
+			case wire.OpPump:
+				if q.Dir == "" {
+					return wire.Errf("pump: empty program name")
+				}
+				app.StoreProgram(q.Dir, q.Payload)
+				return wire.OK()
+			case wire.OpFetch:
+				blob, ok := app.Program(q.Dir)
+				if !ok {
+					return wire.Errf("fetch: no program %q pumped to %s", q.Dir, n.Host)
+				}
+				return &wire.Response{Status: wire.StatusOK, Payload: blob}
+			}
+		}
+		if _, known := app.Table.NextHop(n.Host, q.TargetHost); !known {
+			return wire.Errf("memo server %s: unknown host %q", n.Host, q.TargetHost)
+		}
+		return n.forward(app, q, q.TargetHost, cancel)
+	}
+	targetHost, ok := app.folderHost[q.FolderID]
+	if !ok {
+		return wire.Errf("memo server %s: app %q has no folder server %d", n.Host, q.App, q.FolderID)
+	}
+	if targetHost == n.Host {
+		fs, ok := app.local[q.FolderID]
+		if !ok {
+			return wire.Errf("memo server %s: folder server %d not local", n.Host, q.FolderID)
+		}
+		n.localOps.Add(1)
+		// Hand the request to the folder server's thread cache: "each
+		// request to a server will cause a thread to be created to handle
+		// the request".
+		respCh := make(chan *wire.Response, 1)
+		if err := fs.Submit(func() { respCh <- fs.Handle(q, cancel) }); err != nil {
+			return wire.Errf("folder server %d: %v", q.FolderID, err)
+		}
+		select {
+		case resp := <-respCh:
+			return resp
+		case <-cancel:
+			// The folder server observes the same cancel and will
+			// unblock; don't wait for it.
+			return wire.Errf("canceled")
+		}
+	}
+	return n.forward(app, q, targetHost, cancel)
+}
+
+// forward relays the request one hop along the routing table.
+func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-chan struct{}) *wire.Response {
+	hop, ok := app.Table.NextHop(n.Host, targetHost)
+	if !ok {
+		return wire.Errf("memo server %s: no route to %s", n.Host, targetHost)
+	}
+	link, err := n.peer(hop)
+	if err != nil {
+		return wire.Errf("memo server %s: dial %s: %v", n.Host, hop, err)
+	}
+	fq := *q
+	fq.Hops = q.Hops + 1
+	ch := link.mux.Channel(n.chanID.Add(1))
+	defer ch.Close()
+	if err := ch.Send(wire.EncodeRequest(&fq)); err != nil {
+		n.dropPeer(hop)
+		return wire.Errf("memo server %s: forward to %s: %v", n.Host, hop, err)
+	}
+	n.forwards.Add(1)
+	type recvResult struct {
+		buf []byte
+		err error
+	}
+	rc := make(chan recvResult, 1)
+	go func() {
+		buf, err := ch.Recv()
+		rc <- recvResult{buf, err}
+	}()
+	select {
+	case r := <-rc:
+		if r.err != nil {
+			n.dropPeer(hop)
+			return wire.Errf("memo server %s: reply from %s: %v", n.Host, hop, r.err)
+		}
+		resp, err := wire.DecodeResponse(r.buf)
+		if err != nil {
+			return wire.Errf("memo server %s: bad reply from %s: %v", n.Host, hop, err)
+		}
+		return resp
+	case <-cancel:
+		return wire.Errf("canceled")
+	}
+}
+
+// peer returns the cached mux to a neighbouring memo server, dialing on
+// first use.
+func (n *Node) peer(host string) (*peerLink, error) {
+	n.mu.Lock()
+	if p, ok := n.peers[host]; ok {
+		n.mu.Unlock()
+		return p, nil
+	}
+	n.mu.Unlock()
+	conn, err := n.dialFrom(n.Host, MemoAddr(host))
+	if err != nil {
+		return nil, err
+	}
+	mux := transport.NewMux(conn, 4096)
+	go mux.Run()
+	p := &peerLink{mux: mux}
+	n.mu.Lock()
+	if exist, ok := n.peers[host]; ok {
+		n.mu.Unlock()
+		mux.Close()
+		return exist, nil
+	}
+	n.peers[host] = p
+	n.mu.Unlock()
+	return p, nil
+}
+
+func (n *Node) dropPeer(host string) {
+	n.mu.Lock()
+	p, ok := n.peers[host]
+	if ok {
+		delete(n.peers, host)
+	}
+	n.mu.Unlock()
+	if ok {
+		p.mux.Close()
+	}
+}
+
+// never is a cancel channel that never fires, for background deliveries.
+var never = make(chan struct{})
+
+// forwardRelease delivers a put_delayed release to wherever the destination
+// folder lives. It runs asynchronously: the releasing Put must not block on
+// remote delivery, and the destination may even be a folder on the same
+// store (which would deadlock a synchronous call through the thread cache).
+func (n *Node) forwardRelease(appName string, dest symbol.Key, payload []byte) {
+	app, ok := n.lookupApp(appName)
+	if !ok {
+		return
+	}
+	target := app.Place.Place(dest)
+	q := &wire.Request{
+		Op:       wire.OpPut,
+		App:      appName,
+		FolderID: target.ID,
+		Key:      dest,
+		Payload:  payload,
+	}
+	go n.Dispatch(q, never)
+}
+
+// Stats reports memo-server counters.
+type Stats struct {
+	LocalOps   int64
+	Forwards   int64
+	Registered int64
+}
+
+// Stats snapshots counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		LocalOps:   n.localOps.Load(),
+		Forwards:   n.forwards.Load(),
+		Registered: n.registered.Load(),
+	}
+}
+
+// CacheStats reports the node's thread-cache counters (experiment E1).
+func (n *Node) CacheStats() threadcache.Stats { return n.pool.Stats() }

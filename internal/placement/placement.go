@@ -1,0 +1,193 @@
+// Package placement implements D-Memo's cost-weighted folder placement
+// (paper §5).
+//
+// When an application touches a folder, the folder's key is hashed to one of
+// the application's folder servers. Two considerations from the paper shape
+// the mapping:
+//
+//  1. Processing power. "By classifying each host with a ratio percentage of
+//     processing power, the system can control the distribution of memos...
+//     giving a higher percentage of proportional probability of hashing
+//     memos to a given host." A host's power is procs/cost from the ADF; a
+//     host's share is split evenly among its folder servers.
+//
+//  2. Network topology. "Each link in the topology has a weight associated
+//     with it which the routing class incorporates into the folder name
+//     hashing." Every host must still resolve a key to the same server, so
+//     the topology term has to be host-independent: we attenuate a server's
+//     weight by the mean shortest-path cost from all hosts to it
+//     (routing.Table.Centrality), scaled by Lambda. Lambda 0 reproduces the
+//     pure power-ratio policy; E5 sweeps it.
+//
+// The mapping is deterministic: the key's 64-bit hash is mixed and reduced
+// to [0,1), then binary-searched into the cumulative weight distribution.
+// Every process on every host computes the same server for the same key,
+// which §4.1 requires ("all references for memos in a particular folder will
+// be directed to the appropriate folder server").
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adf"
+	"repro/internal/routing"
+	"repro/internal/symbol"
+)
+
+// Server is one folder server with its placement weight.
+type Server struct {
+	ID     int
+	Host   string
+	Weight float64 // normalized; sums to 1 across all servers
+}
+
+// Map resolves folder keys to folder servers.
+type Map struct {
+	servers []Server  // sorted by ID
+	cum     []float64 // cumulative weights, parallel to servers
+}
+
+// Options configure map construction.
+type Options struct {
+	// Lambda scales the topology attenuation; 0 disables it.
+	Lambda float64
+}
+
+// New builds a placement map from the ADF's host and folder-server sections
+// and the application routing table (used only when Lambda > 0; pass nil
+// otherwise).
+func New(f *adf.File, tbl *routing.Table, opt Options) (*Map, error) {
+	if len(f.Folders) == 0 {
+		return nil, fmt.Errorf("placement: no folder servers")
+	}
+	perHost := make(map[string]int)
+	for _, fs := range f.Folders {
+		perHost[fs.Host]++
+	}
+	servers := make([]Server, 0, len(f.Folders))
+	var total float64
+	for _, fs := range f.Folders {
+		h, ok := f.HostByName(fs.Host)
+		if !ok {
+			return nil, fmt.Errorf("placement: folder server %d on unknown host %s", fs.ID, fs.Host)
+		}
+		w := h.Power() / float64(perHost[fs.Host])
+		if opt.Lambda > 0 {
+			if tbl == nil {
+				return nil, fmt.Errorf("placement: Lambda > 0 requires a routing table")
+			}
+			c := tbl.Centrality(fs.Host)
+			if c == routing.Unreachable {
+				return nil, fmt.Errorf("placement: folder server host %s unreachable", fs.Host)
+			}
+			w /= 1 + opt.Lambda*c
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("placement: folder server %d has non-positive weight", fs.ID)
+		}
+		servers = append(servers, Server{ID: fs.ID, Host: fs.Host, Weight: w})
+		total += w
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i].ID < servers[j].ID })
+	cum := make([]float64, len(servers))
+	run := 0.0
+	for i := range servers {
+		servers[i].Weight /= total
+		run += servers[i].Weight
+		cum[i] = run
+	}
+	cum[len(cum)-1] = 1 // guard against float drift
+	return &Map{servers: servers, cum: cum}, nil
+}
+
+// Uniform builds a map that ignores power and topology — the "even
+// distribution over the folder servers" the paper says you get *without*
+// the cost-aware policy. It is the E4 baseline.
+func Uniform(f *adf.File) (*Map, error) {
+	if len(f.Folders) == 0 {
+		return nil, fmt.Errorf("placement: no folder servers")
+	}
+	servers := make([]Server, 0, len(f.Folders))
+	for _, fs := range f.Folders {
+		servers = append(servers, Server{ID: fs.ID, Host: fs.Host, Weight: 1})
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i].ID < servers[j].ID })
+	cum := make([]float64, len(servers))
+	for i := range servers {
+		servers[i].Weight = 1 / float64(len(servers))
+		cum[i] = float64(i+1) / float64(len(servers))
+	}
+	cum[len(cum)-1] = 1
+	return &Map{servers: servers, cum: cum}, nil
+}
+
+// mix64 is splitmix64's finalizer: decorrelates the FNV key hash before
+// reduction so adjacent keys spread across the unit interval.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to [0,1).
+func unit(h uint64) float64 {
+	return float64(mix64(h)>>11) / float64(1<<53)
+}
+
+// Place resolves a key to its folder server.
+func (m *Map) Place(k symbol.Key) Server {
+	return m.placeAt(unit(k.Hash()))
+}
+
+// PlaceHash resolves a precomputed key hash (used by servers that receive
+// canonical keys over the wire).
+func (m *Map) PlaceHash(h uint64) Server {
+	return m.placeAt(unit(h))
+}
+
+func (m *Map) placeAt(u float64) Server {
+	i := sort.SearchFloat64s(m.cum, u)
+	if i == len(m.cum) { // u == 1 cannot happen, but be safe
+		i = len(m.cum) - 1
+	}
+	// SearchFloat64s returns the first cum >= u; since cum values are
+	// exclusive upper bounds, advance past an exact boundary hit.
+	if m.cum[i] == u && i+1 < len(m.cum) {
+		i++
+	}
+	return m.servers[i]
+}
+
+// Servers returns the servers with normalized weights, sorted by ID.
+func (m *Map) Servers() []Server {
+	out := make([]Server, len(m.servers))
+	copy(out, m.servers)
+	return out
+}
+
+// HostShares aggregates normalized weights per host — the "ratio percentage"
+// of memos each host is intended to receive.
+func (m *Map) HostShares() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range m.servers {
+		out[s.Host] += s.Weight
+	}
+	return out
+}
+
+// ServerByID finds a server.
+func (m *Map) ServerByID(id int) (Server, bool) {
+	for _, s := range m.servers {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Server{}, false
+}
+
+// Len reports the number of folder servers.
+func (m *Map) Len() int { return len(m.servers) }

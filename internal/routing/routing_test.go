@@ -1,0 +1,258 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph builds a -- b -- c -- d with unit duplex links.
+func lineGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, l := range []Link{
+		{From: "a", To: "b", Cost: 1, Duplex: true},
+		{From: "b", To: "c", Cost: 1, Duplex: true},
+		{From: "c", To: "d", Cost: 1, Duplex: true},
+	} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddLink(Link{From: "a", To: "b", Cost: 0}); err == nil {
+		t.Fatal("zero cost accepted")
+	}
+	if err := g.AddLink(Link{From: "a", To: "b", Cost: -2}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if err := g.AddLink(Link{From: "a", To: "a", Cost: 1}); err == nil {
+		t.Fatal("self link accepted")
+	}
+}
+
+func TestLineTopologyCostsAndHops(t *testing.T) {
+	tbl := Build(lineGraph(t))
+	if c := tbl.Cost("a", "d"); c != 3 {
+		t.Fatalf("Cost(a,d) = %g want 3", c)
+	}
+	if c := tbl.Cost("a", "a"); c != 0 {
+		t.Fatalf("Cost(a,a) = %g", c)
+	}
+	if h := tbl.Hops("a", "d"); h != 3 {
+		t.Fatalf("Hops(a,d) = %d", h)
+	}
+	hop, ok := tbl.NextHop("a", "d")
+	if !ok || hop != "b" {
+		t.Fatalf("NextHop(a,d) = %q,%v", hop, ok)
+	}
+	path, ok := tbl.Path("a", "d")
+	if !ok || len(path) != 4 || path[0] != "a" || path[1] != "b" || path[2] != "c" || path[3] != "d" {
+		t.Fatalf("Path(a,d) = %v", path)
+	}
+}
+
+func TestSimplexIsDirected(t *testing.T) {
+	g := NewGraph()
+	g.AddLink(Link{From: "a", To: "b", Cost: 1, Duplex: false})
+	tbl := Build(g)
+	if !tbl.Reachable("a", "b") {
+		t.Fatal("a->b should be reachable")
+	}
+	if tbl.Reachable("b", "a") {
+		t.Fatal("simplex link traversed backwards")
+	}
+}
+
+func TestCheaperLongPathWins(t *testing.T) {
+	// a->d direct cost 10; a->b->c->d cost 3.
+	g := NewGraph()
+	g.AddLink(Link{From: "a", To: "d", Cost: 10, Duplex: true})
+	g.AddLink(Link{From: "a", To: "b", Cost: 1, Duplex: true})
+	g.AddLink(Link{From: "b", To: "c", Cost: 1, Duplex: true})
+	g.AddLink(Link{From: "c", To: "d", Cost: 1, Duplex: true})
+	tbl := Build(g)
+	if c := tbl.Cost("a", "d"); c != 3 {
+		t.Fatalf("Cost(a,d) = %g want 3", c)
+	}
+	if hop, _ := tbl.NextHop("a", "d"); hop != "b" {
+		t.Fatalf("NextHop(a,d) = %q want b", hop)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph()
+	g.AddLink(Link{From: "a", To: "b", Cost: 1, Duplex: true})
+	g.AddHost("island")
+	tbl := Build(g)
+	if tbl.Reachable("a", "island") {
+		t.Fatal("island reachable")
+	}
+	if c := tbl.Cost("a", "island"); c != Unreachable {
+		t.Fatalf("Cost = %g", c)
+	}
+	if _, ok := tbl.NextHop("a", "island"); ok {
+		t.Fatal("NextHop to island")
+	}
+	if _, ok := tbl.Path("a", "island"); ok {
+		t.Fatal("Path to island")
+	}
+	if h := tbl.Hops("a", "island"); h != -1 {
+		t.Fatalf("Hops = %d", h)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	// The paper's Fig. 3: glen-ellyn is the hub; SP-1 link is cost 2.
+	g := NewGraph()
+	g.AddLink(Link{From: "glen-ellyn", To: "aurora", Cost: 1, Duplex: true})
+	g.AddLink(Link{From: "glen-ellyn", To: "joliet", Cost: 1, Duplex: true})
+	g.AddLink(Link{From: "glen-ellyn", To: "bonnie", Cost: 2, Duplex: true})
+	tbl := Build(g)
+	// Leaf-to-leaf traffic must transit the hub.
+	if hop, _ := tbl.NextHop("aurora", "bonnie"); hop != "glen-ellyn" {
+		t.Fatalf("NextHop(aurora,bonnie) = %q", hop)
+	}
+	if c := tbl.Cost("aurora", "bonnie"); c != 3 {
+		t.Fatalf("Cost(aurora,bonnie) = %g want 3", c)
+	}
+	if h := tbl.Hops("joliet", "aurora"); h != 2 {
+		t.Fatalf("Hops(joliet,aurora) = %d want 2", h)
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	// 5-ring: shortest way round chosen.
+	g := NewGraph()
+	hosts := []string{"h0", "h1", "h2", "h3", "h4"}
+	for i := range hosts {
+		g.AddLink(Link{From: hosts[i], To: hosts[(i+1)%5], Cost: 1, Duplex: true})
+	}
+	tbl := Build(g)
+	if c := tbl.Cost("h0", "h2"); c != 2 {
+		t.Fatalf("Cost(h0,h2) = %g", c)
+	}
+	if c := tbl.Cost("h0", "h3"); c != 2 { // round the back
+		t.Fatalf("Cost(h0,h3) = %g", c)
+	}
+	if hop, _ := tbl.NextHop("h0", "h3"); hop != "h4" {
+		t.Fatalf("NextHop(h0,h3) = %q want h4", hop)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Two equal-cost paths a->b->d and a->c->d: every Build must choose the
+	// same one (via "b", the lexicographically smaller intermediate).
+	mk := func() *Table {
+		g := NewGraph()
+		g.AddLink(Link{From: "a", To: "c", Cost: 1, Duplex: true})
+		g.AddLink(Link{From: "a", To: "b", Cost: 1, Duplex: true})
+		g.AddLink(Link{From: "c", To: "d", Cost: 1, Duplex: true})
+		g.AddLink(Link{From: "b", To: "d", Cost: 1, Duplex: true})
+		return Build(g)
+	}
+	first, _ := mk().NextHop("a", "d")
+	for i := 0; i < 10; i++ {
+		hop, _ := mk().NextHop("a", "d")
+		if hop != first {
+			t.Fatalf("tie-break nondeterministic: %q vs %q", hop, first)
+		}
+	}
+	if first != "b" {
+		t.Fatalf("tie-break chose %q want b", first)
+	}
+}
+
+func TestCentrality(t *testing.T) {
+	tbl := Build(lineGraph(t))
+	// b: costs from a=1, c=1, d=2 → 4/3. a: from b=1,c=2,d=3 → 2.
+	cb := tbl.Centrality("b")
+	ca := tbl.Centrality("a")
+	if cb >= ca {
+		t.Fatalf("centrality: middle host b (%g) should beat end host a (%g)", cb, ca)
+	}
+	g := NewGraph()
+	g.AddHost("solo")
+	if c := Build(g).Centrality("solo"); c != 0 {
+		t.Fatalf("single-host centrality = %g", c)
+	}
+	g2 := NewGraph()
+	g2.AddLink(Link{From: "a", To: "b", Cost: 1, Duplex: true})
+	g2.AddHost("island")
+	if c := Build(g2).Centrality("island"); c != Unreachable {
+		t.Fatalf("unreachable centrality = %g", c)
+	}
+}
+
+// Property: next-hop forwarding always converges to the destination with
+// total cost equal to Cost(src,dst), on random connected graphs.
+func TestQuickForwardingConverges(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Build a deterministic pseudo-random connected graph of 8 hosts.
+		hosts := []string{"h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"}
+		g := NewGraph()
+		s := seed
+		next := func() uint32 {
+			s = s*1664525 + 1013904223
+			return s
+		}
+		// Spanning chain keeps it connected.
+		for i := 1; i < len(hosts); i++ {
+			cost := float64(next()%9 + 1)
+			g.AddLink(Link{From: hosts[i-1], To: hosts[i], Cost: cost, Duplex: true})
+		}
+		// Random extra links.
+		for i := 0; i < 6; i++ {
+			a := int(next() % 8)
+			b := int(next() % 8)
+			if a == b {
+				continue
+			}
+			g.AddLink(Link{From: hosts[a], To: hosts[b], Cost: float64(next()%9 + 1), Duplex: true})
+		}
+		tbl := Build(g)
+		for _, src := range hosts {
+			for _, dst := range hosts {
+				path, ok := tbl.Path(src, dst)
+				if !ok {
+					return false
+				}
+				var sum float64
+				for i := 1; i < len(path); i++ {
+					c, ok := g.HasLink(path[i-1], path[i])
+					if !ok {
+						return false // path used a non-existent link
+					}
+					sum += c
+				}
+				if sum != tbl.Cost(src, dst) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild64Hosts(b *testing.B) {
+	g := NewGraph()
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j += 7 {
+			g.AddLink(Link{
+				From: "h" + string(rune('A'+i%26)) + string(rune('a'+i/26)),
+				To:   "h" + string(rune('A'+j%26)) + string(rune('a'+j/26)),
+				Cost: float64(1 + (i+j)%5), Duplex: true,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g)
+	}
+}

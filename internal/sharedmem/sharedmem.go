@@ -1,0 +1,224 @@
+// Package sharedmem implements D-Memo's SharedMemory foundation (paper §3,
+// §3.1.2).
+//
+// The paper's abstract SharedMemory class factors the commonality out of two
+// concretely different protocols:
+//
+//   - Encore Multimax style: the application declares the maximum amount of
+//     shared memory up front, then allocates and frees pieces of that fixed
+//     pool, releasing the whole pool on termination.
+//   - System V style (SPARC, i486 SVR4): segments are attached on demand and
+//     the pool can grow, with subtly different primitives.
+//
+// Both derivations here manage a byte-slice arena with a first-fit free list,
+// so folder servers can place memo payloads in "shared memory" that
+// application processes on the same simulated host read directly (Fig. 1's
+// shared-memory abstraction).
+package sharedmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrNoSpace reports pool exhaustion.
+	ErrNoSpace = errors.New("sharedmem: out of shared memory")
+	// ErrBadFree reports a Free of an unknown or already-freed segment.
+	ErrBadFree = errors.New("sharedmem: bad free")
+	// ErrReleased reports use after Release.
+	ErrReleased = errors.New("sharedmem: pool released")
+)
+
+// Segment is an allocated piece of a shared pool. Bytes aliases the pool's
+// arena: writes are visible to every process holding the segment.
+type Segment struct {
+	ID    uint64
+	Bytes []byte
+	off   int
+}
+
+// SharedMemory is the abstract protocol common to all platform derivations.
+type SharedMemory interface {
+	// Alloc carves size bytes out of the pool.
+	Alloc(size int) (*Segment, error)
+	// Free returns a segment to the pool.
+	Free(*Segment) error
+	// Release tears the whole pool down (the Encore end-of-run step).
+	Release() error
+	// InUse reports currently allocated bytes.
+	InUse() int
+	// Capacity reports the pool's current total size.
+	Capacity() int
+	// Kind names the platform derivation.
+	Kind() string
+}
+
+// span is a free-list entry.
+type span struct {
+	off, len int
+}
+
+// pool is the shared arena machinery common to both derivations.
+type pool struct {
+	mu       sync.Mutex
+	arena    []byte
+	free     []span // sorted by offset, coalesced
+	allocs   map[uint64]span
+	nextID   uint64
+	inUse    int
+	released bool
+	grow     bool // System V derivation may extend the arena
+	kind     string
+}
+
+func newPool(capacity int, grow bool, kind string) *pool {
+	return &pool{
+		arena:  make([]byte, capacity),
+		free:   []span{{0, capacity}},
+		allocs: make(map[uint64]span),
+		grow:   grow,
+		kind:   kind,
+	}
+}
+
+// Alloc implements SharedMemory with first-fit allocation.
+func (p *pool) Alloc(size int) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("sharedmem: invalid allocation size %d", size)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.released {
+		return nil, ErrReleased
+	}
+	for i, s := range p.free {
+		if s.len >= size {
+			seg := span{s.off, size}
+			if s.len == size {
+				p.free = append(p.free[:i], p.free[i+1:]...)
+			} else {
+				p.free[i] = span{s.off + size, s.len - size}
+			}
+			return p.finishAlloc(seg), nil
+		}
+	}
+	if p.grow {
+		// System V style: attach another segment, doubling until it fits.
+		add := len(p.arena)
+		if add < size {
+			add = size
+		}
+		off := len(p.arena)
+		p.arena = append(p.arena, make([]byte, add)...)
+		seg := span{off, size}
+		if add > size {
+			p.insertFree(span{off + size, add - size})
+		}
+		return p.finishAlloc(seg), nil
+	}
+	return nil, ErrNoSpace
+}
+
+func (p *pool) finishAlloc(s span) *Segment {
+	p.nextID++
+	p.allocs[p.nextID] = s
+	p.inUse += s.len
+	return &Segment{ID: p.nextID, Bytes: p.arena[s.off : s.off+s.len : s.off+s.len], off: s.off}
+}
+
+// insertFree adds a span keeping the free list sorted and coalesced.
+func (p *pool) insertFree(s span) {
+	i := sort.Search(len(p.free), func(i int) bool { return p.free[i].off >= s.off })
+	p.free = append(p.free, span{})
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = s
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(p.free) && p.free[i].off+p.free[i].len == p.free[i+1].off {
+		p.free[i].len += p.free[i+1].len
+		p.free = append(p.free[:i+1], p.free[i+2:]...)
+	}
+	if i > 0 && p.free[i-1].off+p.free[i-1].len == p.free[i].off {
+		p.free[i-1].len += p.free[i].len
+		p.free = append(p.free[:i], p.free[i+1:]...)
+	}
+}
+
+// Free implements SharedMemory.
+func (p *pool) Free(seg *Segment) error {
+	if seg == nil {
+		return ErrBadFree
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.released {
+		return ErrReleased
+	}
+	s, ok := p.allocs[seg.ID]
+	if !ok || s.off != seg.off {
+		return ErrBadFree
+	}
+	delete(p.allocs, seg.ID)
+	p.inUse -= s.len
+	p.insertFree(s)
+	return nil
+}
+
+// Release implements SharedMemory.
+func (p *pool) Release() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.released {
+		return ErrReleased
+	}
+	p.released = true
+	p.arena = nil
+	p.free = nil
+	p.allocs = nil
+	p.inUse = 0
+	return nil
+}
+
+// InUse implements SharedMemory.
+func (p *pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Capacity implements SharedMemory.
+func (p *pool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.arena)
+}
+
+// Kind implements SharedMemory.
+func (p *pool) Kind() string { return p.kind }
+
+// NewEncore returns an Encore Multimax-style pool: the maximum size is fixed
+// at creation and allocation beyond it fails with ErrNoSpace.
+func NewEncore(maxBytes int) SharedMemory {
+	return newPool(maxBytes, false, "encore")
+}
+
+// NewSystemV returns a System V-style pool: it starts at initialBytes and
+// grows on demand.
+func NewSystemV(initialBytes int) SharedMemory {
+	return newPool(initialBytes, true, "sysv")
+}
+
+// New selects a derivation by platform architecture name, the run-time class
+// selection of §3.1: known MPP/shared-bus architectures get the fixed pool,
+// everything else the growable System V protocol.
+func New(arch string, capacity int) SharedMemory {
+	switch arch {
+	case "multimax", "encore", "sequent":
+		return NewEncore(capacity)
+	default:
+		return NewSystemV(capacity)
+	}
+}

@@ -1,0 +1,210 @@
+package sharedmem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoreFixedCapacity(t *testing.T) {
+	m := NewEncore(100)
+	a, err := m.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(60); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-allocation: got %v want ErrNoSpace", err)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(100); err != nil {
+		t.Fatalf("full-pool alloc after free: %v", err)
+	}
+	if m.Capacity() != 100 {
+		t.Fatalf("Capacity = %d", m.Capacity())
+	}
+}
+
+func TestSystemVGrows(t *testing.T) {
+	m := NewSystemV(64)
+	if _, err := m.Alloc(256); err != nil {
+		t.Fatalf("growable pool refused large alloc: %v", err)
+	}
+	if m.Capacity() < 256 {
+		t.Fatalf("Capacity = %d, want >= 256", m.Capacity())
+	}
+}
+
+func TestWritesVisibleThroughSegment(t *testing.T) {
+	m := NewEncore(32)
+	s, err := m.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s.Bytes, "memodata")
+	if string(s.Bytes) != "memodata" {
+		t.Fatal("segment did not retain write")
+	}
+}
+
+func TestSegmentsDisjoint(t *testing.T) {
+	m := NewEncore(64)
+	a, _ := m.Alloc(16)
+	b, _ := m.Alloc(16)
+	for i := range a.Bytes {
+		a.Bytes[i] = 0xAA
+	}
+	for _, bb := range b.Bytes {
+		if bb == 0xAA {
+			t.Fatal("allocations overlap")
+		}
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	m := NewEncore(32)
+	s, _ := m.Alloc(8)
+	if err := m.Free(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(s); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: got %v want ErrBadFree", err)
+	}
+	if err := m.Free(nil); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("nil free: got %v want ErrBadFree", err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	m := NewEncore(100)
+	a, _ := m.Alloc(30)
+	b, _ := m.Alloc(30)
+	c, _ := m.Alloc(40)
+	// Free in an order that requires both directions of coalescing.
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(100); err != nil {
+		t.Fatalf("free list failed to coalesce: %v", err)
+	}
+}
+
+func TestReleaseEndsPool(t *testing.T) {
+	m := NewEncore(32)
+	if err := m.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(1); !errors.Is(err, ErrReleased) {
+		t.Fatalf("alloc after release: %v", err)
+	}
+	if err := m.Release(); !errors.Is(err, ErrReleased) {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestInvalidSize(t *testing.T) {
+	m := NewEncore(32)
+	if _, err := m.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc accepted")
+	}
+	if _, err := m.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	m := NewSystemV(128)
+	a, _ := m.Alloc(50)
+	bseg, _ := m.Alloc(20)
+	if m.InUse() != 70 {
+		t.Fatalf("InUse = %d want 70", m.InUse())
+	}
+	m.Free(a)
+	if m.InUse() != 20 {
+		t.Fatalf("InUse = %d want 20", m.InUse())
+	}
+	m.Free(bseg)
+	if m.InUse() != 0 {
+		t.Fatalf("InUse = %d want 0", m.InUse())
+	}
+}
+
+func TestNewSelectsDerivation(t *testing.T) {
+	if k := New("multimax", 10).Kind(); k != "encore" {
+		t.Fatalf("multimax → %s", k)
+	}
+	if k := New("sun4", 10).Kind(); k != "sysv" {
+		t.Fatalf("sun4 → %s", k)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	m := NewSystemV(1 << 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s, err := m.Alloc(64)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				s.Bytes[0] = byte(i)
+				if err := m.Free(s); err != nil {
+					t.Errorf("free: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.InUse() != 0 {
+		t.Fatalf("leak: InUse = %d", m.InUse())
+	}
+}
+
+// Property: after any sequence of allocs followed by freeing them all, the
+// pool can satisfy one allocation of its full original capacity (perfect
+// coalescing, no fragmentation leaks).
+func TestQuickCoalesceProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		const capacity = 1 << 12
+		m := NewEncore(capacity)
+		var segs []*Segment
+		for _, sz := range sizes {
+			s := int(sz%64) + 1
+			seg, err := m.Alloc(s)
+			if err != nil {
+				break // pool full; fine
+			}
+			segs = append(segs, seg)
+		}
+		// Free odd indices first, then even, to stress coalescing in both
+		// directions.
+		for i := 1; i < len(segs); i += 2 {
+			if m.Free(segs[i]) != nil {
+				return false
+			}
+		}
+		for i := 0; i < len(segs); i += 2 {
+			if m.Free(segs[i]) != nil {
+				return false
+			}
+		}
+		_, err := m.Alloc(capacity)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,416 @@
+package transferable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FromGo converts common Go values into transferables. Integers map to the
+// matching absolute domain; maps become records with sorted keys for
+// determinism; slices become lists. Unsupported kinds return an error rather
+// than panicking so callers can surface application bugs cleanly.
+func FromGo(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Nil{}, nil
+	case Value:
+		return x, nil
+	case bool:
+		return Bool(x), nil
+	case int8:
+		return Int8(x), nil
+	case int16:
+		return Int16(x), nil
+	case int32:
+		return Int32(x), nil
+	case int64:
+		return Int64(x), nil
+	case int:
+		return Int64(x), nil
+	case uint8:
+		return Uint8(x), nil
+	case uint16:
+		return Uint16(x), nil
+	case uint32:
+		return Uint32(x), nil
+	case uint64:
+		return Uint64(x), nil
+	case uint:
+		return Uint64(x), nil
+	case float32:
+		return Float32(x), nil
+	case float64:
+		return Float64(x), nil
+	case string:
+		return String(x), nil
+	case []byte:
+		return Bytes(x), nil
+	case []any:
+		l := &List{Items: make([]Value, len(x))}
+		for i, item := range x {
+			tv, err := FromGo(item)
+			if err != nil {
+				return nil, err
+			}
+			l.Items[i] = tv
+		}
+		return l, nil
+	case []int:
+		l := &List{Items: make([]Value, len(x))}
+		for i, item := range x {
+			l.Items[i] = Int64(item)
+		}
+		return l, nil
+	case []float64:
+		l := &List{Items: make([]Value, len(x))}
+		for i, item := range x {
+			l.Items[i] = Float64(item)
+		}
+		return l, nil
+	case []string:
+		l := &List{Items: make([]Value, len(x))}
+		for i, item := range x {
+			l.Items[i] = String(item)
+		}
+		return l, nil
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		r := NewRecord()
+		for _, k := range keys {
+			tv, err := FromGo(x[k])
+			if err != nil {
+				return nil, err
+			}
+			r.Set(k, tv)
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("transferable: unsupported Go type %T", v)
+}
+
+// MustFromGo is FromGo that panics on error; for literals in examples/tests.
+func MustFromGo(v any) Value {
+	tv, err := FromGo(v)
+	if err != nil {
+		panic(err)
+	}
+	return tv
+}
+
+// ToGo converts a transferable back to a plain Go value. Lists become
+// []any, records map[string]any. Cyclic structures would not terminate;
+// callers converting untrusted graphs should Clone first or use the typed
+// accessors. Shared (non-cyclic) structure is expanded.
+func ToGo(v Value) any {
+	switch x := v.(type) {
+	case Nil:
+		return nil
+	case Bool:
+		return bool(x)
+	case Int8:
+		return int8(x)
+	case Int16:
+		return int16(x)
+	case Int32:
+		return int32(x)
+	case Int64:
+		return int64(x)
+	case Uint8:
+		return uint8(x)
+	case Uint16:
+		return uint16(x)
+	case Uint32:
+		return uint32(x)
+	case Uint64:
+		return uint64(x)
+	case Float32:
+		return float32(x)
+	case Float64:
+		return float64(x)
+	case String:
+		return string(x)
+	case Bytes:
+		return []byte(x)
+	case Native:
+		return x.V
+	case NativeFloat:
+		return x.V
+	case KeyValue:
+		return x.K
+	case *List:
+		out := make([]any, len(x.Items))
+		for i, item := range x.Items {
+			out[i] = ToGo(item)
+		}
+		return out
+	case *Record:
+		out := make(map[string]any, len(x.fields))
+		for _, f := range x.fields {
+			out[f.name] = ToGo(f.val)
+		}
+		return out
+	}
+	return v
+}
+
+// AsInt extracts an integer from any integer-domain value.
+func AsInt(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case Int8:
+		return int64(x), true
+	case Int16:
+		return int64(x), true
+	case Int32:
+		return int64(x), true
+	case Int64:
+		return int64(x), true
+	case Uint8:
+		return int64(x), true
+	case Uint16:
+		return int64(x), true
+	case Uint32:
+		return int64(x), true
+	case Uint64:
+		if uint64(x) > math.MaxInt64 {
+			return 0, false
+		}
+		return int64(x), true
+	case Native:
+		return x.V, true
+	}
+	return 0, false
+}
+
+// AsFloat extracts a float from any numeric value.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Float32:
+		return float64(x), true
+	case Float64:
+		return float64(x), true
+	case NativeFloat:
+		return x.V, true
+	}
+	if i, ok := AsInt(v); ok {
+		return float64(i), true
+	}
+	return 0, false
+}
+
+// AsString extracts a string value.
+func AsString(v Value) (string, bool) {
+	if s, ok := v.(String); ok {
+		return string(s), true
+	}
+	return "", false
+}
+
+// Equal reports deep structural equality of two values. Cyclic structures
+// are handled: two graphs are equal if their unfoldings match, tracked by a
+// visited-pair set.
+func Equal(a, b Value) bool {
+	return equalRec(a, b, make(map[[2]any]bool))
+}
+
+func equalRec(a, b Value, seen map[[2]any]bool) bool {
+	if a == nil {
+		a = Nil{}
+	}
+	if b == nil {
+		b = Nil{}
+	}
+	if a.Tag() != b.Tag() {
+		return false
+	}
+	switch x := a.(type) {
+	case Nil:
+		return true
+	case Bool:
+		return x == b.(Bool)
+	case Int8:
+		return x == b.(Int8)
+	case Int16:
+		return x == b.(Int16)
+	case Int32:
+		return x == b.(Int32)
+	case Int64:
+		return x == b.(Int64)
+	case Uint8:
+		return x == b.(Uint8)
+	case Uint16:
+		return x == b.(Uint16)
+	case Uint32:
+		return x == b.(Uint32)
+	case Uint64:
+		return x == b.(Uint64)
+	case Float32:
+		return x == b.(Float32)
+	case Float64:
+		return x == b.(Float64)
+	case String:
+		return x == b.(String)
+	case Bytes:
+		y := b.(Bytes)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case Native:
+		y := b.(Native)
+		return x.V == y.V && x.Bits == y.Bits
+	case NativeFloat:
+		y := b.(NativeFloat)
+		return x.V == y.V && x.Bits == y.Bits
+	case KeyValue:
+		return x.K.Equal(b.(KeyValue).K)
+	case *List:
+		y := b.(*List)
+		if x == y {
+			return true
+		}
+		pair := [2]any{x, y}
+		if seen[pair] {
+			return true // already comparing this pair higher in the stack
+		}
+		seen[pair] = true
+		if len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !equalRec(x.Items[i], y.Items[i], seen) {
+				return false
+			}
+		}
+		return true
+	case *Record:
+		y := b.(*Record)
+		if x == y {
+			return true
+		}
+		pair := [2]any{x, y}
+		if seen[pair] {
+			return true
+		}
+		seen[pair] = true
+		if len(x.fields) != len(y.fields) {
+			return false
+		}
+		for i, f := range x.fields {
+			if y.fields[i].name != f.name {
+				return false
+			}
+			if !equalRec(f.val, y.fields[i].val, seen) {
+				return false
+			}
+		}
+		return true
+	}
+	// User values: compare by re-encoding. Correct though not cheap.
+	ab, errA := Marshal(a)
+	bb, errB := Marshal(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	return string(ab) == string(bb)
+}
+
+// Clone deep-copies a value, preserving sharing and cycles. Scalars are
+// returned as-is (they are immutable); composites are rebuilt with a memo
+// table so the copy has the same graph shape as the original. get_copy is
+// built on Clone.
+func Clone(v Value) Value {
+	return cloneRec(v, make(map[any]Value))
+}
+
+func cloneRec(v Value, memo map[any]Value) Value {
+	switch x := v.(type) {
+	case *List:
+		if x == nil {
+			return Nil{}
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		c := &List{Items: make([]Value, len(x.Items))}
+		memo[x] = c
+		for i, item := range x.Items {
+			c.Items[i] = cloneRec(item, memo)
+		}
+		return c
+	case *Record:
+		if x == nil {
+			return Nil{}
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		c := NewRecord()
+		memo[x] = c
+		for _, f := range x.fields {
+			c.Set(f.name, cloneRec(f.val, memo))
+		}
+		return c
+	case Bytes:
+		b := make(Bytes, len(x))
+		copy(b, x)
+		return b
+	case KeyValue:
+		return KeyValue{K: x.K.Clone()}
+	case UserValue:
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		// Round-trip through the codec; preserves identity within the value.
+		b, err := Marshal(x)
+		if err != nil {
+			return x
+		}
+		out, err := Unmarshal(b, Domain64)
+		if err != nil {
+			return x
+		}
+		memo[x] = out
+		return out
+	default:
+		return v
+	}
+}
+
+// NodeCount reports the number of distinct composite nodes reachable from v.
+// Used by the E9 benchmark to normalize encode time per node.
+func NodeCount(v Value) int {
+	seen := make(map[any]bool)
+	var walk func(Value)
+	walk = func(v Value) {
+		switch x := v.(type) {
+		case *List:
+			if x == nil || seen[x] {
+				return
+			}
+			seen[x] = true
+			for _, item := range x.Items {
+				walk(item)
+			}
+		case *Record:
+			if x == nil || seen[x] {
+				return
+			}
+			seen[x] = true
+			for _, f := range x.fields {
+				walk(f.val)
+			}
+		}
+	}
+	walk(v)
+	return len(seen)
+}

@@ -1,0 +1,214 @@
+package transferable
+
+import (
+	"testing"
+)
+
+func TestFromGoScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Nil{}},
+		{true, Bool(true)},
+		{int8(-5), Int8(-5)},
+		{int16(100), Int16(100)},
+		{int32(7), Int32(7)},
+		{int64(8), Int64(8)},
+		{42, Int64(42)},
+		{uint8(255), Uint8(255)},
+		{uint(9), Uint64(9)},
+		{float32(1.5), Float32(1.5)},
+		{2.5, Float64(2.5)},
+		{"s", String("s")},
+	}
+	for _, c := range cases {
+		got, err := FromGo(c.in)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", c.in, err)
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("FromGo(%v) = %#v want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromGoComposites(t *testing.T) {
+	v, err := FromGo(map[string]any{
+		"name": "job",
+		"ids":  []int{1, 2, 3},
+		"meta": map[string]any{"ok": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.(*Record)
+	// Map keys must be sorted for deterministic encoding.
+	f := r.Fields()
+	if f[0] != "ids" || f[1] != "meta" || f[2] != "name" {
+		t.Fatalf("fields not sorted: %v", f)
+	}
+	back := ToGo(v).(map[string]any)
+	if back["name"] != "job" {
+		t.Fatalf("ToGo lost name: %v", back)
+	}
+	ids := back["ids"].([]any)
+	if len(ids) != 3 || ids[2] != int64(3) {
+		t.Fatalf("ToGo ids: %v", ids)
+	}
+}
+
+func TestFromGoUnsupported(t *testing.T) {
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+	if _, err := FromGo([]any{struct{}{}}); err == nil {
+		t.Fatal("unsupported nested type accepted")
+	}
+}
+
+func TestEqualBasic(t *testing.T) {
+	if Equal(Int64(1), Int32(1)) {
+		t.Fatal("different domains compared equal")
+	}
+	if !Equal(Nil{}, nil) {
+		t.Fatal("nil and Nil should be equal")
+	}
+	if Equal(NewList(Int64(1)), NewList(Int64(2))) {
+		t.Fatal("different lists equal")
+	}
+	if Equal(NewList(Int64(1)), NewList(Int64(1), Int64(2))) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestEqualCyclic(t *testing.T) {
+	mk := func() *List {
+		l := NewList(Int64(1))
+		l.Append(l)
+		return l
+	}
+	if !Equal(mk(), mk()) {
+		t.Fatal("isomorphic cycles unequal")
+	}
+	a := mk()
+	b := NewList(Int64(2))
+	b.Append(b)
+	if Equal(a, b) {
+		t.Fatal("different cycles equal")
+	}
+}
+
+func TestEqualRecordFieldOrderMatters(t *testing.T) {
+	a := NewRecord().Set("x", Int64(1)).Set("y", Int64(2))
+	b := NewRecord().Set("y", Int64(2)).Set("x", Int64(1))
+	if Equal(a, b) {
+		t.Fatal("records with different field order compared equal (encoding would differ)")
+	}
+}
+
+func TestCloneScalarsIdentity(t *testing.T) {
+	v := Int64(5)
+	if Clone(v) != Value(v) {
+		t.Fatal("scalar clone changed value")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	orig := NewList(NewRecord().Set("n", Int64(1)))
+	c := Clone(orig).(*List)
+	if !Equal(c, orig) {
+		t.Fatal("clone not equal")
+	}
+	c.At(0).(*Record).Set("n", Int64(99))
+	if v, _ := orig.At(0).(*Record).Get("n"); v.(Int64) != 1 {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestCloneBytesIndependent(t *testing.T) {
+	orig := Bytes{1, 2, 3}
+	c := Clone(orig).(Bytes)
+	c[0] = 9
+	if orig[0] != 1 {
+		t.Fatal("cloned bytes alias original")
+	}
+}
+
+func TestClonePreservesCycle(t *testing.T) {
+	l := NewList(Int64(1))
+	l.Append(l)
+	c := Clone(l).(*List)
+	if c == l {
+		t.Fatal("clone returned original")
+	}
+	if c.At(1) != Value(c) {
+		t.Fatal("clone lost cycle")
+	}
+}
+
+func TestClonePreservesSharing(t *testing.T) {
+	shared := NewList(Int64(1))
+	top := NewList(shared, shared)
+	c := Clone(top).(*List)
+	if c.At(0) != c.At(1) {
+		t.Fatal("clone lost sharing")
+	}
+}
+
+func TestAsIntAsFloatAsString(t *testing.T) {
+	if v, ok := AsInt(Uint16(7)); !ok || v != 7 {
+		t.Fatalf("AsInt(Uint16) = %d,%v", v, ok)
+	}
+	if _, ok := AsInt(String("x")); ok {
+		t.Fatal("AsInt accepted a string")
+	}
+	if _, ok := AsInt(Uint64(1 << 63)); ok {
+		t.Fatal("AsInt accepted an overflowing uint64")
+	}
+	if v, ok := AsFloat(Int32(3)); !ok || v != 3.0 {
+		t.Fatalf("AsFloat(Int32) = %v,%v", v, ok)
+	}
+	if v, ok := AsFloat(Float32(0.5)); !ok || v != 0.5 {
+		t.Fatalf("AsFloat(Float32) = %v,%v", v, ok)
+	}
+	if s, ok := AsString(String("hi")); !ok || s != "hi" {
+		t.Fatalf("AsString = %q,%v", s, ok)
+	}
+	if _, ok := AsString(Int64(1)); ok {
+		t.Fatal("AsString accepted an int")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	shared := NewList()
+	top := NewList(shared, shared, NewRecord().Set("s", shared))
+	if n := NodeCount(top); n != 3 { // top, shared, record
+		t.Fatalf("NodeCount = %d want 3", n)
+	}
+	cyc := NewList()
+	cyc.Append(cyc)
+	if n := NodeCount(cyc); n != 1 {
+		t.Fatalf("NodeCount(cycle) = %d want 1", n)
+	}
+	if n := NodeCount(Int64(1)); n != 0 {
+		t.Fatalf("NodeCount(scalar) = %d want 0", n)
+	}
+}
+
+func TestRecordSetReplaces(t *testing.T) {
+	r := NewRecord().Set("k", Int64(1)).Set("k", Int64(2))
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	v, _ := r.Get("k")
+	if v.(Int64) != 2 {
+		t.Fatalf("Get = %v", v)
+	}
+	if _, ok := NewRecord().Get("missing"); ok {
+		t.Fatal("empty record returned a field")
+	}
+	if _, ok := r.MustGet("missing").(Nil); !ok {
+		t.Fatal("MustGet(missing) should be Nil")
+	}
+}

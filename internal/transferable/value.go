@@ -1,0 +1,335 @@
+// Package transferable implements D-Memo's transferable classes (paper
+// §3.1.3): values that encode and decode themselves in a language- and
+// machine-independent way so memos can move between heterogeneous hosts.
+//
+// Two properties distinguish transferables from plain serialization, both
+// taken from the paper:
+//
+//  1. Arbitrary data structures — including self-referential (cyclic) ones —
+//     move intact. The encoder linearizes the object graph along a spanning
+//     tree, emitting back-references for already-visited nodes, and the
+//     decoder reconstructs the identical shape in linear time.
+//
+//  2. Concrete domains. Instead of native int/float, applications use
+//     absolute domains (Int16, Uint32, Float64, ...), which transfer
+//     losslessly everywhere. Native-width values (Native, NativeFloat) are
+//     also supported but decoding them checks the destination host's declared
+//     word size and reports ErrLossy when the value cannot be represented —
+//     the Alpha→80486 example from the paper.
+package transferable
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Tag identifies the wire type of a value.
+type Tag byte
+
+// Wire tags. The numeric values are part of the wire format; do not reorder.
+const (
+	TagInvalid Tag = iota
+	TagNil
+	TagBool
+	TagInt8
+	TagInt16
+	TagInt32
+	TagInt64
+	TagUint8
+	TagUint16
+	TagUint32
+	TagUint64
+	TagFloat32
+	TagFloat64
+	TagString
+	TagBytes
+	TagList
+	TagRecord
+	TagRef
+	TagNative
+	TagNativeFloat
+	TagKey
+	TagUser
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagNil:
+		return "nil"
+	case TagBool:
+		return "bool"
+	case TagInt8:
+		return "int8"
+	case TagInt16:
+		return "int16"
+	case TagInt32:
+		return "int32"
+	case TagInt64:
+		return "int64"
+	case TagUint8:
+		return "uint8"
+	case TagUint16:
+		return "uint16"
+	case TagUint32:
+		return "uint32"
+	case TagUint64:
+		return "uint64"
+	case TagFloat32:
+		return "float32"
+	case TagFloat64:
+		return "float64"
+	case TagString:
+		return "string"
+	case TagBytes:
+		return "bytes"
+	case TagList:
+		return "list"
+	case TagRecord:
+		return "record"
+	case TagRef:
+		return "ref"
+	case TagNative:
+		return "native-int"
+	case TagNativeFloat:
+		return "native-float"
+	case TagKey:
+		return "key"
+	case TagUser:
+		return "user"
+	}
+	return "tag(" + strconv.Itoa(int(t)) + ")"
+}
+
+// Value is a transferable datum. All implementations in this package are
+// either immutable scalars or the composite types *List and *Record.
+type Value interface {
+	// Tag reports the wire type.
+	Tag() Tag
+}
+
+// Scalar absolute-domain types. Each is a distinct Go type so the domain
+// travels with the value, exactly as the paper's int16/float32 classes do.
+type (
+	// Nil is the absent value.
+	Nil struct{}
+	// Bool is a transferable boolean.
+	Bool bool
+	// Int8 is the 8-bit signed absolute domain.
+	Int8 int8
+	// Int16 is the 16-bit signed absolute domain.
+	Int16 int16
+	// Int32 is the 32-bit signed absolute domain.
+	Int32 int32
+	// Int64 is the 64-bit signed absolute domain.
+	Int64 int64
+	// Uint8 is the 8-bit unsigned absolute domain.
+	Uint8 uint8
+	// Uint16 is the 16-bit unsigned absolute domain.
+	Uint16 uint16
+	// Uint32 is the 32-bit unsigned absolute domain.
+	Uint32 uint32
+	// Uint64 is the 64-bit unsigned absolute domain.
+	Uint64 uint64
+	// Float32 is the single-precision absolute domain.
+	Float32 float32
+	// Float64 is the double-precision absolute domain.
+	Float64 float64
+	// String is a transferable UTF-8 string.
+	String string
+	// Bytes is a transferable byte vector.
+	Bytes []byte
+)
+
+// Native is an integer in the *sending* host's native width. Decoding checks
+// the destination domain and fails with ErrLossy if the value does not fit.
+// Bits records the source width (16, 32, or 64).
+type Native struct {
+	V    int64
+	Bits int
+}
+
+// NativeFloat is a float in the sending host's native precision. Decoding
+// into a narrower domain fails with ErrLossy if precision would be lost.
+type NativeFloat struct {
+	V    float64
+	Bits int // 32 or 64
+}
+
+// List is an ordered sequence of values. Lists are reference types: two
+// memos may share one list, and a list may (transitively) contain itself.
+type List struct {
+	Items []Value
+}
+
+// Record is a named-field aggregate. Field order is preserved for
+// deterministic encoding. Records are reference types like List.
+type Record struct {
+	fields []field
+	index  map[string]int
+}
+
+type field struct {
+	name string
+	val  Value
+}
+
+func (Nil) Tag() Tag         { return TagNil }
+func (Bool) Tag() Tag        { return TagBool }
+func (Int8) Tag() Tag        { return TagInt8 }
+func (Int16) Tag() Tag       { return TagInt16 }
+func (Int32) Tag() Tag       { return TagInt32 }
+func (Int64) Tag() Tag       { return TagInt64 }
+func (Uint8) Tag() Tag       { return TagUint8 }
+func (Uint16) Tag() Tag      { return TagUint16 }
+func (Uint32) Tag() Tag      { return TagUint32 }
+func (Uint64) Tag() Tag      { return TagUint64 }
+func (Float32) Tag() Tag     { return TagFloat32 }
+func (Float64) Tag() Tag     { return TagFloat64 }
+func (String) Tag() Tag      { return TagString }
+func (Bytes) Tag() Tag       { return TagBytes }
+func (Native) Tag() Tag      { return TagNative }
+func (NativeFloat) Tag() Tag { return TagNativeFloat }
+func (*List) Tag() Tag       { return TagList }
+func (*Record) Tag() Tag     { return TagRecord }
+
+// NewList returns a list holding the given items.
+func NewList(items ...Value) *List {
+	return &List{Items: items}
+}
+
+// Len reports the number of items.
+func (l *List) Len() int { return len(l.Items) }
+
+// At returns the i'th item.
+func (l *List) At(i int) Value { return l.Items[i] }
+
+// Append adds items to the end of the list.
+func (l *List) Append(items ...Value) { l.Items = append(l.Items, items...) }
+
+// NewRecord returns an empty record.
+func NewRecord() *Record {
+	return &Record{index: make(map[string]int)}
+}
+
+// Set stores a field, replacing any existing value under the same name while
+// preserving its position.
+func (r *Record) Set(name string, v Value) *Record {
+	if r.index == nil {
+		r.index = make(map[string]int)
+	}
+	if i, ok := r.index[name]; ok {
+		r.fields[i].val = v
+		return r
+	}
+	r.index[name] = len(r.fields)
+	r.fields = append(r.fields, field{name, v})
+	return r
+}
+
+// Get returns the value of a field.
+func (r *Record) Get(name string) (Value, bool) {
+	if r.index == nil {
+		return nil, false
+	}
+	i, ok := r.index[name]
+	if !ok {
+		return nil, false
+	}
+	return r.fields[i].val, true
+}
+
+// MustGet returns the value of a field or Nil{} when absent.
+func (r *Record) MustGet(name string) Value {
+	if v, ok := r.Get(name); ok {
+		return v
+	}
+	return Nil{}
+}
+
+// Fields returns field names in insertion order.
+func (r *Record) Fields() []string {
+	out := make([]string, len(r.fields))
+	for i, f := range r.fields {
+		out[i] = f.name
+	}
+	return out
+}
+
+// Len reports the number of fields.
+func (r *Record) Len() int { return len(r.fields) }
+
+// ErrLossy reports a lossy domain mapping: a native-width value arrived at a
+// host whose declared domain cannot represent it.
+type ErrLossy struct {
+	Value  string // textual form of the offending value
+	Need   int    // bits required by the value
+	Have   int    // bits available in the destination domain
+	Domain string // destination domain name
+}
+
+func (e *ErrLossy) Error() string {
+	return fmt.Sprintf("transferable: lossy domain mapping: value %s needs %d bits but destination %s has %d",
+		e.Value, e.Need, e.Domain, e.Have)
+}
+
+// Domain describes a host's native word sizes, used only when decoding
+// Native and NativeFloat values. Absolute-domain values ignore it.
+type Domain struct {
+	Name      string
+	IntBits   int // 16, 32, or 64
+	FloatBits int // 32 or 64
+}
+
+// Standard domains mirroring the paper's platform examples.
+var (
+	// Domain64 models a 64-bit host (the paper's Alpha).
+	Domain64 = Domain{Name: "alpha64", IntBits: 64, FloatBits: 64}
+	// Domain32 models a 32-bit host (SPARC, Multimax).
+	Domain32 = Domain{Name: "sparc32", IntBits: 32, FloatBits: 64}
+	// Domain16 models the paper's 16-bit Intel 80486 configuration.
+	Domain16 = Domain{Name: "i486-16", IntBits: 16, FloatBits: 32}
+)
+
+// bitsNeeded reports the minimum signed width that represents v.
+func bitsNeeded(v int64) int {
+	switch {
+	case v >= -128 && v <= 127:
+		return 8
+	case v >= -32768 && v <= 32767:
+		return 16
+	case v >= -2147483648 && v <= 2147483647:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// CheckInt reports whether v fits d's native integer width.
+func (d Domain) CheckInt(v int64) error {
+	need := bitsNeeded(v)
+	if need > d.IntBits {
+		return &ErrLossy{
+			Value:  strconv.FormatInt(v, 10),
+			Need:   need,
+			Have:   d.IntBits,
+			Domain: d.Name,
+		}
+	}
+	return nil
+}
+
+// CheckFloat reports whether v survives d's native float precision.
+func (d Domain) CheckFloat(v float64) error {
+	if d.FloatBits >= 64 {
+		return nil
+	}
+	if float64(float32(v)) != v {
+		return &ErrLossy{
+			Value:  strconv.FormatFloat(v, 'g', -1, 64),
+			Need:   64,
+			Have:   d.FloatBits,
+			Domain: d.Name,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package transport
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// preciseSleep waits d with sub-millisecond accuracy. The kernel timer wheel
+// rounds short sleeps up to ~1ms, which would multiply every simulated link
+// delay; instead we sleep coarsely for the bulk and spin (yielding) for the
+// tail. Link delays are the simulator's unit of realism, so accuracy is
+// worth the spin.
+func preciseSleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if coarse := d - 1500*time.Microsecond; coarse > 0 {
+		time.Sleep(coarse)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// NetModel describes the simulated network: per-link latency multipliers
+// keyed by (source host, destination host). Links are those declared in the
+// ADF PPC section; cost scales the base latency. The model also counts
+// per-link traffic so experiments can verify where messages actually flowed.
+type NetModel struct {
+	// BaseLatency is the one-way delay of a cost-1 link.
+	BaseLatency time.Duration
+	// BytesPerLatency models bandwidth: each full multiple of this size
+	// adds one BaseLatency of serialization delay. Zero disables the term.
+	BytesPerLatency int
+
+	mu    sync.RWMutex
+	costs map[linkKey]float64
+	count map[linkKey]*linkCounter
+}
+
+type linkKey struct{ src, dst string }
+
+type linkCounter struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewNetModel returns a model with the given base one-way latency.
+func NewNetModel(base time.Duration) *NetModel {
+	return &NetModel{
+		BaseLatency: base,
+		costs:       make(map[linkKey]float64),
+		count:       make(map[linkKey]*linkCounter),
+	}
+}
+
+// SetLink declares a directed link with a cost multiplier. Declare both
+// directions for the ADF's duplex ("<->") connections.
+func (m *NetModel) SetLink(src, dst string, cost float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.costs[linkKey{src, dst}] = cost
+	if _, ok := m.count[linkKey{src, dst}]; !ok {
+		m.count[linkKey{src, dst}] = &linkCounter{}
+	}
+}
+
+// LinkCost reports the cost of the directed link, and whether it exists.
+// Local delivery (src == dst) always exists with cost 0.
+func (m *NetModel) LinkCost(src, dst string) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.costs[linkKey{src, dst}]
+	return c, ok
+}
+
+// Delay computes the one-way delay for size bytes over the directed link.
+func (m *NetModel) Delay(src, dst string, size int) time.Duration {
+	cost, ok := m.LinkCost(src, dst)
+	if !ok || cost == 0 {
+		return 0
+	}
+	d := time.Duration(float64(m.BaseLatency) * cost)
+	if m.BytesPerLatency > 0 {
+		d += time.Duration(size/m.BytesPerLatency) * time.Duration(float64(m.BaseLatency)*cost)
+	}
+	return d
+}
+
+// Record notes one message on the directed link.
+func (m *NetModel) Record(src, dst string, size int) {
+	m.mu.RLock()
+	c := m.count[linkKey{src, dst}]
+	m.mu.RUnlock()
+	if c == nil {
+		m.mu.Lock()
+		c = m.count[linkKey{src, dst}]
+		if c == nil {
+			c = &linkCounter{}
+			m.count[linkKey{src, dst}] = c
+		}
+		m.mu.Unlock()
+	}
+	c.msgs.Add(1)
+	c.bytes.Add(int64(size))
+}
+
+// LinkTraffic reports messages and bytes recorded on the directed link.
+func (m *NetModel) LinkTraffic(src, dst string) (msgs, bytes int64) {
+	m.mu.RLock()
+	c := m.count[linkKey{src, dst}]
+	m.mu.RUnlock()
+	if c == nil {
+		return 0, 0
+	}
+	return c.msgs.Load(), c.bytes.Load()
+}
+
+// ResetTraffic zeroes all per-link counters.
+func (m *NetModel) ResetTraffic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.count {
+		c.msgs.Store(0)
+		c.bytes.Store(0)
+	}
+}
+
+// Sim decorates an in-process transport with the network model. Addresses
+// must be of the form "host/service"; the host part selects the link. A dial
+// from listener-less client code specifies its own host via DialFrom, or
+// embeds it in the address as "host!target" (used by the cluster).
+type Sim struct {
+	inner *InProc
+	model *NetModel
+}
+
+// NewSim returns a simulated transport over a fresh in-process namespace.
+func NewSim(model *NetModel) *Sim {
+	return &Sim{inner: NewInProc(), model: model}
+}
+
+// Model exposes the network model (for traffic assertions).
+func (s *Sim) Model() *NetModel { return s.model }
+
+// Name implements Transport.
+func (s *Sim) Name() string { return "sim" }
+
+// HostOf extracts the host part of a sim address ("host/service" → "host").
+func HostOf(addr string) string {
+	if i := strings.IndexByte(addr, '/'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Listen implements Transport.
+func (s *Sim) Listen(addr string) (Listener, error) {
+	l, err := s.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &simListener{Listener: l, sim: s}, nil
+}
+
+// Dial implements Transport. The caller's host is taken from the target
+// address's host part, i.e. a same-host dial; use DialFrom for remote dials.
+func (s *Sim) Dial(addr string) (Conn, error) {
+	return s.DialFrom(HostOf(addr), addr)
+}
+
+// DialFrom connects to addr with the caller located on srcHost, so link
+// delays apply in both directions.
+func (s *Sim) DialFrom(srcHost, addr string) (Conn, error) {
+	dstHost := HostOf(addr)
+	if srcHost != dstHost {
+		if _, ok := s.model.LinkCost(srcHost, dstHost); !ok {
+			return nil, ErrNoRoute(srcHost + "->" + dstHost)
+		}
+	}
+	c, err := s.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &simConn{Conn: c, sim: s, localHost: srcHost, remoteHost: dstHost}, nil
+}
+
+// ErrNoRoute reports a dial between hosts with no declared link. The paper's
+// ADF "allows the user to define and restrict communication between hosts";
+// dialing outside the logical topology is an error, not a fallback.
+type ErrNoRoute string
+
+func (e ErrNoRoute) Error() string { return "transport: no link " + string(e) }
+
+type simListener struct {
+	Listener
+	sim *Sim
+}
+
+func (l *simListener) Accept() (Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	local := HostOf(l.Addr())
+	// The remote host is embedded by simConn's handshake-free design: the
+	// dialer applies delay on sends in both directions via its own wrapper,
+	// so the accept side wraps with hosts reversed but unknown remote. We
+	// recover the remote host lazily from the first message envelope.
+	return &simServerConn{Conn: c, sim: l.sim, localHost: local}, nil
+}
+
+// envelope prefix: the dialer's host name, so the server side can model
+// return-path delay. Format: uvarint length + host + payload.
+func packEnvelope(host string, msg []byte) []byte {
+	buf := make([]byte, 0, len(host)+len(msg)+2)
+	buf = append(buf, byte(len(host)))
+	buf = append(buf, host...)
+	buf = append(buf, msg...)
+	return buf
+}
+
+func unpackEnvelope(buf []byte) (host string, msg []byte) {
+	if len(buf) == 0 {
+		return "", buf
+	}
+	n := int(buf[0])
+	if 1+n > len(buf) {
+		return "", buf
+	}
+	return string(buf[1 : 1+n]), buf[1+n:]
+}
+
+// simConn is the dialer-side endpoint.
+type simConn struct {
+	Conn
+	sim        *Sim
+	localHost  string
+	remoteHost string
+}
+
+func (c *simConn) Send(msg []byte) error {
+	preciseSleep(c.sim.model.Delay(c.localHost, c.remoteHost, len(msg)))
+	c.sim.model.Record(c.localHost, c.remoteHost, len(msg))
+	return c.Conn.Send(packEnvelope(c.localHost, msg))
+}
+
+func (c *simConn) Recv() ([]byte, error) {
+	buf, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	_, msg := unpackEnvelope(buf)
+	return msg, nil
+}
+
+func (c *simConn) LocalAddr() string  { return c.localHost }
+func (c *simConn) RemoteAddr() string { return c.remoteHost }
+
+// simServerConn is the accept-side endpoint; it learns the peer host from
+// message envelopes and applies return-path delay on sends.
+type simServerConn struct {
+	Conn
+	sim       *Sim
+	localHost string
+	mu        sync.Mutex
+	peerHost  string
+}
+
+func (c *simServerConn) Recv() ([]byte, error) {
+	buf, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	host, msg := unpackEnvelope(buf)
+	if host != "" {
+		c.mu.Lock()
+		c.peerHost = host
+		c.mu.Unlock()
+	}
+	return msg, nil
+}
+
+func (c *simServerConn) Send(msg []byte) error {
+	c.mu.Lock()
+	peer := c.peerHost
+	c.mu.Unlock()
+	if peer != "" {
+		preciseSleep(c.sim.model.Delay(c.localHost, peer, len(msg)))
+		c.sim.model.Record(c.localHost, peer, len(msg))
+	}
+	return c.Conn.Send(packEnvelope(c.localHost, msg))
+}
+
+func (c *simServerConn) LocalAddr() string { return c.localHost }
+
+func (c *simServerConn) RemoteAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.peerHost != "" {
+		return c.peerHost
+	}
+	return c.Conn.RemoteAddr()
+}

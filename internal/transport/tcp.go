@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is the real-network transport: length-prefixed message framing over
+// net.Conn. Addresses are standard "host:port" strings. Listen with port 0
+// picks a free port (query it via Listener.Addr).
+type TCP struct{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name implements Transport.
+func (*TCP) Name() string { return "tcp" }
+
+// Dial implements Transport.
+func (*TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(nc), nil
+}
+
+// Listen implements Transport.
+func (*TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+type tcpListener struct {
+	nl net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+// tcpConn frames messages as 4-byte big-endian length + payload.
+type tcpConn struct {
+	nc      net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	readBuf [4]byte
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	if t, ok := nc.(*net.TCPConn); ok {
+		// Memos are small request/response messages; Nagle hurts.
+		_ = t.SetNoDelay(true)
+	}
+	return &tcpConn{nc: nc}
+}
+
+func (c *tcpConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return ErrTooLarge
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(msg)
+	return err
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	if _, err := io.ReadFull(c.nc, c.readBuf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(c.readBuf[:])
+	if n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (c *tcpConn) Close() error       { return c.nc.Close() }
+func (c *tcpConn) LocalAddr() string  { return c.nc.LocalAddr().String() }
+func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

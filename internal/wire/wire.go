@@ -1,0 +1,322 @@
+// Package wire defines the request/response protocol spoken between
+// application processes, memo servers, and folder servers. One request
+// travels over one virtual connection (transport.Mux channel); blocking
+// operations simply leave the response pending while the folder server's
+// thread waits.
+//
+// The encoding reuses the varint conventions of the transferable codec but
+// is deliberately separate: protocol control information is not application
+// data (Fig. 1 distinguishes "Data" from "Control info").
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/symbol"
+)
+
+// Op identifies a request type.
+type Op byte
+
+// Request operations. The first seven mirror the §6.1.2 API; Register
+// implements §4.4; Watch supports cross-server get_alt; Ping is for health
+// checks and tests.
+const (
+	OpInvalid Op = iota
+	OpPut
+	OpPutDelayed
+	OpGet
+	OpGetCopy
+	OpGetSkip
+	OpAltTake
+	OpWatch
+	OpRegister
+	OpPing
+	// OpPump stores a program image on a target host, and OpFetch retrieves
+	// it — the §4.4 "pumping method to get [executables] to the appropriate
+	// remote host if NFS is not available", which the paper left as work in
+	// design. Both are host-addressed (Request.TargetHost) rather than
+	// folder-addressed.
+	OpPump
+	OpFetch
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpPutDelayed:
+		return "put_delayed"
+	case OpGet:
+		return "get"
+	case OpGetCopy:
+		return "get_copy"
+	case OpGetSkip:
+		return "get_skip"
+	case OpAltTake:
+		return "alt_take"
+	case OpWatch:
+		return "watch"
+	case OpRegister:
+		return "register"
+	case OpPing:
+		return "ping"
+	case OpPump:
+		return "pump"
+	case OpFetch:
+		return "fetch"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status codes a response.
+type Status byte
+
+// Response statuses.
+const (
+	StatusInvalid Status = iota
+	// StatusOK carries a successful result (payload may be empty for put).
+	StatusOK
+	// StatusEmpty reports get_skip/alt_skip finding no memo.
+	StatusEmpty
+	// StatusWake reports a Watch firing: a watched folder became non-empty.
+	StatusWake
+	// StatusErr carries an error message.
+	StatusErr
+)
+
+// Request is one operation sent toward a folder server.
+type Request struct {
+	Op  Op
+	App string
+	// FolderID is the placement-resolved target folder server.
+	FolderID int
+	// Hops counts memo-server forwards so far (diagnostics, E2).
+	Hops int
+	// Key is the primary folder key; Key2 is put_delayed's destination.
+	Key, Key2 symbol.Key
+	// Keys carries the alternatives for AltTake/Watch.
+	Keys []symbol.Key
+	// Payload is the encoded transferable for puts.
+	Payload []byte
+	// ADF carries the application description for Register.
+	ADF string
+	// Dir names a program (PROCESSES source directory) for Pump/Fetch.
+	Dir string
+	// TargetHost addresses host-directed operations (Pump/Fetch).
+	TargetHost string
+}
+
+// Response answers a Request.
+type Response struct {
+	Status Status
+	// Key reports which folder satisfied an AltTake/Watch.
+	Key symbol.Key
+	// Payload is the encoded transferable for gets.
+	Payload []byte
+	// Err is the message accompanying StatusErr.
+	Err string
+}
+
+// Errors returned by decoding.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) byte(b byte)  { w.buf = append(w.buf, b) }
+func (w *writer) str(s string) { w.u64(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *writer) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) key(k symbol.Key) {
+	w.u64(uint64(k.S))
+	w.u64(uint64(len(k.X)))
+	for _, x := range k.X {
+		w.u64(uint64(x))
+	}
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = ErrTruncated
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.err = ErrTruncated
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)-r.pos) < n {
+		r.err = ErrTruncated
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)-r.pos) < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return b
+}
+
+func (r *reader) key() symbol.Key {
+	s := r.u64()
+	n := r.u64()
+	if r.err != nil {
+		return symbol.Key{}
+	}
+	if n > uint64(len(r.buf)-r.pos) { // each element ≥ 1 byte
+		r.err = ErrTruncated
+		return symbol.Key{}
+	}
+	k := symbol.Key{S: symbol.Symbol(s)}
+	if n > 0 {
+		k.X = make([]uint32, n)
+		for i := range k.X {
+			k.X[i] = uint32(r.u64())
+		}
+	}
+	return k
+}
+
+// EncodeRequest serializes a request.
+func EncodeRequest(q *Request) []byte {
+	w := &writer{buf: make([]byte, 0, 64+len(q.Payload))}
+	w.byte(byte(q.Op))
+	w.str(q.App)
+	w.u64(uint64(q.FolderID))
+	w.u64(uint64(q.Hops))
+	w.key(q.Key)
+	w.key(q.Key2)
+	w.u64(uint64(len(q.Keys)))
+	for _, k := range q.Keys {
+		w.key(k)
+	}
+	w.bytes(q.Payload)
+	w.str(q.ADF)
+	w.str(q.Dir)
+	w.str(q.TargetHost)
+	return w.buf
+}
+
+// DecodeRequest parses a request.
+func DecodeRequest(buf []byte) (*Request, error) {
+	r := &reader{buf: buf}
+	q := &Request{}
+	q.Op = Op(r.byte())
+	q.App = r.str()
+	q.FolderID = int(r.u64())
+	q.Hops = int(r.u64())
+	q.Key = r.key()
+	q.Key2 = r.key()
+	nk := r.u64()
+	if r.err == nil && nk > uint64(len(buf)) {
+		r.err = ErrTruncated
+	}
+	if r.err == nil && nk > 0 {
+		q.Keys = make([]symbol.Key, nk)
+		for i := range q.Keys {
+			q.Keys[i] = r.key()
+		}
+	}
+	q.Payload = r.bytes()
+	q.ADF = r.str()
+	q.Dir = r.str()
+	q.TargetHost = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in request", len(buf)-r.pos)
+	}
+	if q.Op == OpInvalid || q.Op > OpFetch {
+		return nil, fmt.Errorf("wire: invalid op %d", q.Op)
+	}
+	return q, nil
+}
+
+// EncodeResponse serializes a response.
+func EncodeResponse(p *Response) []byte {
+	w := &writer{buf: make([]byte, 0, 32+len(p.Payload))}
+	w.byte(byte(p.Status))
+	w.key(p.Key)
+	w.bytes(p.Payload)
+	w.str(p.Err)
+	return w.buf
+}
+
+// DecodeResponse parses a response.
+func DecodeResponse(buf []byte) (*Response, error) {
+	r := &reader{buf: buf}
+	p := &Response{}
+	p.Status = Status(r.byte())
+	p.Key = r.key()
+	p.Payload = r.bytes()
+	p.Err = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in response", len(buf)-r.pos)
+	}
+	if p.Status == StatusInvalid || p.Status > StatusErr {
+		return nil, fmt.Errorf("wire: invalid status %d", p.Status)
+	}
+	return p, nil
+}
+
+// OK is the canonical success response for value-less operations.
+func OK() *Response { return &Response{Status: StatusOK} }
+
+// Errf builds an error response.
+func Errf(format string, args ...any) *Response {
+	return &Response{Status: StatusErr, Err: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/symbol"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	q := &Request{
+		Op:       OpPutDelayed,
+		App:      "invert",
+		FolderID: 7,
+		Hops:     2,
+		Key:      symbol.K(5, 1, 2),
+		Key2:     symbol.K(6),
+		Keys:     []symbol.Key{symbol.K(8, 9), symbol.K(10)},
+		Payload:  []byte{1, 2, 3},
+		ADF:      "APP x",
+	}
+	got, err := DecodeRequest(EncodeRequest(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != q.Op || got.App != q.App || got.FolderID != q.FolderID || got.Hops != q.Hops {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.Key.Equal(q.Key) || !got.Key2.Equal(q.Key2) {
+		t.Fatal("keys mismatch")
+	}
+	if len(got.Keys) != 2 || !got.Keys[0].Equal(q.Keys[0]) || !got.Keys[1].Equal(q.Keys[1]) {
+		t.Fatalf("alt keys mismatch: %v", got.Keys)
+	}
+	if string(got.Payload) != string(q.Payload) || got.ADF != q.ADF {
+		t.Fatal("payload/adf mismatch")
+	}
+}
+
+func TestMinimalRequest(t *testing.T) {
+	q := &Request{Op: OpPing}
+	got, err := DecodeRequest(EncodeRequest(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpPing || got.Keys != nil || got.Payload != nil {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	p := &Response{Status: StatusWake, Key: symbol.K(3, 4), Payload: []byte("xyz"), Err: "nope"}
+	got, err := DecodeResponse(EncodeResponse(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != p.Status || !got.Key.Equal(p.Key) || string(got.Payload) != "xyz" || got.Err != "nope" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	full := EncodeRequest(&Request{
+		Op: OpPut, App: "a", Key: symbol.K(1, 2), Payload: []byte("data"),
+	})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeRequest(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeResponseTruncated(t *testing.T) {
+	full := EncodeResponse(&Response{Status: StatusOK, Key: symbol.K(1), Payload: []byte("p")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeResponse(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestInvalidOpRejected(t *testing.T) {
+	buf := EncodeRequest(&Request{Op: OpPing})
+	buf[0] = 200
+	if _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	buf[0] = 0
+	if _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("zero op accepted")
+	}
+}
+
+func TestInvalidStatusRejected(t *testing.T) {
+	buf := EncodeResponse(OK())
+	buf[0] = 99
+	if _, err := DecodeResponse(buf); err == nil {
+		t.Fatal("invalid status accepted")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	if _, err := DecodeRequest(append(EncodeRequest(&Request{Op: OpPing}), 0)); err == nil {
+		t.Fatal("trailing request bytes accepted")
+	}
+	if _, err := DecodeResponse(append(EncodeResponse(OK()), 0)); err == nil {
+		t.Fatal("trailing response bytes accepted")
+	}
+}
+
+func TestHostileKeyCount(t *testing.T) {
+	// Craft a request claiming 2^50 alt keys.
+	w := &writer{}
+	w.byte(byte(OpAltTake))
+	w.str("app")
+	w.u64(0)
+	w.u64(0)
+	w.key(symbol.Key{})
+	w.key(symbol.Key{})
+	w.u64(1 << 50) // hostile count
+	if _, err := DecodeRequest(w.buf); err == nil {
+		t.Fatal("hostile key count accepted")
+	}
+}
+
+func TestErrf(t *testing.T) {
+	p := Errf("folder %d missing", 3)
+	if p.Status != StatusErr || p.Err != "folder 3 missing" {
+		t.Fatalf("%+v", p)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpPut; op <= OpFetch; op++ {
+		if s := op.String(); s == "" || s[0] == 'o' && s[1] == 'p' && s[2] == '(' {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	if Op(99).String() != "op(99)" {
+		t.Fatal("unknown op string")
+	}
+}
+
+// Property: requests with arbitrary string/byte content round-trip.
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(app string, sym uint64, xs []uint32, payload []byte, adf string) bool {
+		q := &Request{
+			Op:      OpPut,
+			App:     app,
+			Key:     symbol.Key{S: symbol.Symbol(sym), X: xs},
+			Payload: payload,
+			ADF:     adf,
+		}
+		got, err := DecodeRequest(EncodeRequest(q))
+		if err != nil {
+			return false
+		}
+		return got.App == app && got.Key.Equal(q.Key) &&
+			string(got.Payload) == string(payload) && got.ADF == adf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeRequest(b *testing.B) {
+	q := &Request{Op: OpPut, App: "invert", Key: symbol.K(5, 1, 2), Payload: make([]byte, 256)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeRequest(q)
+	}
+}
+
+func BenchmarkDecodeRequest(b *testing.B) {
+	buf := EncodeRequest(&Request{Op: OpPut, App: "invert", Key: symbol.K(5, 1, 2), Payload: make([]byte, 256)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRequest(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
