@@ -26,6 +26,7 @@ func main() {
 	arena := flag.Int("arena", 0, "shared-memory arena size in bytes (0 = heap)")
 	arch := flag.String("arch", "sun4", "architecture name selecting the shared-memory protocol")
 	noCache := flag.Bool("no-thread-cache", false, "disable thread caching (E1 ablation)")
+	shards := flag.Int("shards", 0, "store lock-stripe count, rounded up to a power of two (0 = default)")
 	flag.Parse()
 
 	if *host == "" {
@@ -35,6 +36,9 @@ func main() {
 	var opts []folder.Option
 	if *arena > 0 {
 		opts = append(opts, folder.WithArena(sharedmem.New(*arch, *arena)))
+	}
+	if *shards > 0 {
+		opts = append(opts, folder.WithShards(*shards))
 	}
 	store := folder.NewStore(opts...)
 	srv := folder.NewServer(*id, *host, store, threadcache.Config{Disable: *noCache})

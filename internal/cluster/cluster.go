@@ -42,6 +42,9 @@ type Options struct {
 	// Arena, when positive, backs each folder server's memos with a
 	// shared-memory arena of that many bytes.
 	Arena int
+	// FolderShards overrides the lock-stripe count of each folder
+	// server's store (0 = folder.DefaultShards).
+	FolderShards int
 }
 
 // Cluster is a running simulated network.
@@ -97,10 +100,11 @@ func Boot(f *adf.File, opts Options) (*Cluster, error) {
 	}
 	for _, h := range f.Hosts {
 		n := memoserver.New(h.Name, sim, memoserver.Config{
-			Cache:       opts.Cache,
-			FolderCache: opts.FolderCache,
-			Lambda:      opts.Lambda,
-			Arena:       opts.Arena,
+			Cache:        opts.Cache,
+			FolderCache:  opts.FolderCache,
+			Lambda:       opts.Lambda,
+			Arena:        opts.Arena,
+			FolderShards: opts.FolderShards,
 		})
 		if err := n.Start(); err != nil {
 			c.Shutdown()

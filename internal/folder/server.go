@@ -75,18 +75,13 @@ func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpAltTake:
-		if len(q.Keys) == 0 {
-			return wire.Errf("alt_take: no keys")
-		}
+		// Empty key sets fail fast inside the store (ErrNoKeys).
 		k, payload, err := s.store.AltTake(q.Keys, cancel)
 		if err != nil {
 			return wire.Errf("alt_take: %v", err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: k, Payload: payload}
 	case wire.OpWatch:
-		if len(q.Keys) == 0 {
-			return wire.Errf("watch: no keys")
-		}
 		k, err := s.store.Watch(q.Keys, cancel)
 		if err != nil {
 			return wire.Errf("watch: %v", err)

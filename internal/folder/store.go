@@ -7,10 +7,19 @@
 // order, block getters until memos arrive, hold put_delayed values invisibly
 // until a trigger memo lands, and vanish when they empty out. Server wraps a
 // Store with the wire protocol and a thread cache.
+//
+// The directory is lock-striped: folders are hashed onto a fixed set of
+// shards, each with its own mutex and extraction rng, so operations on
+// distinct folders proceed in parallel. Multi-folder operations (AltTake,
+// AltSkip, Watch) visit the shards one at a time — never holding two shard
+// locks at once — registering a single shared waiter channel per shard so a
+// Put on any involved folder wakes the blocked caller.
 package folder
 
 import (
+	"cmp"
 	"errors"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -21,24 +30,37 @@ import (
 // ErrCanceled reports a blocking operation abandoned by the caller.
 var ErrCanceled = errors.New("folder: operation canceled")
 
+// ErrNoKeys reports a multi-folder operation (AltTake, Watch) invoked with
+// an empty key set: there is no folder that could ever satisfy it.
+var ErrNoKeys = errors.New("folder: empty key set")
+
 // ForwardFunc delivers a put_delayed release whose destination folder may
-// live on a different folder server. The Store calls it outside its lock.
+// live on a different folder server. The Store calls it outside its locks.
 type ForwardFunc func(dest symbol.Key, payload []byte)
+
+// DefaultShards is the shard count used when WithShards is not given. A
+// power of two comfortably above typical core counts: striping is cheap and
+// more stripes only help under contention.
+const DefaultShards = 32
 
 // Store is one folder server's directory of unordered queues. All methods
 // are safe for concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	folders map[string]*fold
-	rng     uint64 // xorshift state for unordered extraction
+	shards []shard
+	mask   uint64 // len(shards)-1; len is a power of two
 
-	// Forward handles cross-server put_delayed releases. When nil,
+	// altSeq seeds the scan rotation of multi-shard operations so no
+	// shard or folder is systematically favoured. Advanced atomically;
+	// shared state on a path that is otherwise lock-striped.
+	altSeq atomic.Uint64
+
+	// forward handles cross-server put_delayed releases. When nil,
 	// releases are delivered locally.
 	forward ForwardFunc
 
 	// arena optionally holds memo payloads in the host's shared memory
 	// (Fig. 1's shared-memory abstraction). Nil keeps payloads on the
-	// Go heap.
+	// Go heap. The arena carries its own lock.
 	arena sharedmem.SharedMemory
 
 	puts      atomic.Int64
@@ -46,6 +68,16 @@ type Store struct {
 	copies    atomic.Int64
 	delayedIn atomic.Int64
 	released  atomic.Int64
+}
+
+// shard is one stripe of the directory: a mutex, the folders hashed onto
+// this stripe, and an extraction rng (per-shard so nextRand never contends
+// across stripes). Padded so adjacent shards do not share a cache line.
+type shard struct {
+	mu      sync.Mutex
+	folders map[string]*fold
+	rng     uint64 // xorshift state for unordered extraction
+	_       [104]byte
 }
 
 // fold is a single folder.
@@ -79,48 +111,119 @@ func WithArena(a sharedmem.SharedMemory) Option {
 	return func(s *Store) { s.arena = a }
 }
 
+// MaxShards caps the stripe count: far beyond any useful striping, and it
+// keeps the power-of-two rounding below from overflowing on absurd input.
+const MaxShards = 1 << 16
+
+// WithShards sets the stripe count, rounded up to a power of two and
+// clamped to [1, MaxShards]. One shard reproduces the historical
+// single-mutex store (useful as a contention baseline).
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		if n > MaxShards {
+			n = MaxShards
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		s.shards = make([]shard, p)
+		s.mask = uint64(p - 1)
+	}
+}
+
 // NewStore returns an empty directory.
 func NewStore(opts ...Option) *Store {
-	s := &Store{
-		folders: make(map[string]*fold),
-		rng:     0x9E3779B97F4A7C15, // fixed seed: deterministic, still unordered
-	}
+	s := &Store{}
+	WithShards(DefaultShards)(s)
 	for _, o := range opts {
 		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i].folders = make(map[string]*fold)
+		// Fixed per-shard seeds: deterministic, still unordered, never
+		// zero (xorshift sticks at zero).
+		s.shards[i].rng = mix64(0x9E3779B97F4A7C15 * uint64(i+1))
 	}
 	return s
 }
 
-// xorshift64 advances the extraction sequence. Caller holds s.mu.
-func (s *Store) nextRand() uint64 {
-	x := s.rng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	s.rng = x
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed scrambler.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
 	return x
 }
 
-// getFold returns the folder, creating it on demand. Caller holds s.mu.
-func (s *Store) getFold(canon string) *fold {
-	f, ok := s.folders[canon]
+// shardIndex maps a key onto a stripe. Key.Hash is a pure function of the
+// same (S, X) content that Canon renders, so keys naming the same folder
+// always land on the same shard.
+func (s *Store) shardIndex(key symbol.Key) uint64 {
+	return key.Hash() & s.mask
+}
+
+func (s *Store) shardFor(key symbol.Key) *shard {
+	return &s.shards[s.shardIndex(key)]
+}
+
+// nextSeq advances the rotation used to pick a starting shard for
+// multi-folder scans.
+func (s *Store) nextSeq() uint64 {
+	return mix64(s.altSeq.Add(0x9E3779B97F4A7C15))
+}
+
+// nextRand advances the shard's extraction sequence. Caller holds sh.mu.
+func (sh *shard) nextRand() uint64 {
+	x := sh.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	sh.rng = x
+	return x
+}
+
+// getFold returns the folder, creating it on demand. Caller holds sh.mu.
+func (sh *shard) getFold(canon string) *fold {
+	f, ok := sh.folders[canon]
 	if !ok {
 		f = &fold{}
-		s.folders[canon] = f
+		sh.folders[canon] = f
 	}
 	return f
 }
 
 // gcFold removes the folder if it is completely inert: no memos, no hidden
 // delayed values, no waiters ("The folder will vanish once the memo is
-// removed"). Caller holds s.mu.
-func (s *Store) gcFold(canon string, f *fold) {
+// removed"). Caller holds sh.mu.
+func (sh *shard) gcFold(canon string, f *fold) {
 	if len(f.items) == 0 && len(f.delayed) == 0 && len(f.waiters) == 0 {
-		delete(s.folders, canon)
+		delete(sh.folders, canon)
 	}
 }
 
-// wrap copies payload into the arena when configured.
+// takeLocked removes a pseudo-random item from f. Caller holds sh.mu and
+// guarantees f has items.
+func (sh *shard) takeLocked(f *fold) item {
+	i := int(sh.nextRand() % uint64(len(f.items)))
+	it := f.items[i]
+	last := len(f.items) - 1
+	f.items[i] = f.items[last]
+	f.items[last] = item{}
+	f.items = f.items[:last]
+	return it
+}
+
+// wrap copies payload into the arena when configured. The arena has its own
+// lock; wrap is called outside any shard lock.
 func (s *Store) wrap(payload []byte) item {
 	if s.arena != nil {
 		if seg, err := s.arena.Alloc(max(len(payload), 1)); err == nil {
@@ -154,14 +257,16 @@ func unwrapCopy(it item) []byte {
 // Put deposits a memo and releases any delayed values hidden in the folder.
 func (s *Store) Put(key symbol.Key, payload []byte) {
 	canon := key.Canon()
-	s.mu.Lock()
-	f := s.getFold(canon)
-	f.items = append(f.items, s.wrap(payload))
+	it := s.wrap(payload)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	f := sh.getFold(canon)
+	f.items = append(f.items, it)
 	released := f.delayed
 	f.delayed = nil
 	waiters := f.waiters
 	f.waiters = nil
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	s.puts.Add(1)
 	for _, w := range waiters {
@@ -190,47 +295,38 @@ func (s *Store) Put(key symbol.Key, payload []byte) {
 // from trigger.
 func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) {
 	canon := trigger.Canon()
-	s.mu.Lock()
-	f := s.getFold(canon)
-	f.delayed = append(f.delayed, delayedEntry{val: s.wrap(payload), dest: dest.Clone()})
-	s.mu.Unlock()
+	it := s.wrap(payload)
+	sh := s.shardFor(trigger)
+	sh.mu.Lock()
+	f := sh.getFold(canon)
+	f.delayed = append(f.delayed, delayedEntry{val: it, dest: dest.Clone()})
+	sh.mu.Unlock()
 	s.delayedIn.Add(1)
-}
-
-// takeLocked removes a pseudo-random item from f. Caller holds s.mu and
-// guarantees f has items.
-func (s *Store) takeLocked(f *fold) item {
-	i := int(s.nextRand() % uint64(len(f.items)))
-	it := f.items[i]
-	last := len(f.items) - 1
-	f.items[i] = f.items[last]
-	f.items[last] = item{}
-	f.items = f.items[:last]
-	return it
 }
 
 // Get removes and returns a memo, blocking until one is available or cancel
 // is closed.
 func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 	canon := key.Canon()
+	sh := s.shardFor(key)
 	for {
-		s.mu.Lock()
-		f := s.getFold(canon)
+		sh.mu.Lock()
+		f := sh.getFold(canon)
 		if len(f.items) > 0 {
-			it := s.takeLocked(f)
-			s.gcFold(canon, f)
-			s.mu.Unlock()
+			it := sh.takeLocked(f)
+			sh.gcFold(canon, f)
+			sh.mu.Unlock()
 			s.takes.Add(1)
 			return s.unwrapTake(it), nil
 		}
 		w := make(chan struct{}, 1)
 		f.waiters = append(f.waiters, w)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		select {
 		case <-w:
 			// Signalled; loop and race for the item.
 		case <-cancel:
-			s.dropWaiter(canon, w)
+			dropWaiter(sh, canon, w)
 			return nil, ErrCanceled
 		}
 	}
@@ -240,23 +336,24 @@ func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 // is available.
 func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 	canon := key.Canon()
+	sh := s.shardFor(key)
 	for {
-		s.mu.Lock()
-		f := s.getFold(canon)
+		sh.mu.Lock()
+		f := sh.getFold(canon)
 		if len(f.items) > 0 {
-			i := int(s.nextRand() % uint64(len(f.items)))
+			i := int(sh.nextRand() % uint64(len(f.items)))
 			out := unwrapCopy(f.items[i])
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			s.copies.Add(1)
 			return out, nil
 		}
 		w := make(chan struct{}, 1)
 		f.waiters = append(f.waiters, w)
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		select {
 		case <-w:
 		case <-cancel:
-			s.dropWaiter(canon, w)
+			dropWaiter(sh, canon, w)
 			return nil, ErrCanceled
 		}
 	}
@@ -265,170 +362,265 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 // GetSkip removes and returns a memo if one is present.
 func (s *Store) GetSkip(key symbol.Key) ([]byte, bool) {
 	canon := key.Canon()
-	s.mu.Lock()
-	f, ok := s.folders[canon]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	f, ok := sh.folders[canon]
 	if !ok || len(f.items) == 0 {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, false
 	}
-	it := s.takeLocked(f)
-	s.gcFold(canon, f)
-	s.mu.Unlock()
+	it := sh.takeLocked(f)
+	sh.gcFold(canon, f)
+	sh.mu.Unlock()
 	s.takes.Add(1)
 	return s.unwrapTake(it), true
 }
 
-// AltTake removes a memo from any of the given folders, blocking until one
-// is available. Among simultaneously eligible folders the choice is
-// nondeterministic (§6.1.2 get_alt). Returns the satisfied key.
-func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+// altGroup is the slice of a multi-folder key set that lives on one shard:
+// the shard plus indices into the caller's keys/canons.
+type altGroup struct {
+	sh   *shard
+	idxs []int
+}
+
+// groupByShard buckets keys by shard, in ascending shard order (a
+// deterministic scan order; locks are only ever taken one at a time).
+// Groups share one sorted index slice instead of a map to keep the
+// get_alt/watch hot path light on allocations.
+func (s *Store) groupByShard(keys []symbol.Key) []altGroup {
+	shardOf := make([]uint64, len(keys))
+	idxs := make([]int, len(keys))
+	for i, k := range keys {
+		shardOf[i] = s.shardIndex(k)
+		idxs[i] = i
+	}
+	slices.SortFunc(idxs, func(a, b int) int {
+		return cmp.Compare(shardOf[a], shardOf[b])
+	})
+	var groups []altGroup
+	for start := 0; start < len(idxs); {
+		si := shardOf[idxs[start]]
+		end := start + 1
+		for end < len(idxs) && shardOf[idxs[end]] == si {
+			end++
+		}
+		groups = append(groups, altGroup{sh: &s.shards[si], idxs: idxs[start:end]})
+		start = end
+	}
+	return groups
+}
+
+func canonsOf(keys []symbol.Key) []string {
 	canons := make([]string, len(keys))
 	for i, k := range keys {
 		canons[i] = k.Canon()
 	}
+	return canons
+}
+
+// awaitGroups is the blocking skeleton shared by AltTake and Watch: one
+// pass over the shards, one lock at a time, calling visit with the shard
+// lock held. If visit returns a key index the pass stops; otherwise the
+// shared waiter w is left behind on every folder of the shard before
+// moving on, so a Put that lands on an already-visited shard finds w
+// registered there and no wakeup is lost. Blocks until visit succeeds or
+// cancel closes.
+func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan struct{}, visit func(g altGroup) int) (int, error) {
 	for {
-		s.mu.Lock()
-		// Start the scan at a pseudo-random offset so no folder is
-		// systematically favoured.
-		off := int(s.nextRand() % uint64(len(keys)))
-		for j := range keys {
-			idx := (off + j) % len(keys)
-			f, ok := s.folders[canons[idx]]
-			if ok && len(f.items) > 0 {
-				it := s.takeLocked(f)
-				s.gcFold(canons[idx], f)
-				s.mu.Unlock()
-				s.takes.Add(1)
-				return keys[idx], s.unwrapTake(it), nil
-			}
-		}
 		w := make(chan struct{}, 1)
-		for _, c := range canons {
-			f := s.getFold(c)
-			f.waiters = append(f.waiters, w)
+		start := int(s.nextSeq() % uint64(len(groups)))
+		found := -1
+		registered := false
+		for gi := range groups {
+			g := groups[(start+gi)%len(groups)]
+			g.sh.mu.Lock()
+			found = visit(g)
+			if found < 0 {
+				for _, idx := range g.idxs {
+					f := g.sh.getFold(canons[idx])
+					f.waiters = append(f.waiters, w)
+				}
+			}
+			g.sh.mu.Unlock()
+			if found >= 0 {
+				break
+			}
+			registered = true
 		}
-		s.mu.Unlock()
+		if found >= 0 {
+			if registered {
+				s.dropWaiterGroups(groups, canons, w)
+			}
+			return found, nil
+		}
 		select {
 		case <-w:
-			s.dropWaiterAll(canons, w)
+			s.dropWaiterGroups(groups, canons, w)
 		case <-cancel:
-			s.dropWaiterAll(canons, w)
-			return symbol.Key{}, nil, ErrCanceled
+			s.dropWaiterGroups(groups, canons, w)
+			return -1, ErrCanceled
 		}
 	}
 }
 
-// AltSkip removes a memo from any of the folders without blocking.
-func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool) {
-	s.mu.Lock()
-	off := 0
-	if len(keys) > 0 {
-		off = int(s.nextRand() % uint64(len(keys)))
+// AltTake removes a memo from any of the given folders, blocking until one
+// is available. Among simultaneously eligible folders the choice is
+// nondeterministic (§6.1.2 get_alt). Returns the satisfied key. An empty
+// key set fails immediately with ErrNoKeys.
+func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+	if len(keys) == 0 {
+		return symbol.Key{}, nil, ErrNoKeys
 	}
-	for j := range keys {
-		idx := (off + j) % len(keys)
-		canon := keys[idx].Canon()
-		f, ok := s.folders[canon]
-		if ok && len(f.items) > 0 {
-			it := s.takeLocked(f)
-			s.gcFold(canon, f)
-			s.mu.Unlock()
-			s.takes.Add(1)
-			return keys[idx], s.unwrapTake(it), true
+	canons := canonsOf(keys)
+	groups := s.groupByShard(keys)
+	var it item
+	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
+		for j := range g.idxs {
+			idx := g.idxs[(off+j)%len(g.idxs)]
+			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
+				it = g.sh.takeLocked(f)
+				g.sh.gcFold(canons[idx], f)
+				return idx
+			}
 		}
+		return -1
+	})
+	if err != nil {
+		return symbol.Key{}, nil, err
 	}
-	s.mu.Unlock()
+	s.takes.Add(1)
+	return keys[found], s.unwrapTake(it), nil
+}
+
+// AltSkip removes a memo from any of the folders without blocking. The scan
+// visits shards one at a time, so concurrent mutation between shards may be
+// observed — same as the cross-server get_alt_skip built above this.
+func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool) {
+	if len(keys) == 0 {
+		return symbol.Key{}, nil, false
+	}
+	canons := canonsOf(keys)
+	groups := s.groupByShard(keys)
+	start := int(s.nextSeq() % uint64(len(groups)))
+	for gi := range groups {
+		g := groups[(start+gi)%len(groups)]
+		g.sh.mu.Lock()
+		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
+		for j := range g.idxs {
+			idx := g.idxs[(off+j)%len(g.idxs)]
+			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
+				it := g.sh.takeLocked(f)
+				g.sh.gcFold(canons[idx], f)
+				g.sh.mu.Unlock()
+				s.takes.Add(1)
+				return keys[idx], s.unwrapTake(it), true
+			}
+		}
+		g.sh.mu.Unlock()
+	}
 	return symbol.Key{}, nil, false
 }
 
 // Watch blocks until any of the folders is non-empty, without consuming.
 // It returns the key observed non-empty. Cross-server get_alt is built from
-// per-server Watches plus retry (see the core package).
+// per-server Watches plus retry (see the core package). An empty key set
+// fails immediately with ErrNoKeys.
 func (s *Store) Watch(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, error) {
-	canons := make([]string, len(keys))
-	for i, k := range keys {
-		canons[i] = k.Canon()
+	if len(keys) == 0 {
+		return symbol.Key{}, ErrNoKeys
 	}
-	for {
-		s.mu.Lock()
-		for i, c := range canons {
-			if f, ok := s.folders[c]; ok && len(f.items) > 0 {
-				s.mu.Unlock()
-				return keys[i], nil
+	canons := canonsOf(keys)
+	groups := s.groupByShard(keys)
+	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+		for _, idx := range g.idxs {
+			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
+				return idx
 			}
 		}
-		w := make(chan struct{}, 1)
-		for _, c := range canons {
-			f := s.getFold(c)
-			f.waiters = append(f.waiters, w)
-		}
-		s.mu.Unlock()
-		select {
-		case <-w:
-			s.dropWaiterAll(canons, w)
-		case <-cancel:
-			s.dropWaiterAll(canons, w)
-			return symbol.Key{}, ErrCanceled
-		}
+		return -1
+	})
+	if err != nil {
+		return symbol.Key{}, err
 	}
+	return keys[found], nil
 }
 
 // dropWaiter removes w from one folder's waiter list (after cancel).
-func (s *Store) dropWaiter(canon string, w chan struct{}) {
-	s.mu.Lock()
-	if f, ok := s.folders[canon]; ok {
-		for i, x := range f.waiters {
-			if x == w {
-				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
-				break
-			}
-		}
-		s.gcFold(canon, f)
+func dropWaiter(sh *shard, canon string, w chan struct{}) {
+	sh.mu.Lock()
+	if f, ok := sh.folders[canon]; ok {
+		dropWaiterFrom(f, w)
+		sh.gcFold(canon, f)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-func (s *Store) dropWaiterAll(canons []string, w chan struct{}) {
-	s.mu.Lock()
-	for _, c := range canons {
-		if f, ok := s.folders[c]; ok {
-			for i, x := range f.waiters {
-				if x == w {
-					f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
-					break
-				}
+// dropWaiterGroups removes w wherever it is still registered, one shard at
+// a time. Groups that never saw a registration are scanned harmlessly.
+func (s *Store) dropWaiterGroups(groups []altGroup, canons []string, w chan struct{}) {
+	for _, g := range groups {
+		g.sh.mu.Lock()
+		for _, idx := range g.idxs {
+			if f, ok := g.sh.folders[canons[idx]]; ok {
+				dropWaiterFrom(f, w)
+				g.sh.gcFold(canons[idx], f)
 			}
-			s.gcFold(c, f)
+		}
+		g.sh.mu.Unlock()
+	}
+}
+
+// dropWaiterFrom removes w from f's waiter list if present. Caller holds
+// the shard lock.
+func dropWaiterFrom(f *fold, w chan struct{}) {
+	for i, x := range f.waiters {
+		if x == w {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
 		}
 	}
-	s.mu.Unlock()
 }
+
+// ShardCount reports the number of stripes (for diagnostics and tests).
+func (s *Store) ShardCount() int { return len(s.shards) }
 
 // MemoCount reports the number of visible memos across all folders.
 func (s *Store) MemoCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, f := range s.folders {
-		n += len(f.items)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.folders {
+			n += len(f.items)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // FolderCount reports the number of existing (non-vanished) folders.
 func (s *Store) FolderCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.folders)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.folders)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // DelayedCount reports hidden values awaiting triggers.
 func (s *Store) DelayedCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, f := range s.folders {
-		n += len(f.delayed)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.folders {
+			n += len(f.delayed)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }

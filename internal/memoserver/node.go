@@ -85,6 +85,9 @@ type Config struct {
 	// Arena, when positive, allocates a shared-memory arena of that many
 	// bytes per folder server for memo payloads.
 	Arena int
+	// FolderShards overrides the lock-stripe count of folder-server
+	// stores this node creates at registration (0 = folder.DefaultShards).
+	FolderShards int
 }
 
 // Node is one host's memo server.
@@ -297,6 +300,9 @@ func (n *Node) RegisterApp(f *adf.File) error {
 		if n.cfg.Arena > 0 {
 			host, _ := f.HostByName(n.Host)
 			opts = append(opts, folder.WithArena(sharedmem.New(host.Arch, n.cfg.Arena)))
+		}
+		if n.cfg.FolderShards > 0 {
+			opts = append(opts, folder.WithShards(n.cfg.FolderShards))
 		}
 		store := folder.NewStore(opts...)
 		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache)
