@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment in DESIGN.md §4 (E1–E10) as
+// Benchmarks regenerating every experiment in DESIGN.md §4 (E1–E11) as
 // testing.B targets. Each BenchmarkEn measures the code path behind the
 // corresponding table; `go run ./cmd/dmemo-bench` prints the tables
 // themselves. The paper has no numeric tables — these benches quantify its
@@ -7,6 +7,8 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/linda"
 	"repro/internal/lucid"
 	"repro/internal/mdc"
+	"repro/internal/rpc"
 	"repro/internal/symbol"
 	"repro/internal/threadcache"
 	"repro/internal/transferable"
@@ -471,4 +474,61 @@ func BenchmarkE10Languages(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE11Batching measures remote put+get round trips with concurrent
+// callers sharing one client connection, rpc batching on vs off (§3.1.1
+// amortization; the rpc-layer microbenchmark is
+// BenchmarkRPCBatchedRoundTrip in internal/rpc).
+func BenchmarkE11Batching(b *testing.B) {
+	const adfText = `APP bench11
+HOSTS
+cli 1 sun4 1
+srv 1 sun4 1
+FOLDERS
+0 srv
+PROCESSES
+0 boss cli
+PPC
+cli <-> srv 1
+`
+	for _, callers := range []int{1, 64} {
+		for _, mode := range []struct {
+			name string
+			pol  rpc.Policy
+		}{{"unbatched", rpc.Policy{MaxCount: 1}}, {"batched", rpc.Policy{}}} {
+			b.Run(fmt.Sprintf("callers-%d/%s", callers, mode.name), func(b *testing.B) {
+				c := bootB(b, adfText, cluster.Options{
+					BaseLatency: 100 * time.Microsecond,
+					Batch:       mode.pol,
+				})
+				m := memoB(b, c, "cli")
+				payload := transferable.Int64(1)
+				k := m.NamedKey("warm")
+				m.Put(k, payload)
+				m.Get(k) // warm the forwarding path
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < callers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						kw := m.NamedKey("probe", uint32(w))
+						for next.Add(1) <= int64(b.N) {
+							if err := m.Put(kw, payload); err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := m.Get(kw); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
 }

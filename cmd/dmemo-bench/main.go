@@ -1,5 +1,5 @@
 // Command dmemo-bench regenerates the reproduction experiments (DESIGN.md
-// §4, E1–E10), printing one table per experiment.
+// §4, E1–E11), printing one table per experiment.
 //
 // Usage:
 //
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
-	exp := flag.String("exp", "", "run a single experiment by id (E1..E10)")
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E11)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/folder"
+	"repro/internal/rpc"
 	"repro/internal/sharedmem"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
@@ -27,6 +28,10 @@ func main() {
 	arch := flag.String("arch", "sun4", "architecture name selecting the shared-memory protocol")
 	noCache := flag.Bool("no-thread-cache", false, "disable thread caching (E1 ablation)")
 	shards := flag.Int("shards", 0, "store lock-stripe count, rounded up to a power of two (0 = default)")
+	batchMax := flag.Int("batch-max", 0, "max requests coalesced per rpc batch frame (0 = default 64; 1 disables batching)")
+	batchBytes := flag.Int("batch-bytes", 0, "max encoded bytes per rpc batch frame (0 = default 64KiB)")
+	batchLinger := flag.Duration("batch-linger", 0, "upper bound a queued response waits for batch companions (0 = default 100µs)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections silent for this long (0 = never; blocking waits keep connections silent)")
 	flag.Parse()
 
 	if *host == "" {
@@ -41,9 +46,13 @@ func main() {
 		opts = append(opts, folder.WithShards(*shards))
 	}
 	store := folder.NewStore(opts...)
-	srv := folder.NewServer(*id, *host, store, threadcache.Config{Disable: *noCache})
+	pol := rpc.Policy{MaxCount: *batchMax, MaxBytes: *batchBytes, Linger: *batchLinger}
+	srv := folder.NewServer(*id, *host, store, threadcache.Config{Disable: *noCache},
+		folder.WithBatchPolicy(pol))
 
-	l, err := transport.NewTCP().Listen(*listen)
+	tcp := transport.NewTCP()
+	tcp.IdleTimeout = *idleTimeout
+	l, err := tcp.Listen(*listen)
 	if err != nil {
 		log.Fatalf("folderserverd: %v", err)
 	}

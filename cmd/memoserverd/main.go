@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/memoserver"
+	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
 )
@@ -51,6 +52,10 @@ func main() {
 	peers := peerMap{}
 	flag.Var(peers, "peer", "logical-host=tcp-addr mapping (repeatable)")
 	noCache := flag.Bool("no-thread-cache", false, "disable thread caching (E1 ablation)")
+	batchMax := flag.Int("batch-max", 0, "max requests coalesced per rpc batch frame (0 = default 64; 1 disables batching)")
+	batchBytes := flag.Int("batch-bytes", 0, "max encoded bytes per rpc batch frame (0 = default 64KiB)")
+	batchLinger := flag.Duration("batch-linger", 0, "upper bound a queued request waits for batch companions (0 = default 100µs)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections silent for this long (0 = never; blocking waits keep connections silent)")
 	flag.Parse()
 
 	if *host == "" {
@@ -59,10 +64,12 @@ func main() {
 	}
 
 	tcp := transport.NewTCP()
+	tcp.IdleTimeout = *idleTimeout
 	node := memoserver.NewWithDialer(*host, &mappedTransport{inner: tcp, listen: *listen, peers: peers},
 		memoserver.Config{
 			Cache:       threadcache.Config{Disable: *noCache},
 			FolderCache: threadcache.Config{Disable: *noCache},
+			Batch:       rpc.Policy{MaxCount: *batchMax, MaxBytes: *batchBytes, Linger: *batchLinger},
 		})
 	if err := node.Start(); err != nil {
 		log.Fatalf("memoserverd: %v", err)

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one function per experiment in
-// DESIGN.md §4 (E1–E10), each returning a printable table reproducing a
+// DESIGN.md §4 (E1–E11), each returning a printable table reproducing a
 // figure or claim of the paper. cmd/dmemo-bench drives them from the
 // command line; the repository-root bench_test.go wraps them as testing.B
 // benchmarks.
@@ -111,6 +111,7 @@ func All() []Runner {
 		{"E8", "coordination structures", E8Structures},
 		{"E9", "transferable scaling", E9Transferable},
 		{"E10", "languages on the API", E10Languages},
+		{"E11", "rpc batching amortization", E11Batching},
 	}
 }
 

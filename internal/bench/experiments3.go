@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/transferable"
+)
+
+// E11Batching measures round-trip amortization by the rpc batching layer
+// (§3.1.1 "communication cost amortized over time"): concurrent small
+// requests from one host to a remote folder server coalesce into batch
+// frames on the shared memo-server peer link, so per-operation cost falls
+// as concurrency rises. The unbatched baseline (rpc.Policy{MaxCount: 1})
+// reproduces the pre-batching one-request-per-frame wire behaviour.
+func E11Batching(cfg Config) (*Table, error) {
+	const adfText = `APP e11
+HOSTS
+cli 1 sun4 1
+srv 1 sun4 1
+FOLDERS
+0 srv
+PROCESSES
+0 boss cli
+PPC
+cli <-> srv 1
+`
+	opsPerCaller := cfg.scale(30, 200)
+	latency := 100 * time.Microsecond
+
+	run := func(pol rpc.Policy, callers int) (time.Duration, error) {
+		c, err := cluster.BootADF(adfText, cluster.Options{
+			BaseLatency: latency,
+			Batch:       pol,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Shutdown()
+		m, err := c.NewMemo("cli")
+		if err != nil {
+			return 0, err
+		}
+		k := m.NamedKey("remote")
+		// Warm the forwarding path (peer dial, registration checks).
+		if err := m.Put(k, transferable.Int64(0)); err != nil {
+			return 0, err
+		}
+		if _, err := m.Get(k); err != nil {
+			return 0, err
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, callers)
+		start := time.Now()
+		for w := 0; w < callers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				kw := m.NamedKey("remote", uint32(w))
+				for i := 0; i < opsPerCaller; i++ {
+					if err := m.Put(kw, transferable.Int64(int64(i))); err != nil {
+						errc <- err
+						return
+					}
+					if _, err := m.Get(kw); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return 0, err
+		default:
+		}
+		return elapsed, nil
+	}
+
+	t := &Table{
+		ID:    "E11",
+		Title: "Round-trip amortization by rpc batching (§3.1.1)",
+		Claim: "coalescing concurrent small requests into batch frames amortizes per-message link cost; throughput rises with concurrency",
+		Columns: []string{
+			"concurrent callers", "ops", "unbatched us/op", "batched us/op", "speedup",
+		},
+	}
+	var speedupAtMax float64
+	var single float64 = 1
+	for _, callers := range []int{1, 8, 64} {
+		ops := 2 * opsPerCaller * callers // each loop iteration is a put + a get
+		un, err := run(rpc.Policy{MaxCount: 1}, callers)
+		if err != nil {
+			return nil, err
+		}
+		ba, err := run(rpc.Policy{}, callers)
+		if err != nil {
+			return nil, err
+		}
+		unOp := float64(un.Microseconds()) / float64(ops)
+		baOp := float64(ba.Microseconds()) / float64(ops)
+		speedup := unOp / baOp
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(callers), fmt.Sprint(ops), F(unOp), F(baOp), F(speedup),
+		})
+		speedupAtMax = speedup
+		if callers == 1 {
+			single = speedup
+		}
+	}
+	if speedupAtMax >= 1.5 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"shape holds: batching gives %.1fx ops/sec at 64 concurrent callers (%.2fx at 1 — no single-caller regression expected ~1x)",
+			speedupAtMax, single))
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"WARNING: batching speedup at 64 callers only %.2fx", speedupAtMax))
+	}
+	return t, nil
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/memoserver"
 	"repro/internal/placement"
 	"repro/internal/routing"
+	"repro/internal/rpc"
 	"repro/internal/symbol"
 	"repro/internal/threadcache"
 	"repro/internal/transferable"
@@ -45,6 +46,10 @@ type Options struct {
 	// FolderShards overrides the lock-stripe count of each folder
 	// server's store (0 = folder.DefaultShards).
 	FolderShards int
+	// Batch is the rpc flush policy used by every connection in the
+	// cluster — application clients, memo servers, and peer links (zero =
+	// rpc defaults; rpc.Policy{MaxCount: 1} disables coalescing).
+	Batch rpc.Policy
 }
 
 // Cluster is a running simulated network.
@@ -105,6 +110,7 @@ func Boot(f *adf.File, opts Options) (*Cluster, error) {
 			Lambda:       opts.Lambda,
 			Arena:        opts.Arena,
 			FolderShards: opts.FolderShards,
+			Batch:        opts.Batch,
 		})
 		if err := n.Start(); err != nil {
 			c.Shutdown()
@@ -160,7 +166,7 @@ func (c *Cluster) NewMemo(host string) (*core.Memo, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown host %s", host)
 	}
-	client, err := memoserver.DialClient(c.Sim.DialFrom, host, c.File.App)
+	client, err := memoserver.DialClientPolicy(c.Sim.DialFrom, host, c.File.App, c.opts.Batch)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package folder
 import (
 	"fmt"
 
+	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -20,17 +21,31 @@ type Server struct {
 
 	store *Store
 	pool  *threadcache.Pool
+	batch rpc.Policy
+}
+
+// ServerOption tunes a Server.
+type ServerOption func(*Server)
+
+// WithBatchPolicy sets the rpc flush policy for connections this server
+// answers (zero = rpc defaults).
+func WithBatchPolicy(p rpc.Policy) ServerOption {
+	return func(s *Server) { s.batch = p }
 }
 
 // NewServer wraps a store. cache configures the thread cache (§4.1); the
 // zero Config gives defaults, Config{Disable: true} is the E1 ablation.
-func NewServer(id int, host string, store *Store, cache threadcache.Config) *Server {
-	return &Server{
+func NewServer(id int, host string, store *Store, cache threadcache.Config, opts ...ServerOption) *Server {
+	s := &Server{
 		ID:    id,
 		Host:  host,
 		store: store,
 		pool:  threadcache.New(cache),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Store exposes the underlying directory (for stats and direct tests).
@@ -98,9 +113,12 @@ func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 // overhead").
 func (s *Server) Submit(task func()) error { return s.pool.Submit(task) }
 
-// Serve accepts connections on l and answers one request per virtual
-// connection until the listener closes. Used by cmd/folderserverd; in the
-// simulated cluster the memo server calls Handle directly.
+// Serve accepts connections on l and answers requests until the listener
+// closes. Used by cmd/folderserverd; in the simulated cluster the memo
+// server calls Handle directly. Each virtual connection is driven by the
+// batching rpc server: batched requests dispatch concurrently through the
+// thread cache and responses coalesce into batched frames, while
+// single-frame (pre-batching) peers are still answered in order.
 func (s *Server) Serve(l transport.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -119,31 +137,14 @@ func (s *Server) serveMux(mux *transport.Mux) {
 		if err != nil {
 			return
 		}
-		if err := s.Submit(func() { s.serveChannel(ch) }); err != nil {
-			_ = ch.Send(wire.EncodeResponse(wire.Errf("folder server shutting down")))
+		if err := s.Submit(func() {
+			_ = rpc.Serve(ch, s.Handle, s.Submit, s.batch)
 			ch.Close()
-			return
-		}
-	}
-}
-
-// serveChannel answers requests on one virtual connection until it closes.
-// Blocking operations are canceled when the channel dies.
-func (s *Server) serveChannel(ch *transport.Channel) {
-	defer ch.Close()
-	for {
-		buf, err := ch.Recv()
-		if err != nil {
-			return
-		}
-		q, err := wire.DecodeRequest(buf)
-		var resp *wire.Response
-		if err != nil {
-			resp = wire.Errf("bad request: %v", err)
-		} else {
-			resp = s.Handle(q, ch.Done())
-		}
-		if err := ch.Send(wire.EncodeResponse(resp)); err != nil {
+		}); err != nil {
+			// Shutting down. Closing the channel is the whole message: an
+			// rpc peer has no request id to match an unsolicited response
+			// to, and would treat a bare single frame as a protocol error.
+			ch.Close()
 			return
 		}
 	}

@@ -2,69 +2,59 @@ package memoserver
 
 import (
 	"fmt"
-	"sync/atomic"
 
+	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // Client is an application process's connection to its local memo server
 // (Fig. 1: applications talk to the memo server on their own host; the memo
-// server does all remote work). One Client multiplexes any number of
-// concurrent requests over one physical connection.
+// server does all remote work). One Client pipelines any number of
+// concurrent requests over one virtual connection: requests are coalesced
+// into batch frames by the rpc layer and responses match back by id.
 type Client struct {
 	Host string
 	App  string
 
-	mux    *transport.Mux
-	nextCh atomic.Uint64
+	mux  *transport.Mux
+	conn *rpc.Conn
 }
 
 // DialFunc matches Network.DialFrom.
 type DialFunc func(srcHost, addr string) (transport.Conn, error)
 
-// DialClient connects to the memo server on host.
+// DialClient connects to the memo server on host with the default batching
+// policy.
 func DialClient(dial DialFunc, host, app string) (*Client, error) {
+	return DialClientPolicy(dial, host, app, rpc.Policy{})
+}
+
+// DialClientPolicy connects with an explicit batch flush policy
+// (cluster.Options.Batch reaches here).
+func DialClientPolicy(dial DialFunc, host, app string, pol rpc.Policy) (*Client, error) {
 	conn, err := dial(host, MemoAddr(host))
 	if err != nil {
 		return nil, fmt.Errorf("memoserver: dial %s: %w", host, err)
 	}
 	mux := transport.NewMux(conn, 4096)
 	go mux.Run()
-	return &Client{Host: host, App: app, mux: mux}, nil
+	return &Client{Host: host, App: app, mux: mux, conn: rpc.NewConn(mux.Channel(1), pol)}, nil
 }
 
-// Do executes one request and waits for its response. Cancel aborts a
-// blocked operation by closing the request's virtual connection, which the
-// server observes and propagates to the folder wait.
+// Do executes one request and waits for its response. Many Do calls may be
+// in flight concurrently on the one connection. Cancel aborts a blocked
+// operation: the rpc layer sends a cancel entry naming the request, which
+// the server propagates to the folder wait.
 func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
-	ch := c.mux.Channel(c.nextCh.Add(1))
-	defer ch.Close()
 	if q.App == "" {
 		q.App = c.App
 	}
-	if err := ch.Send(wire.EncodeRequest(q)); err != nil {
-		return nil, err
-	}
-	type recvResult struct {
-		buf []byte
-		err error
-	}
-	rc := make(chan recvResult, 1)
-	go func() {
-		buf, err := ch.Recv()
-		rc <- recvResult{buf, err}
-	}()
-	select {
-	case r := <-rc:
-		if r.err != nil {
-			return nil, r.err
-		}
-		return wire.DecodeResponse(r.buf)
-	case <-cancel:
-		ch.Close() // unblocks the server-side wait
+	resp, err := c.conn.Call(q, cancel)
+	if err == rpc.ErrCanceled {
 		return nil, ErrClientCanceled
 	}
+	return resp, err
 }
 
 // ErrClientCanceled reports a client-side cancellation.
@@ -101,5 +91,6 @@ func (c *Client) Ping() error {
 
 // Close tears the connection down.
 func (c *Client) Close() error {
+	c.conn.Close()
 	return c.mux.Close()
 }

@@ -7,6 +7,11 @@
 // onward to the next-hop memo server along the application's logical
 // topology — "a path is established between an application program and a
 // folder server via one or more memo server threads".
+//
+// All request traffic — inbound from applications and peers, outbound to
+// peers — travels over the batching rpc layer: many requests pipeline on
+// one virtual connection and coalesce into batch frames, so a burst of
+// small memo operations costs the link one frame, not one frame each.
 package memoserver
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/folder"
 	"repro/internal/placement"
 	"repro/internal/routing"
+	"repro/internal/rpc"
 	"repro/internal/sharedmem"
 	"repro/internal/symbol"
 	"repro/internal/threadcache"
@@ -88,6 +94,9 @@ type Config struct {
 	// FolderShards overrides the lock-stripe count of folder-server
 	// stores this node creates at registration (0 = folder.DefaultShards).
 	FolderShards int
+	// Batch is the rpc flush policy for served connections and peer
+	// links (zero = rpc defaults).
+	Batch rpc.Policy
 }
 
 // Node is one host's memo server.
@@ -101,14 +110,17 @@ type Node struct {
 
 	pool *threadcache.Pool
 
+	// apps and peers are sync.Maps: lookupApp and peer sit on every
+	// request's path, and a single node mutex was the remaining global
+	// lock on the memo-server fan-out. Registration and peer dials are
+	// rare writes; request routing is all reads.
+	apps  sync.Map // app name -> *App
+	peers sync.Map // host -> *peerLink
+
 	mu       sync.Mutex
-	apps     map[string]*App
-	peers    map[string]*peerLink
 	inbound  []*transport.Mux
 	listener transport.Listener
 	closed   bool
-
-	chanID atomic.Uint64
 
 	// Counters for experiments.
 	localOps   atomic.Int64
@@ -116,9 +128,17 @@ type Node struct {
 	registered atomic.Int64
 }
 
-// peerLink is a cached connection to a neighbouring memo server.
+// peerLink is a cached rpc connection to a neighbouring memo server; every
+// forwarded request to that neighbour shares it, so concurrent forwards
+// pipeline and batch.
 type peerLink struct {
-	mux *transport.Mux
+	mux  *transport.Mux
+	conn *rpc.Conn
+}
+
+func (p *peerLink) close() {
+	p.conn.Close()
+	p.mux.Close()
 }
 
 // New creates a memo server for host over the given network. For the
@@ -143,8 +163,6 @@ func newNode(host string, t transport.Transport, dial func(string, string) (tran
 		cfg:      cfg,
 		dialFrom: dial,
 		pool:     threadcache.New(cfg.Cache),
-		apps:     make(map[string]*App),
-		peers:    make(map[string]*peerLink),
 	}
 }
 
@@ -170,27 +188,33 @@ func (n *Node) Close() {
 	}
 	n.closed = true
 	l := n.listener
-	peers := n.peers
-	n.peers = map[string]*peerLink{}
-	apps := n.apps
 	inbound := n.inbound
 	n.inbound = nil
 	n.mu.Unlock()
 	if l != nil {
 		l.Close()
 	}
-	for _, p := range peers {
-		p.mux.Close()
-	}
+	n.peers.Range(func(host, v any) bool {
+		n.peers.Delete(host)
+		v.(*peerLink).close()
+		return true
+	})
 	for _, m := range inbound {
 		m.Close()
 	}
-	for _, a := range apps {
-		for _, fs := range a.local {
+	n.apps.Range(func(_, v any) bool {
+		for _, fs := range v.(*App).local {
 			fs.Close()
 		}
-	}
+		return true
+	})
 	n.pool.Close()
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
 }
 
 func (n *Node) acceptLoop(l transport.Listener) {
@@ -213,37 +237,24 @@ func (n *Node) acceptLoop(l transport.Listener) {
 	}
 }
 
+// serveMux answers each accepted virtual connection with the batching rpc
+// server: batched requests dispatch concurrently through the node's thread
+// cache, and responses coalesce into batched frames. Single-frame peers
+// (pre-batching clients, raw wire debugging) are still served.
 func (n *Node) serveMux(mux *transport.Mux) {
 	for {
 		ch, err := mux.Accept()
 		if err != nil {
 			return
 		}
-		if err := n.pool.Submit(func() { n.serveChannel(ch) }); err != nil {
-			_ = ch.Send(wire.EncodeResponse(wire.Errf("memo server %s shutting down", n.Host)))
+		if err := n.pool.Submit(func() {
+			_ = rpc.Serve(ch, n.Dispatch, n.pool.Submit, n.cfg.Batch)
 			ch.Close()
-			return
-		}
-	}
-}
-
-// serveChannel answers requests on one virtual connection. One channel may
-// carry a sequence of requests (clients reuse channels between operations).
-func (n *Node) serveChannel(ch *transport.Channel) {
-	defer ch.Close()
-	for {
-		buf, err := ch.Recv()
-		if err != nil {
-			return
-		}
-		q, err := wire.DecodeRequest(buf)
-		var resp *wire.Response
-		if err != nil {
-			resp = wire.Errf("bad request: %v", err)
-		} else {
-			resp = n.Dispatch(q, ch.Done())
-		}
-		if err := ch.Send(wire.EncodeResponse(resp)); err != nil {
+		}); err != nil {
+			// Shutting down. Closing the channel is the whole message: an
+			// rpc peer has no request id to match an unsolicited response
+			// to, and would treat a bare single frame as a protocol error.
+			ch.Close()
 			return
 		}
 	}
@@ -276,17 +287,14 @@ func (n *Node) RegisterApp(f *adf.File) error {
 		app.folderHost[fs.ID] = fs.Host
 	}
 
-	n.mu.Lock()
-	if _, ok := n.apps[f.App]; ok {
+	if _, ok := n.apps.Load(f.App); ok {
 		// Same app re-registered (every process registers on start-up;
 		// "multiple memo applications run concurrently using the same
 		// servers"). Keep the existing instance.
-		n.mu.Unlock()
 		return nil
 	}
-	n.mu.Unlock()
 
-	// Create local folder servers outside the lock; Forward may dispatch.
+	// Create local folder servers before publishing; Forward may dispatch.
 	appName := f.App
 	for _, fs := range f.Folders {
 		if fs.Host != n.Host {
@@ -305,39 +313,34 @@ func (n *Node) RegisterApp(f *adf.File) error {
 			opts = append(opts, folder.WithShards(n.cfg.FolderShards))
 		}
 		store := folder.NewStore(opts...)
-		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache)
+		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache,
+			folder.WithBatchPolicy(n.cfg.Batch))
 	}
 
-	n.mu.Lock()
-	if _, ok := n.apps[f.App]; ok { // lost a race; drop ours
-		n.mu.Unlock()
+	if _, loaded := n.apps.LoadOrStore(f.App, app); loaded {
+		// Lost a race; drop ours.
 		for _, fs := range app.local {
 			fs.Close()
 		}
 		return nil
 	}
-	n.apps[f.App] = app
-	n.mu.Unlock()
 	n.registered.Add(1)
 	return nil
 }
 
 // AppNames lists registered applications.
 func (n *Node) AppNames() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]string, 0, len(n.apps))
-	for name := range n.apps {
-		out = append(out, name)
-	}
+	var out []string
+	n.apps.Range(func(name, _ any) bool {
+		out = append(out, name.(string))
+		return true
+	})
 	return out
 }
 
 // LocalFolderServer returns this host's folder server with the given id.
 func (n *Node) LocalFolderServer(app string, id int) (*folder.Server, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	a, ok := n.apps[app]
+	a, ok := n.lookupApp(app)
 	if !ok {
 		return nil, false
 	}
@@ -345,12 +348,13 @@ func (n *Node) LocalFolderServer(app string, id int) (*folder.Server, bool) {
 	return fs, ok
 }
 
-// lookupApp fetches registered state.
+// lookupApp fetches registered state. Lock-free: it runs on every request.
 func (n *Node) lookupApp(name string) (*App, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	a, ok := n.apps[name]
-	return a, ok
+	v, ok := n.apps.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*App), true
 }
 
 // Dispatch routes one request: to a local folder server, or toward the
@@ -427,7 +431,9 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 	return n.forward(app, q, targetHost, cancel)
 }
 
-// forward relays the request one hop along the routing table.
+// forward relays the request one hop along the routing table over the
+// cached peer rpc connection; concurrent forwards to one neighbour
+// pipeline and batch on it.
 func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-chan struct{}) *wire.Response {
 	hop, ok := app.Table.NextHop(n.Host, targetHost)
 	if !ok {
@@ -439,74 +445,48 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 	}
 	fq := *q
 	fq.Hops = q.Hops + 1
-	ch := link.mux.Channel(n.chanID.Add(1))
-	defer ch.Close()
-	if err := ch.Send(wire.EncodeRequest(&fq)); err != nil {
+	n.forwards.Add(1)
+	resp, err := link.conn.Call(&fq, cancel)
+	if err != nil {
+		if err == rpc.ErrCanceled {
+			return wire.Errf("canceled")
+		}
 		n.dropPeer(hop)
 		return wire.Errf("memo server %s: forward to %s: %v", n.Host, hop, err)
 	}
-	n.forwards.Add(1)
-	type recvResult struct {
-		buf []byte
-		err error
-	}
-	rc := make(chan recvResult, 1)
-	go func() {
-		buf, err := ch.Recv()
-		rc <- recvResult{buf, err}
-	}()
-	select {
-	case r := <-rc:
-		if r.err != nil {
-			n.dropPeer(hop)
-			return wire.Errf("memo server %s: reply from %s: %v", n.Host, hop, r.err)
-		}
-		resp, err := wire.DecodeResponse(r.buf)
-		if err != nil {
-			return wire.Errf("memo server %s: bad reply from %s: %v", n.Host, hop, err)
-		}
-		return resp
-	case <-cancel:
-		return wire.Errf("canceled")
-	}
+	return resp
 }
 
-// peer returns the cached mux to a neighbouring memo server, dialing on
-// first use.
+// peer returns the cached rpc link to a neighbouring memo server, dialing
+// on first use.
 func (n *Node) peer(host string) (*peerLink, error) {
-	n.mu.Lock()
-	if p, ok := n.peers[host]; ok {
-		n.mu.Unlock()
-		return p, nil
+	if v, ok := n.peers.Load(host); ok {
+		return v.(*peerLink), nil
 	}
-	n.mu.Unlock()
+	if n.isClosed() {
+		return nil, fmt.Errorf("memo server %s closed", n.Host)
+	}
 	conn, err := n.dialFrom(n.Host, MemoAddr(host))
 	if err != nil {
 		return nil, err
 	}
 	mux := transport.NewMux(conn, 4096)
 	go mux.Run()
-	p := &peerLink{mux: mux}
-	n.mu.Lock()
-	if exist, ok := n.peers[host]; ok {
-		n.mu.Unlock()
-		mux.Close()
-		return exist, nil
+	p := &peerLink{mux: mux, conn: rpc.NewConn(mux.Channel(1), n.cfg.Batch)}
+	if exist, loaded := n.peers.LoadOrStore(host, p); loaded {
+		p.close()
+		return exist.(*peerLink), nil
 	}
-	n.peers[host] = p
-	n.mu.Unlock()
+	if n.isClosed() { // raced Close; don't leak the link
+		n.dropPeer(host)
+		return nil, fmt.Errorf("memo server %s closed", n.Host)
+	}
 	return p, nil
 }
 
 func (n *Node) dropPeer(host string) {
-	n.mu.Lock()
-	p, ok := n.peers[host]
-	if ok {
-		delete(n.peers, host)
-	}
-	n.mu.Unlock()
-	if ok {
-		p.mux.Close()
+	if v, ok := n.peers.LoadAndDelete(host); ok {
+		v.(*peerLink).close()
 	}
 }
 

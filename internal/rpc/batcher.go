@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// batcher coalesces batch entries into frames. Both ends of a connection
+// use one: the Conn for requests, Serve for responses.
+//
+// The engine is backpressure draining: a dedicated sender goroutine ships
+// whatever has accumulated the moment the wire goes idle. A lone entry on
+// an idle wire is sent immediately (no added latency for a single caller);
+// under concurrency the previous frame's transmission time is exactly the
+// window in which companions accumulate, so batch size adapts to the link
+// speed by itself. The Policy bounds the mechanism: MaxCount/MaxBytes cap
+// a frame, and Linger is the safety-valve timer bounding how long an entry
+// may wait for the sender in any case the drain signal loses a race.
+//
+// The queue itself is bounded: past a high-water mark (a few frames'
+// worth), add blocks until the sender drains — so a peer that stops
+// reading stalls its producers (callers, handler threads) instead of
+// growing server memory without limit, the same backpressure the old
+// synchronous one-request-per-channel loop enforced.
+type batcher struct {
+	kind  wire.BatchKind
+	pol   Policy
+	send  func([]byte) error // transports one encoded frame
+	onErr func(error)        // called once when send fails
+
+	mu        sync.Mutex
+	unblocked *sync.Cond // signaled when queue drains below high water
+	queue     []wire.BatchEntry
+	closed    bool
+	timer     *time.Timer
+	armed     bool
+
+	wake chan struct{} // capacity 1: "queue may be non-empty"
+}
+
+func newBatcher(kind wire.BatchKind, pol Policy, send func([]byte) error, onErr func(error)) *batcher {
+	b := &batcher{kind: kind, pol: pol, send: send, onErr: onErr, wake: make(chan struct{}, 1)}
+	b.unblocked = sync.NewCond(&b.mu)
+	go b.sender()
+	return b
+}
+
+// highWater is the queue depth at which add starts blocking: four full
+// frames of headroom keeps the sender busy without unbounded buildup.
+func (b *batcher) highWater() int { return 4 * b.pol.MaxCount }
+
+// add queues one entry and nudges the sender, blocking while the queue is
+// over the high-water mark.
+func (b *batcher) add(e wire.BatchEntry) {
+	b.mu.Lock()
+	for !b.closed && len(b.queue) >= b.highWater() {
+		b.unblocked.Wait()
+	}
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.queue = append(b.queue, e)
+	if !b.armed {
+		b.armed = true
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.pol.Linger, b.signal)
+		} else {
+			b.timer.Reset(b.pol.Linger)
+		}
+	}
+	b.mu.Unlock()
+	b.signal()
+}
+
+func (b *batcher) signal() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sender drains the queue into frames, one Policy-capped frame per send,
+// for as long as entries remain; then it blocks for the next wake-up.
+func (b *batcher) sender() {
+	for range b.wake { // never closed; exit is via the closed flag
+		for {
+			b.mu.Lock()
+			if b.closed {
+				b.mu.Unlock()
+				return
+			}
+			if len(b.queue) == 0 {
+				b.armed = false
+				b.mu.Unlock()
+				break
+			}
+			batch := b.takeLocked()
+			b.mu.Unlock()
+			err := b.send(wire.EncodeBatch(b.kind, batch))
+			// The backing array is shared with the queue; zero the sent
+			// entries so their payloads are collectable while later
+			// entries keep the array alive.
+			for i := range batch {
+				batch[i] = wire.BatchEntry{}
+			}
+			if err != nil {
+				b.close()
+				if b.onErr != nil {
+					b.onErr(err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// takeLocked removes up to MaxCount entries / ~MaxBytes encoded bytes
+// (always at least one entry) from the queue head, without copying the
+// remainder.
+func (b *batcher) takeLocked() []wire.BatchEntry {
+	n, size := 0, 0
+	for n < len(b.queue) && n < b.pol.MaxCount {
+		size += len(b.queue[n].Msg) + 12 // ~ per-entry framing overhead
+		n++
+		if size >= b.pol.MaxBytes {
+			break
+		}
+	}
+	batch := b.queue[:n:n]
+	if n == len(b.queue) {
+		b.queue = nil
+	} else {
+		b.queue = b.queue[n:]
+	}
+	b.unblocked.Broadcast()
+	return batch
+}
+
+// close drops queued entries and retires the sender; subsequent adds no-op.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.queue = nil
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.unblocked.Broadcast()
+	b.mu.Unlock()
+	// Unblock the sender so it observes closed and exits. The wake channel
+	// is never closed: a racing add may still signal it.
+	b.signal()
+}

@@ -1,0 +1,158 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Conn is the client side of one pipelined RPC connection. Any number of
+// goroutines may Call concurrently; their requests share one transport
+// channel, coalesce into batch frames under the flush policy, and complete
+// out of order, matched by id.
+type Conn struct {
+	ch  transport.Conn
+	pol Policy
+	out *batcher
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	err     error
+
+	done     chan struct{}
+	failOnce sync.Once
+}
+
+// NewConn starts an RPC connection over ch (typically one transport.Mux
+// channel) and its receive loop. The zero Policy means defaults.
+func NewConn(ch transport.Conn, pol Policy) *Conn {
+	c := &Conn{
+		ch:      ch,
+		pol:     pol.withDefaults(),
+		pending: make(map[uint64]chan *wire.Response),
+		done:    make(chan struct{}),
+	}
+	c.out = newBatcher(wire.BatchRequest, c.pol, ch.Send, c.fail)
+	go c.recvLoop()
+	return c
+}
+
+// Call sends one request and blocks for its response. Closing cancel
+// abandons the call: a cancel entry tells the server to unblock and discard
+// the request, and Call returns ErrCanceled without waiting for it.
+func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
+	msg := wire.EncodeRequest(q)
+	rc := make(chan *wire.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = rc
+	c.mu.Unlock()
+
+	c.out.add(wire.BatchEntry{ID: id, Msg: msg})
+
+	select {
+	case resp := <-rc:
+		return resp, nil
+	case <-cancel:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		// Tell the server to abandon the in-flight request, which may be
+		// pinning a server thread on a folder wait.
+		c.out.add(wire.BatchEntry{ID: id, Cancel: true})
+		return nil, ErrCanceled
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		delete(c.pending, id)
+		c.mu.Unlock()
+		// A response may have raced the teardown.
+		select {
+		case resp := <-rc:
+			return resp, nil
+		default:
+		}
+		return nil, err
+	}
+}
+
+// recvLoop matches batched responses back to pending calls.
+func (c *Conn) recvLoop() {
+	for {
+		buf, err := c.ch.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if !wire.IsBatchFrame(buf) {
+			c.fail(fmt.Errorf("rpc: peer sent a non-batch frame"))
+			return
+		}
+		kind, entries, err := wire.DecodeBatch(buf)
+		if err != nil {
+			c.fail(fmt.Errorf("rpc: bad batch: %w", err))
+			return
+		}
+		if kind != wire.BatchResponse {
+			c.fail(fmt.Errorf("rpc: peer sent %v, want %v", kind, wire.BatchResponse))
+			return
+		}
+		for _, e := range entries {
+			resp, err := wire.DecodeResponse(e.Msg)
+			if err != nil {
+				c.fail(fmt.Errorf("rpc: bad response in batch: %w", err))
+				return
+			}
+			c.mu.Lock()
+			rc, ok := c.pending[e.ID]
+			if ok {
+				delete(c.pending, e.ID)
+			}
+			c.mu.Unlock()
+			if ok {
+				rc <- resp
+			}
+			// Responses to unknown ids are replies to canceled calls; drop.
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending call.
+func (c *Conn) fail(err error) {
+	c.failOnce.Do(func() {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+		c.out.close()
+		close(c.done)
+		_ = c.ch.Close()
+	})
+}
+
+// Close tears the connection down; pending and future calls fail with
+// ErrConnClosed.
+func (c *Conn) Close() error {
+	c.fail(ErrConnClosed)
+	return nil
+}
+
+// Done is closed when the connection dies.
+func (c *Conn) Done() <-chan struct{} { return c.done }
+
+// Err reports why the connection died (nil while alive).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

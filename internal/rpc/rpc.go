@@ -1,0 +1,82 @@
+// Package rpc is the pipelined, batching RPC layer between the wire codec
+// and the transports.
+//
+// The paper's derived transport (§3.1.1) exists so that "communication cost
+// [is] amortized over time"; this package is that amortization applied to
+// request/response traffic. Before it, the stack round-tripped exactly one
+// wire.Request per mux frame per virtual circuit, with one outstanding call
+// per channel. Now:
+//
+//   - Conn (client side) assigns every request an id, keeps any number of
+//     calls in flight on one transport.Channel, and coalesces concurrent
+//     small requests into one wire batch frame under a flush policy
+//     (Policy: max batch count, max batch bytes, max linger). Responses
+//     return in completion order and are matched back to callers by id.
+//
+//   - Serve (server side) decodes each inbound batch frame, dispatches its
+//     requests concurrently (through a thread-cache Submit), and coalesces
+//     the responses into batched response frames under the same flush
+//     policy. Blocking operations (get on an empty folder, watch) simply
+//     leave their response for a later frame — they never stall the other
+//     requests of their batch.
+//
+// Cancellation, which the one-channel-per-call design expressed by closing
+// the call's virtual connection, becomes a batched control entry: a cancel
+// entry names the in-flight request id, and the server closes that
+// request's cancel channel.
+//
+// Single (non-batch) frames remain accepted by Serve, answered
+// synchronously in arrival order exactly as the pre-batching servers did,
+// so old peers and raw-wire debugging clients keep working.
+package rpc
+
+import (
+	"errors"
+	"time"
+)
+
+// Flush-policy defaults: linger long enough for concurrent callers to
+// coalesce, short enough to be invisible next to a link round trip.
+const (
+	DefaultMaxCount = 64
+	DefaultMaxBytes = 64 << 10
+	DefaultLinger   = 100 * time.Microsecond
+)
+
+// Policy tunes when a partially filled batch is flushed to the transport.
+// The zero Policy means the defaults. MaxCount = 1 disables coalescing
+// (every message travels in its own frame) and is the "unbatched" baseline
+// in benchmarks.
+type Policy struct {
+	// MaxCount flushes a batch when it holds this many entries.
+	MaxCount int
+	// MaxBytes flushes a batch when its encoded payload reaches this size.
+	MaxBytes int
+	// Linger is the upper bound on how long a queued entry may wait for
+	// companions. The batcher normally drains by backpressure — an entry
+	// arriving on an idle wire is sent at once, and entries queued behind
+	// an in-flight frame are shipped the moment it completes — so this
+	// bound is only reached when a drain signal loses a race.
+	Linger time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxCount <= 0 {
+		p.MaxCount = DefaultMaxCount
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultMaxBytes
+	}
+	if p.Linger <= 0 {
+		p.Linger = DefaultLinger
+	}
+	return p
+}
+
+// Errors.
+var (
+	// ErrConnClosed reports a call on a closed or failed Conn.
+	ErrConnClosed = errors.New("rpc: connection closed")
+	// ErrCanceled reports a call abandoned via its cancel channel.
+	ErrCanceled = errors.New("rpc: call canceled")
+)

@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Handler executes one request. cancel fires when the client abandons the
+// call or the connection dies; blocking handlers must honour it.
+type Handler func(q *wire.Request, cancel <-chan struct{}) *wire.Response
+
+// SubmitFunc runs a task concurrently — typically threadcache.Pool.Submit
+// or folder.Server.Submit, so batched requests land on the server's thread
+// cache ("each request to a server will cause a thread to be created").
+// A nil SubmitFunc runs each request on a plain goroutine.
+type SubmitFunc func(task func()) error
+
+// ServerChannel is the connection Serve drives: a transport.Conn with a
+// liveness signal (satisfied by *transport.Channel).
+type ServerChannel interface {
+	transport.Conn
+	Done() <-chan struct{}
+}
+
+// Serve answers requests on one connection until it closes, returning the
+// terminal receive error. Batch frames dispatch concurrently through
+// submit; each response is queued on a response batcher, so replies
+// coalesce into batched frames in completion order and a blocked request
+// never delays its batch-mates. Single frames are answered synchronously
+// in arrival order, preserving the pre-batching protocol for old peers.
+func Serve(ch ServerChannel, h Handler, submit SubmitFunc, pol Policy) error {
+	s := &server{
+		ch:       ch,
+		h:        h,
+		submit:   submit,
+		inflight: make(map[uint64]chan struct{}),
+	}
+	s.out = newBatcher(wire.BatchResponse, pol.withDefaults(), ch.Send, func(error) { _ = ch.Close() })
+	defer s.shutdown()
+	for {
+		buf, err := ch.Recv()
+		if err != nil {
+			return err
+		}
+		if !wire.IsBatchFrame(buf) {
+			if err := s.serveSingle(buf); err != nil {
+				return err
+			}
+			continue
+		}
+		kind, entries, err := wire.DecodeBatch(buf)
+		if err != nil {
+			return fmt.Errorf("rpc: bad batch from %s: %w", ch.RemoteAddr(), err)
+		}
+		if kind != wire.BatchRequest {
+			return fmt.Errorf("rpc: %v from %s, want %v", kind, ch.RemoteAddr(), wire.BatchRequest)
+		}
+		for _, e := range entries {
+			s.dispatch(e)
+		}
+	}
+}
+
+// server is the per-connection serving state.
+type server struct {
+	ch     ServerChannel
+	h      Handler
+	submit SubmitFunc
+	out    *batcher
+
+	mu       sync.Mutex
+	inflight map[uint64]chan struct{} // request id -> its cancel channel
+	down     bool
+}
+
+// serveSingle answers one legacy single-frame request inline — the
+// pre-batching servers handled one request at a time per channel, and old
+// clients depend on ordered responses.
+func (s *server) serveSingle(buf []byte) error {
+	q, err := wire.DecodeRequest(buf)
+	var resp *wire.Response
+	if err != nil {
+		resp = wire.Errf("bad request: %v", err)
+	} else {
+		resp = s.h(q, s.ch.Done())
+	}
+	return s.ch.Send(wire.EncodeResponse(resp))
+}
+
+// dispatch routes one batch entry: cancels close the target request's
+// cancel channel; requests run concurrently and respond through the
+// batcher.
+func (s *server) dispatch(e wire.BatchEntry) {
+	if e.Cancel {
+		s.mu.Lock()
+		cc, ok := s.inflight[e.ID]
+		if ok {
+			delete(s.inflight, e.ID)
+		}
+		s.mu.Unlock()
+		if ok {
+			close(cc)
+		}
+		return
+	}
+	q, err := wire.DecodeRequest(e.Msg)
+	if err != nil {
+		s.respond(e.ID, wire.Errf("bad request: %v", err))
+		return
+	}
+	cc := make(chan struct{})
+	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.inflight[e.ID]; dup {
+		// A buggy or hostile peer reused a live id; honouring it would
+		// orphan the first request's cancel channel.
+		s.mu.Unlock()
+		s.respond(e.ID, wire.Errf("duplicate request id %d", e.ID))
+		return
+	}
+	s.inflight[e.ID] = cc
+	s.mu.Unlock()
+
+	task := func() {
+		resp := s.h(q, cc)
+		s.mu.Lock()
+		delete(s.inflight, e.ID)
+		s.mu.Unlock()
+		s.respond(e.ID, resp)
+	}
+	if s.submit == nil {
+		go task()
+		return
+	}
+	if err := s.submit(task); err != nil {
+		s.mu.Lock()
+		delete(s.inflight, e.ID)
+		s.mu.Unlock()
+		s.respond(e.ID, wire.Errf("server shutting down"))
+	}
+}
+
+// respond queues one response for batched delivery.
+func (s *server) respond(id uint64, resp *wire.Response) {
+	s.out.add(wire.BatchEntry{ID: id, Msg: wire.EncodeResponse(resp)})
+}
+
+// shutdown cancels every in-flight request so blocked handlers unwind, and
+// retires the response batcher.
+func (s *server) shutdown() {
+	s.mu.Lock()
+	s.down = true
+	inflight := s.inflight
+	s.inflight = make(map[uint64]chan struct{})
+	s.mu.Unlock()
+	for _, cc := range inflight {
+		close(cc)
+	}
+	s.out.close()
+}

@@ -73,6 +73,12 @@ func (m *Mux) channelLocked(id uint64) *Channel {
 		in:   make(chan []byte, 64),
 		done: make(chan struct{}),
 	}
+	if m.closed {
+		// The mux already tore down; hand back a dead channel rather
+		// than one that would block forever.
+		ch.closeRemote()
+		return ch
+	}
 	m.channels[id] = ch
 	return ch
 }

@@ -2,43 +2,66 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is the real-network transport: length-prefixed message framing over
 // net.Conn. Addresses are standard "host:port" strings. Listen with port 0
 // picks a free port (query it via Listener.Addr).
-type TCP struct{}
+type TCP struct {
+	// IdleTimeout, when positive, arms a read deadline on every Recv: a
+	// connection that stays silent for the whole window fails with
+	// ErrIdleTimeout instead of wedging its reader forever behind a dead
+	// peer. The error propagates like any Recv failure — a Mux read pump
+	// tears down and Mux.Run returns it. Zero keeps reads unbounded
+	// (blocking folder waits can legitimately leave a connection quiet;
+	// enable the timeout where traffic — or rpc pings — is guaranteed).
+	IdleTimeout time.Duration
+	// KeepAlivePeriod tunes TCP-level keep-alive probes on dialed and
+	// accepted connections (0 = the kernel/runtime default).
+	KeepAlivePeriod time.Duration
+}
 
-// NewTCP returns the TCP transport.
+// ErrIdleTimeout reports a connection closed for exceeding TCP.IdleTimeout
+// with no inbound traffic.
+var ErrIdleTimeout = errors.New("transport: connection idle timeout")
+
+// NewTCP returns the TCP transport with unbounded reads.
 func NewTCP() *TCP { return &TCP{} }
+
+// NewTCPIdle returns a TCP transport whose connections fail reads after
+// idle silence — the hardened configuration for daemons.
+func NewTCPIdle(idle time.Duration) *TCP { return &TCP{IdleTimeout: idle} }
 
 // Name implements Transport.
 func (*TCP) Name() string { return "tcp" }
 
 // Dial implements Transport.
-func (*TCP) Dial(addr string) (Conn, error) {
+func (t *TCP) Dial(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(nc), nil
+	return t.newConn(nc), nil
 }
 
 // Listen implements Transport.
-func (*TCP) Listen(addr string) (Listener, error) {
+func (t *TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, t: t}, nil
 }
 
 type tcpListener struct {
 	nl net.Listener
+	t  *TCP
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -46,7 +69,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(nc), nil
+	return l.t.newConn(nc), nil
 }
 
 func (l *tcpListener) Close() error { return l.nl.Close() }
@@ -55,17 +78,22 @@ func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 // tcpConn frames messages as 4-byte big-endian length + payload.
 type tcpConn struct {
 	nc      net.Conn
+	idle    time.Duration
 	sendMu  sync.Mutex
 	recvMu  sync.Mutex
 	readBuf [4]byte
 }
 
-func newTCPConn(nc net.Conn) *tcpConn {
-	if t, ok := nc.(*net.TCPConn); ok {
+func (t *TCP) newConn(nc net.Conn) *tcpConn {
+	if tc, ok := nc.(*net.TCPConn); ok {
 		// Memos are small request/response messages; Nagle hurts.
-		_ = t.SetNoDelay(true)
+		_ = tc.SetNoDelay(true)
+		_ = tc.SetKeepAlive(true)
+		if t.KeepAlivePeriod > 0 {
+			_ = tc.SetKeepAlivePeriod(t.KeepAlivePeriod)
+		}
 	}
-	return &tcpConn{nc: nc}
+	return &tcpConn{nc: nc, idle: t.IdleTimeout}
 }
 
 func (c *tcpConn) Send(msg []byte) error {
@@ -86,21 +114,62 @@ func (c *tcpConn) Send(msg []byte) error {
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	if _, err := io.ReadFull(c.nc, c.readBuf[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, ErrClosed
-		}
-		return nil, err
+	if err := c.readFullIdle(c.readBuf[:]); err != nil {
+		return nil, c.recvErr(err)
 	}
 	n := binary.BigEndian.Uint32(c.readBuf[:])
 	if n > MaxFrame {
 		return nil, ErrTooLarge
 	}
 	msg := make([]byte, n)
-	if _, err := io.ReadFull(c.nc, msg); err != nil {
-		return nil, err
+	if err := c.readFullIdle(msg); err != nil {
+		return nil, c.recvErr(err)
 	}
 	return msg, nil
+}
+
+// readFullIdle fills buf like io.ReadFull, but re-arms the idle deadline on
+// every read that makes progress: the timeout measures silence, so a slow
+// peer that keeps bytes trickling in is alive, while one that stalls for a
+// whole window — mid-frame or between frames — trips the deadline.
+func (c *tcpConn) readFullIdle(buf []byte) error {
+	off := 0
+	for off < len(buf) {
+		if c.idle > 0 {
+			if err := c.nc.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+				return err
+			}
+		}
+		n, err := c.nc.Read(buf[off:])
+		off += n
+		if err != nil {
+			if off == len(buf) {
+				// The buffer filled; an EOF alongside the last bytes is
+				// next Recv's problem (io.ReadFull semantics).
+				return nil
+			}
+			if err == io.EOF && off > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// recvErr normalizes read failures: clean EOFs become ErrClosed, deadline
+// expiries become ErrIdleTimeout (wrapped with the cause) so Mux.Run
+// teardown reports why the connection died.
+func (c *tcpConn) recvErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrClosed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		_ = c.nc.Close()
+		return fmt.Errorf("%w after %v: %v", ErrIdleTimeout, c.idle, err)
+	}
+	return err
 }
 
 func (c *tcpConn) Close() error       { return c.nc.Close() }

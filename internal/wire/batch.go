@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Batch framing (version 1).
+//
+// A batch frame carries many encoded requests or responses in one transport
+// message, so the per-message cost of the link (latency, mux framing, sim
+// delay, syscalls) is amortized over the whole batch — the §3.1.1 derived
+// transport's "communication cost amortized over time" applied to small
+// memo operations. Each entry is tagged with a caller-chosen id; responses
+// are matched to requests by id, which is what lets internal/rpc pipeline
+// many in-flight requests over one virtual connection and complete them out
+// of order.
+//
+// Layout:
+//
+//	byte    batchMagic (0xB1 — never a valid Op or Status, so single
+//	        frames and batch frames coexist on one channel)
+//	byte    version (currently 1; decoders reject higher versions)
+//	byte    kind (BatchRequest | BatchResponse)
+//	uvarint entry count
+//	per entry:
+//	  uvarint id
+//	  byte    flags (bit 0: cancel — abandon the in-flight request `id`)
+//	  uvarint len, then len bytes of an encoded Request or Response
+//	          (empty for cancel entries)
+//
+// Single-frame messages remain valid: their first byte is an Op or Status,
+// both of which are small constants, so IsBatchFrame cleanly discriminates.
+
+// batchMagic marks a batch frame. Ops and Statuses are small iota constants;
+// 0xB1 collides with neither, keeping old single-frame peers decodable.
+const batchMagic byte = 0xB1
+
+// BatchVersion is the current batch-frame version.
+const BatchVersion byte = 1
+
+// BatchKind distinguishes request batches from response batches.
+type BatchKind byte
+
+// Batch kinds.
+const (
+	BatchRequest  BatchKind = 1
+	BatchResponse BatchKind = 2
+)
+
+func (k BatchKind) String() string {
+	switch k {
+	case BatchRequest:
+		return "request-batch"
+	case BatchResponse:
+		return "response-batch"
+	}
+	return fmt.Sprintf("batch-kind(%d)", byte(k))
+}
+
+// BatchEntry is one message inside a batch frame.
+type BatchEntry struct {
+	// ID matches a response to its request within one rpc connection.
+	ID uint64
+	// Cancel marks a request-batch control entry: abandon in-flight
+	// request ID (the batched replacement for closing a per-request
+	// virtual connection). Msg is empty on cancel entries.
+	Cancel bool
+	// Msg is an encoded Request (BatchRequest) or Response (BatchResponse).
+	Msg []byte
+}
+
+const entryFlagCancel byte = 1 << 0
+
+// IsBatchFrame reports whether buf is a batch frame rather than a single
+// encoded Request or Response.
+func IsBatchFrame(buf []byte) bool {
+	return len(buf) > 0 && buf[0] == batchMagic
+}
+
+// EncodeBatch serializes a batch frame.
+func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
+	size := 16
+	for _, e := range entries {
+		size += len(e.Msg) + 12
+	}
+	w := &writer{buf: make([]byte, 0, size)}
+	w.byte(batchMagic)
+	w.byte(BatchVersion)
+	w.byte(byte(kind))
+	w.u64(uint64(len(entries)))
+	for _, e := range entries {
+		w.u64(e.ID)
+		var flags byte
+		if e.Cancel {
+			flags |= entryFlagCancel
+		}
+		w.byte(flags)
+		w.bytes(e.Msg)
+	}
+	return w.buf
+}
+
+// DecodeBatch parses a batch frame. Entry messages are returned still
+// encoded; callers decode them per kind (DecodeRequest / DecodeResponse).
+func DecodeBatch(buf []byte) (BatchKind, []BatchEntry, error) {
+	r := &reader{buf: buf}
+	if r.byte() != batchMagic {
+		return 0, nil, fmt.Errorf("wire: not a batch frame")
+	}
+	if v := r.byte(); r.err == nil && v != BatchVersion {
+		return 0, nil, fmt.Errorf("wire: unsupported batch version %d", v)
+	}
+	kind := BatchKind(r.byte())
+	n := r.u64()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if kind != BatchRequest && kind != BatchResponse {
+		return 0, nil, fmt.Errorf("wire: invalid batch kind %d", byte(kind))
+	}
+	// Each entry costs at least 3 bytes on the wire (id, flags, length);
+	// an absurd count is a hostile frame, not an allocation request.
+	if n > uint64(len(buf))/3 {
+		return 0, nil, ErrTruncated
+	}
+	entries := make([]BatchEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e BatchEntry
+		e.ID = r.u64()
+		flags := r.byte()
+		e.Cancel = flags&entryFlagCancel != 0
+		e.Msg = r.bytes()
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		entries = append(entries, e)
+	}
+	if r.pos != len(buf) {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes in batch", len(buf)-r.pos)
+	}
+	return kind, entries, nil
+}

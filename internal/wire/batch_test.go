@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/symbol"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpPing},
+		{Op: OpPut, App: "app", FolderID: 3, Key: symbol.K(7, 1, 2), Payload: []byte("payload")},
+		{Op: OpAltTake, App: "app", Keys: []symbol.Key{symbol.K(1), symbol.K(2, 9)}},
+	}
+	entries := make([]BatchEntry, 0, len(reqs)+1)
+	for i, q := range reqs {
+		entries = append(entries, BatchEntry{ID: uint64(100 + i), Msg: EncodeRequest(q)})
+	}
+	entries = append(entries, BatchEntry{ID: 101, Cancel: true})
+
+	frame := EncodeBatch(BatchRequest, entries)
+	if !IsBatchFrame(frame) {
+		t.Fatal("encoded batch not recognized as batch frame")
+	}
+	kind, got, err := DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != BatchRequest {
+		t.Fatalf("kind = %v", kind)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("entries = %d, want %d", len(got), len(entries))
+	}
+	for i, e := range got {
+		if e.ID != entries[i].ID || e.Cancel != entries[i].Cancel || !bytes.Equal(e.Msg, entries[i].Msg) {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, entries[i])
+		}
+	}
+	for i, q := range reqs {
+		dq, err := DecodeRequest(got[i].Msg)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(dq, q) {
+			t.Fatalf("entry %d decoded %+v, want %+v", i, dq, q)
+		}
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		OK(),
+		{Status: StatusOK, Key: symbol.K(4), Payload: []byte("v")},
+		Errf("boom %d", 7),
+	}
+	var entries []BatchEntry
+	for i, p := range resps {
+		entries = append(entries, BatchEntry{ID: uint64(i), Msg: EncodeResponse(p)})
+	}
+	kind, got, err := DecodeBatch(EncodeBatch(BatchResponse, entries))
+	if err != nil || kind != BatchResponse {
+		t.Fatalf("kind %v err %v", kind, err)
+	}
+	for i, p := range resps {
+		dp, err := DecodeResponse(got[i].Msg)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(dp, p) {
+			t.Fatalf("entry %d decoded %+v, want %+v", i, dp, p)
+		}
+	}
+}
+
+func TestBatchEmptyAndErrors(t *testing.T) {
+	// Empty batches round-trip.
+	kind, entries, err := DecodeBatch(EncodeBatch(BatchResponse, nil))
+	if err != nil || kind != BatchResponse || len(entries) != 0 {
+		t.Fatalf("empty batch: %v %v %v", kind, entries, err)
+	}
+
+	// Single frames are not batch frames.
+	if IsBatchFrame(EncodeRequest(&Request{Op: OpPing})) {
+		t.Fatal("single request mistaken for batch")
+	}
+	if IsBatchFrame(EncodeResponse(OK())) {
+		t.Fatal("single response mistaken for batch")
+	}
+	if IsBatchFrame(nil) {
+		t.Fatal("empty buffer mistaken for batch")
+	}
+
+	for name, buf := range map[string][]byte{
+		"not batch":       {0x01},
+		"bad version":     {batchMagic, 99, byte(BatchRequest), 0},
+		"bad kind":        {batchMagic, BatchVersion, 77, 0},
+		"truncated count": {batchMagic, BatchVersion, byte(BatchRequest)},
+		"huge count":      {batchMagic, BatchVersion, byte(BatchRequest), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"truncated entry": {batchMagic, BatchVersion, byte(BatchRequest), 1, 5},
+		"trailing bytes":  append(EncodeBatch(BatchRequest, nil), 0xAA),
+	} {
+		if _, _, err := DecodeBatch(buf); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestBatchVersionedRejectsFuture(t *testing.T) {
+	frame := EncodeBatch(BatchRequest, []BatchEntry{{ID: 1, Msg: EncodeRequest(&Request{Op: OpPing})}})
+	frame[1] = BatchVersion + 1
+	if _, _, err := DecodeBatch(frame); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
