@@ -19,12 +19,24 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/memoserver"
 	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
 )
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 // peerMap resolves logical host names to TCP addresses.
 type peerMap map[string]string
@@ -55,12 +67,29 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max requests coalesced per rpc batch frame (0 = default 64; 1 disables batching)")
 	batchBytes := flag.Int("batch-bytes", 0, "max encoded bytes per rpc batch frame (0 = default 64KiB)")
 	batchLinger := flag.Duration("batch-linger", 0, "upper bound a queued request waits for batch companions (0 = default 100µs)")
-	idleTimeout := flag.Duration("idle-timeout", 0, "close connections silent for this long (0 = never; blocking waits keep connections silent)")
+	heartbeat := flag.Duration("heartbeat-interval", 5*time.Second, "probe receive-quiet links this often; a peer silent for 2x this is declared dead (0 disables heartbeats)")
+	idleTimeout := flag.Duration("idle-timeout", 15*time.Second, "close connections silent for this long (0 = never; defaults off when heartbeats are disabled, since blocking waits legitimately silence a connection)")
+	redialMin := flag.Duration("redial-backoff", 50*time.Millisecond, "first re-dial delay after a peer link dies; doubles per failure up to the transport cap, with jitter")
+	retries := flag.Int("link-retries", 2, "transparent retries of safely-retriable forwarded calls after a link failure")
 	flag.Parse()
 
 	if *host == "" {
 		fmt.Fprintln(os.Stderr, "memoserverd: -host is required")
 		os.Exit(2)
+	}
+	if !flagSet("idle-timeout") {
+		// Keep the read deadline consistent with the probe rate: without
+		// heartbeats a blocked folder wait keeps a healthy connection
+		// silent (so no deadline at all), and with a long heartbeat
+		// interval the deadline must stretch with it or it fires before
+		// the first probe.
+		if *heartbeat <= 0 {
+			*idleTimeout = 0
+		} else if 3**heartbeat > *idleTimeout {
+			*idleTimeout = 3 * *heartbeat
+		}
+	} else if *heartbeat > 0 && *idleTimeout > 0 && *idleTimeout < 2**heartbeat {
+		log.Printf("memoserverd: warning: -idle-timeout %v < 2x -heartbeat-interval %v; healthy silent connections may be killed before their first probe", *idleTimeout, *heartbeat)
 	}
 
 	tcp := transport.NewTCP()
@@ -70,6 +99,11 @@ func main() {
 			Cache:       threadcache.Config{Disable: *noCache},
 			FolderCache: threadcache.Config{Disable: *noCache},
 			Batch:       rpc.Policy{MaxCount: *batchMax, MaxBytes: *batchBytes, Linger: *batchLinger},
+			Resilience: rpc.Resilience{
+				Heartbeat: *heartbeat,
+				Redial:    transport.Backoff{Min: *redialMin},
+				Retries:   *retries,
+			},
 		})
 	if err := node.Start(); err != nil {
 		log.Fatalf("memoserverd: %v", err)

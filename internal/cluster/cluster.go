@@ -50,6 +50,15 @@ type Options struct {
 	// cluster — application clients, memo servers, and peer links (zero =
 	// rpc defaults; rpc.Policy{MaxCount: 1} disables coalescing).
 	Batch rpc.Policy
+	// Resilience arms the link-resilience layer on every connection:
+	// heartbeats, reconnect-with-backoff on dead peer links, and bounded
+	// transparent retries of safely-retriable forwarded calls (zero =
+	// disabled; see rpc.Resilience).
+	Resilience rpc.Resilience
+	// Chaos, when true, interposes a transport.Flaky between the simulated
+	// network and every connection; the booted Cluster exposes it as
+	// .Chaos so tests can sever, blackhole, delay, or drop links.
+	Chaos bool
 }
 
 // Cluster is a running simulated network.
@@ -58,9 +67,12 @@ type Cluster struct {
 	Sim   *transport.Sim
 	Table *routing.Table
 	Place *placement.Map
+	// Chaos is the fault-injection layer (nil unless Options.Chaos).
+	Chaos *transport.Flaky
 
 	registry *symbol.Registry
 	opts     Options
+	dialFrom memoserver.DialFunc
 
 	mu    sync.Mutex
 	nodes map[string]*memoserver.Node
@@ -101,16 +113,24 @@ func Boot(f *adf.File, opts Options) (*Cluster, error) {
 		Place:    place,
 		registry: symbol.NewRegistry(),
 		opts:     opts,
+		dialFrom: sim.DialFrom,
 		nodes:    make(map[string]*memoserver.Node),
 	}
+	var nw memoserver.Network = sim
+	if opts.Chaos {
+		c.Chaos = transport.NewFlaky(sim)
+		c.dialFrom = c.Chaos.DialFrom
+		nw = c.Chaos
+	}
 	for _, h := range f.Hosts {
-		n := memoserver.New(h.Name, sim, memoserver.Config{
+		n := memoserver.NewWithNetwork(h.Name, nw, memoserver.Config{
 			Cache:        opts.Cache,
 			FolderCache:  opts.FolderCache,
 			Lambda:       opts.Lambda,
 			Arena:        opts.Arena,
 			FolderShards: opts.FolderShards,
 			Batch:        opts.Batch,
+			Resilience:   opts.Resilience,
 		})
 		if err := n.Start(); err != nil {
 			c.Shutdown()
@@ -166,7 +186,7 @@ func (c *Cluster) NewMemo(host string) (*core.Memo, error) {
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown host %s", host)
 	}
-	client, err := memoserver.DialClientPolicy(c.Sim.DialFrom, host, c.File.App, c.opts.Batch)
+	client, err := memoserver.DialClientResilient(c.dialFrom, host, c.File.App, c.opts.Batch, c.opts.Resilience)
 	if err != nil {
 		return nil, err
 	}

@@ -31,15 +31,29 @@ func DialClient(dial DialFunc, host, app string) (*Client, error) {
 }
 
 // DialClientPolicy connects with an explicit batch flush policy
-// (cluster.Options.Batch reaches here).
+// (cluster.Options.Batch reaches here). The connection heartbeats at the
+// default interval: the daemons arm read deadlines by default, and a
+// client parked on a blocking folder wait must not look dead to them. Use
+// DialClientResilient to choose the interval (or 0 to disable).
 func DialClientPolicy(dial DialFunc, host, app string, pol rpc.Policy) (*Client, error) {
+	return DialClientResilient(dial, host, app, pol, rpc.Resilience{Heartbeat: rpc.DefaultHeartbeat})
+}
+
+// DialClientResilient connects with a batch flush policy and the
+// link-resilience layer: with res.Heartbeat set, the connection probes the
+// memo server whenever its receive side goes quiet, so daemon-side idle
+// timeouts stay armed without killing a client parked on a blocking folder
+// wait, and a
+// dead server fails every pending call with rpc.ErrLinkDown instead of
+// hanging them.
+func DialClientResilient(dial DialFunc, host, app string, pol rpc.Policy, res rpc.Resilience) (*Client, error) {
 	conn, err := dial(host, MemoAddr(host))
 	if err != nil {
 		return nil, fmt.Errorf("memoserver: dial %s: %w", host, err)
 	}
 	mux := transport.NewMux(conn, 4096)
 	go mux.Run()
-	return &Client{Host: host, App: app, mux: mux, conn: rpc.NewConn(mux.Channel(1), pol)}, nil
+	return &Client{Host: host, App: app, mux: mux, conn: rpc.NewConnResilient(mux.Channel(1), pol, res)}, nil
 }
 
 // Do executes one request and waits for its response. Many Do calls may be

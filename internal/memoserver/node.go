@@ -15,6 +15,7 @@
 package memoserver
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -97,13 +98,29 @@ type Config struct {
 	// Batch is the rpc flush policy for served connections and peer
 	// links (zero = rpc defaults).
 	Batch rpc.Policy
+	// Resilience arms the link-resilience layer on peer links: heartbeats
+	// (so transport idle timeouts can stay on), reconnect with backoff
+	// when a link dies, and bounded transparent retries of safely-
+	// retriable forwarded calls. Zero disables all three.
+	Resilience rpc.Resilience
+	// NoLocalInline disables the local fast path: every local request goes
+	// through the folder server's thread cache, as all requests did before
+	// non-blocking ops were inlined (the benchmark baseline, and the E1
+	// thread-cache-fidelity configuration).
+	NoLocalInline bool
+}
+
+// listenNet is the slice of a transport a Node drives directly; both
+// transport.Transport and Network satisfy it.
+type listenNet interface {
+	Listen(addr string) (transport.Listener, error)
 }
 
 // Node is one host's memo server.
 type Node struct {
 	Host string
 
-	net transport.Transport // for Listen
+	net listenNet
 	cfg Config
 	// dialFrom abstracts DialFrom for non-sim transports.
 	dialFrom func(src, addr string) (transport.Conn, error)
@@ -125,20 +142,91 @@ type Node struct {
 	// Counters for experiments.
 	localOps   atomic.Int64
 	forwards   atomic.Int64
+	inlined    atomic.Int64
+	retried    atomic.Int64
 	registered atomic.Int64
 }
 
-// peerLink is a cached rpc connection to a neighbouring memo server; every
-// forwarded request to that neighbour shares it, so concurrent forwards
-// pipeline and batch.
+// peerLink is the resilient rpc connection to a neighbouring memo server;
+// every forwarded request to that neighbour shares it, so concurrent
+// forwards pipeline and batch. When the link dies the embedded Redialer
+// reconnects with exponential backoff + jitter, and forward retries
+// safely-retriable calls on the fresh connection.
 type peerLink struct {
-	mux  *transport.Mux
-	conn *rpc.Conn
+	node *Node
+	host string
+	rd   *transport.Redialer
+
+	mu    sync.Mutex
+	epoch uint64
+	conn  *rpc.Conn
 }
 
+// muxChannel is the conn a peer-link Redialer manages: one rpc virtual
+// circuit whose Close also retires the mux carrying it, so a faulted link
+// leaks neither.
+type muxChannel struct {
+	*transport.Channel
+	mux *transport.Mux
+}
+
+func (m *muxChannel) Close() error {
+	_ = m.Channel.Close()
+	return m.mux.Close()
+}
+
+func (n *Node) newPeerLink(host string) *peerLink {
+	dial := func() (transport.Conn, error) {
+		if n.isClosed() {
+			return nil, fmt.Errorf("memo server %s closed", n.Host)
+		}
+		raw, err := n.dialFrom(n.Host, MemoAddr(host))
+		if err != nil {
+			return nil, err
+		}
+		mux := transport.NewMux(raw, 4096)
+		go mux.Run()
+		return &muxChannel{Channel: mux.Channel(1), mux: mux}, nil
+	}
+	return &peerLink{node: n, host: host, rd: transport.NewRedialer(dial, n.cfg.Resilience.Redial)}
+}
+
+// get returns the live rpc connection for this link (dialing or re-dialing
+// under backoff if it is down) and the epoch to report to fault on failure.
+func (p *peerLink) get(giveup <-chan struct{}) (*rpc.Conn, uint64, error) {
+	ch, ep, err := p.rd.Get(giveup)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Only a strictly newer epoch replaces the conn: a goroutine that slept
+	// on an old Get result must not tear down the link a concurrent fault
+	// cycle already rebuilt. Whatever is current is what we hand back (a
+	// stale ch is dead anyway), with the matching epoch for fault.
+	if p.conn == nil || ep > p.epoch {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.conn = rpc.NewConnResilient(ch, p.node.cfg.Batch, p.node.cfg.Resilience)
+		p.epoch = ep
+	}
+	return p.conn, p.epoch, nil
+}
+
+// fault reports the connection handed out under epoch dead; the next get
+// re-dials. Stale epochs are ignored, so concurrent forwards may all fault.
+func (p *peerLink) fault(epoch uint64) { p.rd.Fault(epoch) }
+
 func (p *peerLink) close() {
-	p.conn.Close()
-	p.mux.Close()
+	p.rd.Close()
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // New creates a memo server for host over the given network. For the
@@ -146,6 +234,13 @@ func (p *peerLink) close() {
 // use NewWithDialer.
 func New(host string, sim *transport.Sim, cfg Config) *Node {
 	return newNode(host, sim, sim.DialFrom, cfg)
+}
+
+// NewWithNetwork creates a memo server over any Network — a listener
+// namespace with source-host-aware dialing (transport.Sim, a
+// transport.Flaky wrapping one, or a peer-mapped TCP view).
+func NewWithNetwork(host string, nw Network, cfg Config) *Node {
+	return newNode(host, nw, nw.DialFrom, cfg)
 }
 
 // NewWithDialer creates a memo server over any transport; dials ignore the
@@ -156,7 +251,7 @@ func NewWithDialer(host string, t transport.Transport, cfg Config) *Node {
 	}, cfg)
 }
 
-func newNode(host string, t transport.Transport, dial func(string, string) (transport.Conn, error), cfg Config) *Node {
+func newNode(host string, t listenNet, dial func(string, string) (transport.Conn, error), cfg Config) *Node {
 	return &Node{
 		Host:     host,
 		net:      t,
@@ -412,6 +507,16 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 			return wire.Errf("memo server %s: folder server %d not local", n.Host, q.FolderID)
 		}
 		n.localOps.Add(1)
+		if !n.cfg.NoLocalInline && nonBlockingOp(q.Op) {
+			// Fast path: an op that cannot wait on a folder completes on
+			// the dispatching thread itself, skipping the goroutine
+			// handoff (and reply-channel round trip) through the folder
+			// server's thread cache. The dispatching thread is already a
+			// cached thread of this node, so the paper's thread-per-
+			// request discipline is preserved one layer up.
+			n.inlined.Add(1)
+			return fs.Handle(q, cancel)
+		}
 		// Hand the request to the folder server's thread cache: "each
 		// request to a server will cause a thread to be created to handle
 		// the request".
@@ -431,9 +536,37 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 	return n.forward(app, q, targetHost, cancel)
 }
 
+// nonBlockingOp reports ops that always complete without waiting on a
+// folder, and are therefore safe to run inline on the dispatching thread.
+func nonBlockingOp(op wire.Op) bool {
+	switch op {
+	case wire.OpPut, wire.OpPutDelayed, wire.OpGetSkip, wire.OpPing:
+		return true
+	}
+	return false
+}
+
+// retriableInFlight reports ops safe to re-issue even when the first
+// attempt may have executed: reads that take nothing (get_copy, watch,
+// fetch) and idempotent control ops. Put and the destructive gets are
+// deliberately absent — re-running a maybe-applied put duplicates a memo
+// and re-running a maybe-applied get_skip can consume a second one; those
+// retry only when the link died before the request reached the wire
+// (rpc.LinkError.Sent == false).
+func retriableInFlight(op wire.Op) bool {
+	switch op {
+	case wire.OpGetCopy, wire.OpWatch, wire.OpPing, wire.OpFetch, wire.OpRegister:
+		return true
+	}
+	return false
+}
+
 // forward relays the request one hop along the routing table over the
 // cached peer rpc connection; concurrent forwards to one neighbour
-// pipeline and batch on it.
+// pipeline and batch on it. If the link dies mid-call the peer link is
+// faulted (triggering a backoff re-dial) and the call is retried up to
+// Resilience.Retries times — always when the request provably never
+// reached the wire, and only for idempotent ops once it may have.
 func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-chan struct{}) *wire.Response {
 	hop, ok := app.Table.NextHop(n.Host, targetHost)
 	if !ok {
@@ -446,19 +579,44 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 	fq := *q
 	fq.Hops = q.Hops + 1
 	n.forwards.Add(1)
-	resp, err := link.conn.Call(&fq, cancel)
-	if err != nil {
+	retries := n.cfg.Resilience.Retries
+	for attempt := 0; ; attempt++ {
+		conn, epoch, err := link.get(cancel)
+		if err != nil {
+			select {
+			case <-cancel:
+				return wire.Errf("canceled")
+			default:
+			}
+			if attempt < retries { // a failed dial sent nothing; any op may retry
+				n.retried.Add(1)
+				continue
+			}
+			return wire.Errf("memo server %s: dial %s: %v", n.Host, hop, err)
+		}
+		resp, err := conn.Call(&fq, cancel)
+		if err == nil {
+			return resp
+		}
 		if err == rpc.ErrCanceled {
 			return wire.Errf("canceled")
 		}
-		n.dropPeer(hop)
+		var le *rpc.LinkError
+		if errors.As(err, &le) {
+			link.fault(epoch)
+			if attempt < retries && (!le.Sent || retriableInFlight(q.Op)) {
+				n.retried.Add(1)
+				continue
+			}
+		}
 		return wire.Errf("memo server %s: forward to %s: %v", n.Host, hop, err)
 	}
-	return resp
 }
 
-// peer returns the cached rpc link to a neighbouring memo server, dialing
-// on first use.
+// peer returns the resilient link to a neighbouring memo server, creating
+// it on first use. Creation does not dial: the link's Redialer connects
+// lazily, so a down neighbour costs its callers dial errors, never a
+// missing table entry.
 func (n *Node) peer(host string) (*peerLink, error) {
 	if v, ok := n.peers.Load(host); ok {
 		return v.(*peerLink), nil
@@ -466,13 +624,7 @@ func (n *Node) peer(host string) (*peerLink, error) {
 	if n.isClosed() {
 		return nil, fmt.Errorf("memo server %s closed", n.Host)
 	}
-	conn, err := n.dialFrom(n.Host, MemoAddr(host))
-	if err != nil {
-		return nil, err
-	}
-	mux := transport.NewMux(conn, 4096)
-	go mux.Run()
-	p := &peerLink{mux: mux, conn: rpc.NewConn(mux.Channel(1), n.cfg.Batch)}
+	p := n.newPeerLink(host)
 	if exist, loaded := n.peers.LoadOrStore(host, p); loaded {
 		p.close()
 		return exist.(*peerLink), nil
@@ -515,8 +667,14 @@ func (n *Node) forwardRelease(appName string, dest symbol.Key, payload []byte) {
 
 // Stats reports memo-server counters.
 type Stats struct {
-	LocalOps   int64
-	Forwards   int64
+	LocalOps int64
+	Forwards int64
+	// Inlined counts local non-blocking ops that took the fast path,
+	// skipping the folder-server thread-cache handoff.
+	Inlined int64
+	// Retried counts forwarded calls transparently re-issued after a link
+	// failure.
+	Retried    int64
 	Registered int64
 }
 
@@ -525,6 +683,8 @@ func (n *Node) Stats() Stats {
 	return Stats{
 		LocalOps:   n.localOps.Load(),
 		Forwards:   n.forwards.Load(),
+		Inlined:    n.inlined.Load(),
+		Retried:    n.retried.Load(),
 		Registered: n.registered.Load(),
 	}
 }

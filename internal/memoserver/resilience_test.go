@@ -1,0 +1,296 @@
+package memoserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/rpc"
+	"repro/internal/symbol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// bootFlakyNet is bootNet with a transport.Flaky interposed, so tests can
+// sever and restore the simulated links.
+func bootFlakyNet(t testing.TB, adfText string, cfg Config) (*testNet, *transport.Flaky) {
+	t.Helper()
+	f, err := adf.Parse(adfText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := transport.NewNetModel(0)
+	for _, l := range f.Links {
+		model.SetLink(l.From, l.To, l.Cost)
+		if l.Duplex {
+			model.SetLink(l.To, l.From, l.Cost)
+		}
+	}
+	flaky := transport.NewFlaky(transport.NewSim(model))
+	tn := &testNet{nodes: make(map[string]*Node), file: f}
+	for _, h := range f.Hosts {
+		n := NewWithNetwork(h.Name, flaky, cfg)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterApp(f); err != nil {
+			t.Fatal(err)
+		}
+		tn.nodes[h.Name] = n
+	}
+	t.Cleanup(func() {
+		for _, n := range tn.nodes {
+			n.Close()
+		}
+	})
+	return tn, flaky
+}
+
+// flakyClient dials through the Flaky layer (so client links are severable
+// too) with resilience armed.
+func flakyClient(t testing.TB, tn *testNet, flaky *transport.Flaky, host string, res rpc.Resilience) *Client {
+	t.Helper()
+	c, err := DialClientResilient(flaky.DialFrom, host, tn.file.App, rpc.Policy{}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestForwardFailsFastAndRedialsAfterSever: severing the a—b link makes
+// forwarded calls fail with an error response (not hang), and once the link
+// is restored the peer table transparently re-dials — no restart, no manual
+// intervention.
+func TestForwardFailsFastAndRedialsAfterSever(t *testing.T) {
+	res := rpc.Resilience{
+		Heartbeat: 100 * time.Millisecond,
+		Redial:    transport.Backoff{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Retries:   2,
+	}
+	tn, flaky := bootFlakyNet(t, twoHostADF, Config{Resilience: res})
+	c := flakyClient(t, tn, flaky, "a", res)
+
+	k := symbol.K(7)
+	// Folder 1 lives on b: this put forwards a→b.
+	if resp, err := c.Do(req(wire.OpPut, 1, k, []byte("before")), nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("put before sever: %+v %v", resp, err)
+	}
+
+	// Park a blocking get on an empty folder across the link, then sever:
+	// the call must fail fast with a link error, not block forever.
+	parked := make(chan *wire.Response, 1)
+	go func() {
+		resp, err := c.Do(req(wire.OpGet, 1, symbol.K(99), nil), nil)
+		if err == nil {
+			parked <- resp
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach b and block
+	flaky.Sever("a", "b")
+	select {
+	case resp := <-parked:
+		if resp.Status != wire.StatusErr {
+			t.Fatalf("parked get across severed link: %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked get hung after its link was severed")
+	}
+
+	// While severed, forwards fail (after their bounded retries).
+	if resp, err := c.Do(req(wire.OpPut, 1, k, []byte("during")), nil); err != nil || resp.Status != wire.StatusErr {
+		t.Fatalf("put during sever: %+v %v", resp, err)
+	}
+
+	flaky.Restore("a", "b")
+	// The next forward re-dials under backoff and succeeds. Allow a few
+	// tries: the redial schedule may still be backing off.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := c.Do(req(wire.OpPut, 1, k, []byte("after")), nil)
+		if err == nil && resp.Status == wire.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("forward never recovered after restore: %+v %v", resp, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := tn.nodes["a"].Stats(); got.Retried == 0 {
+		t.Fatalf("stats: %+v, want Retried > 0 (transparent retries never fired)", got)
+	}
+}
+
+// TestWatchSurvivesIdleTimeoutOverTCP is the acceptance criterion for the
+// heartbeat layer: with TCP.IdleTimeout armed on every link and heartbeats
+// on, a Watch parked across hosts — client link and peer link both
+// legitimately silent — survives ≥ 10× the idle timeout and still fires.
+func TestWatchSurvivesIdleTimeoutOverTCP(t *testing.T) {
+	const (
+		idle = 150 * time.Millisecond
+		hb   = 50 * time.Millisecond
+		park = 10 * idle
+	)
+	net := newTCPMappedWith(transport.NewTCPIdle(idle))
+	f, err := adf.Parse(twoHostADF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rpc.Resilience{Heartbeat: hb}
+	var nodes []*Node
+	for _, h := range f.Hosts {
+		n := NewWithNetwork(h.Name, net, Config{Resilience: res})
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.RegisterApp(f); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	ca, err := DialClientResilient(net.DialFrom, "a", f.App, rpc.Policy{}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ca.Close() })
+	cb, err := DialClientResilient(net.DialFrom, "b", f.App, rpc.Policy{}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cb.Close() })
+
+	// Watch folder 0 (on a) from b: the wait parks on a, with the b→a peer
+	// link and the client→b link both silent for the duration.
+	k := symbol.K(31)
+	woke := make(chan *wire.Response, 1)
+	watchErr := make(chan error, 1)
+	go func() {
+		resp, err := cb.Do(&wire.Request{Op: wire.OpWatch, FolderID: 0, Keys: []symbol.Key{k}}, nil)
+		if err != nil {
+			watchErr <- err
+			return
+		}
+		if resp.Status == wire.StatusErr {
+			watchErr <- &clientStatusErr{msg: resp.Err}
+			return
+		}
+		woke <- resp
+	}()
+	select {
+	case err := <-watchErr:
+		t.Fatalf("watch died during the silent window: %v (idle timeout fired through the heartbeats?)", err)
+	case resp := <-woke:
+		t.Fatalf("watch fired early: %+v", resp)
+	case <-time.After(park):
+	}
+	if resp, err := ca.Do(req(wire.OpPut, 0, k, []byte("wake")), nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("waking put: %+v %v", resp, err)
+	}
+	select {
+	case resp := <-woke:
+		if resp.Status != wire.StatusWake {
+			t.Fatalf("watch response: %+v", resp)
+		}
+	case err := <-watchErr:
+		t.Fatalf("watch failed at wake time: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never fired after the put")
+	}
+}
+
+type clientStatusErr struct{ msg string }
+
+func (e *clientStatusErr) Error() string { return e.msg }
+
+// TestLocalFastPathSkipsSubmit: local non-blocking ops run inline on the
+// dispatching thread — the folder server's thread cache sees no traffic —
+// while blocking ops still go through it, and NoLocalInline restores the
+// old handoff for every op.
+func TestLocalFastPathSkipsSubmit(t *testing.T) {
+	tn := bootNet(t, twoHostADF, Config{})
+	c := tn.client(t, "a")
+	k := symbol.K(5)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if resp, err := c.Do(req(wire.OpPut, 0, k, []byte{byte(i)}), nil); err != nil || resp.Status != wire.StatusOK {
+			t.Fatalf("put %d: %+v %v", i, resp, err)
+		}
+		if resp, err := c.Do(req(wire.OpGetSkip, 0, k, nil), nil); err != nil || resp.Status != wire.StatusOK {
+			t.Fatalf("get_skip %d: %+v %v", i, resp, err)
+		}
+	}
+	node := tn.nodes["a"]
+	fs, ok := node.LocalFolderServer(tn.file.App, 0)
+	if !ok {
+		t.Fatal("no local folder server 0 on a")
+	}
+	if st := fs.CacheStats(); st.Spawned+st.Reused != 0 {
+		t.Fatalf("folder-server thread cache saw %+v; non-blocking locals were not inlined", st)
+	}
+	if st := node.Stats(); st.Inlined != 2*n {
+		t.Fatalf("Inlined = %d, want %d", st.Inlined, 2*n)
+	}
+
+	// A blocking op still takes the thread-cache handoff (it may park).
+	if _, err := c.Do(req(wire.OpPut, 0, k, []byte("x")), nil); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c.Do(req(wire.OpGet, 0, k, nil), nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("blocking get: %+v %v", resp, err)
+	}
+	if st := fs.CacheStats(); st.Spawned+st.Reused == 0 {
+		t.Fatal("blocking get bypassed the folder-server thread cache")
+	}
+}
+
+func TestNoLocalInlineRestoresHandoff(t *testing.T) {
+	tn := bootNet(t, twoHostADF, Config{NoLocalInline: true})
+	c := tn.client(t, "a")
+	k := symbol.K(5)
+	if resp, err := c.Do(req(wire.OpPut, 0, k, []byte("v")), nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("put: %+v %v", resp, err)
+	}
+	node := tn.nodes["a"]
+	fs, _ := node.LocalFolderServer(tn.file.App, 0)
+	if st := fs.CacheStats(); st.Spawned+st.Reused == 0 {
+		t.Fatal("NoLocalInline put bypassed the thread cache")
+	}
+	if st := node.Stats(); st.Inlined != 0 {
+		t.Fatalf("Inlined = %d with NoLocalInline", st.Inlined)
+	}
+}
+
+// BenchmarkNodeLocalFastPath quantifies the inlined local path against the
+// thread-cache handoff baseline, and guards the remote path against
+// regression (remote ops are identical under both configurations).
+func BenchmarkNodeLocalFastPath(b *testing.B) {
+	run := func(b *testing.B, cfg Config, folderID int) {
+		tn := bootNet(b, twoHostADF, cfg)
+		c, err := DialClient(tn.sim.DialFrom, "a", tn.file.App)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		k := symbol.K(9)
+		payload := []byte("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp, err := c.Do(req(wire.OpPut, folderID, k, payload), nil); err != nil || resp.Status != wire.StatusOK {
+				b.Fatalf("put: %+v %v", resp, err)
+			}
+			if resp, err := c.Do(req(wire.OpGetSkip, folderID, k, nil), nil); err != nil || resp.Status != wire.StatusOK {
+				b.Fatalf("get_skip: %+v %v", resp, err)
+			}
+		}
+	}
+	// Folder 0 is local to a; folder 1 forwards to b.
+	b.Run("local/inline", func(b *testing.B) { run(b, Config{}, 0) })
+	b.Run("local/handoff", func(b *testing.B) { run(b, Config{NoLocalInline: true}, 0) })
+	b.Run("remote/inline", func(b *testing.B) { run(b, Config{}, 1) })
+	b.Run("remote/handoff", func(b *testing.B) { run(b, Config{NoLocalInline: true}, 1) })
+}

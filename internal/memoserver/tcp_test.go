@@ -22,8 +22,17 @@ type tcpMapped struct {
 }
 
 func newTCPMapped() *tcpMapped {
-	return &tcpMapped{inner: transport.NewTCP(), addrs: make(map[string]string)}
+	return newTCPMappedWith(transport.NewTCP())
 }
+
+// newTCPMappedWith maps logical hosts over an explicit TCP transport (the
+// resilience tests pass one with IdleTimeout armed).
+func newTCPMappedWith(tcp *transport.TCP) *tcpMapped {
+	return &tcpMapped{inner: tcp, addrs: make(map[string]string)}
+}
+
+// DialFrom makes tcpMapped a Network; TCP dials ignore the source host.
+func (t *tcpMapped) DialFrom(_, addr string) (transport.Conn, error) { return t.Dial(addr) }
 
 func (t *tcpMapped) Listen(addr string) (transport.Listener, error) {
 	l, err := t.inner.Listen("127.0.0.1:0")

@@ -29,6 +29,12 @@ type batcher struct {
 	pol   Policy
 	send  func([]byte) error // transports one encoded frame
 	onErr func(error)        // called once when send fails
+	// preSend, when set, observes each frame's entries immediately before
+	// the transport send. The Conn uses it to mark calls as
+	// handed-to-the-wire: marking before the send means a send that fails
+	// midway still counts as "maybe sent", the conservative direction for
+	// retry safety.
+	preSend func([]wire.BatchEntry)
 
 	mu        sync.Mutex
 	unblocked *sync.Cond // signaled when queue drains below high water
@@ -62,6 +68,36 @@ func (b *batcher) add(e wire.BatchEntry) {
 		b.mu.Unlock()
 		return
 	}
+	b.appendLocked(e)
+	b.mu.Unlock()
+	b.signal()
+}
+
+// addControl enqueues a control entry (heartbeat probe or echo, cancel)
+// without ever blocking: control traffic must not park behind the
+// backpressure wait — the heartbeat loop and the server read pump cannot
+// afford to stop — and must not be dropped at high water either, because a
+// saturated-but-healthy link still needs its proof-of-life traffic (a
+// probe starved by a full data queue would let the deadman kill a live
+// link). Control entries are tiny and rate-bounded (one probe per
+// interval, one echo per inbound probe, one cancel per abandoned call), so
+// exceeding the high-water mark by their count is harmless. Returns false
+// only when the batcher is already closed.
+func (b *batcher) addControl(e wire.BatchEntry) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.appendLocked(e)
+	b.mu.Unlock()
+	b.signal()
+	return true
+}
+
+// appendLocked appends e and arms the linger timer. Caller holds b.mu and
+// signals the sender after unlocking.
+func (b *batcher) appendLocked(e wire.BatchEntry) {
 	b.queue = append(b.queue, e)
 	if !b.armed {
 		b.armed = true
@@ -71,8 +107,6 @@ func (b *batcher) add(e wire.BatchEntry) {
 			b.timer.Reset(b.pol.Linger)
 		}
 	}
-	b.mu.Unlock()
-	b.signal()
 }
 
 func (b *batcher) signal() {
@@ -99,6 +133,9 @@ func (b *batcher) sender() {
 			}
 			batch := b.takeLocked()
 			b.mu.Unlock()
+			if b.preSend != nil {
+				b.preSend(batch)
+			}
 			err := b.send(wire.EncodeBatch(b.kind, batch))
 			// The backing array is shared with the queue; zero the sent
 			// entries so their payloads are collectable while later

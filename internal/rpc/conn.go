@@ -3,6 +3,8 @@ package rpc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -15,74 +17,141 @@ import (
 type Conn struct {
 	ch  transport.Conn
 	pol Policy
+	hb  time.Duration // heartbeat interval; 0 = disabled
 	out *batcher
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *wire.Response
-	err     error
+	pending map[uint64]*call
+	err     error // terminal cause; nil while alive
+
+	// lastSent/lastRecv are UnixNano stamps of the latest wire activity in
+	// each direction. The heartbeat loop probes when either direction goes
+	// quiet — send-idleness starves the peer's read deadline, receive-
+	// idleness starves our proof the peer is alive — and declares the peer
+	// dead on prolonged receive silence.
+	lastSent atomic.Int64
+	lastRecv atomic.Int64
 
 	done     chan struct{}
 	failOnce sync.Once
 }
 
+// call is one in-flight request: its parked response channel and whether
+// its request frame reached the transport (the retry-safety distinction
+// LinkError carries).
+type call struct {
+	rc   chan *wire.Response
+	sent atomic.Bool
+}
+
 // NewConn starts an RPC connection over ch (typically one transport.Mux
-// channel) and its receive loop. The zero Policy means defaults.
+// channel) and its receive loop. The zero Policy means defaults;
+// heartbeats run at DefaultHeartbeat, so every rpc client is safe against
+// daemon-side idle timeouts out of the box — use NewConnResilient to tune
+// the interval or disable probing.
 func NewConn(ch transport.Conn, pol Policy) *Conn {
+	return NewConnResilient(ch, pol, Resilience{Heartbeat: DefaultHeartbeat})
+}
+
+// NewConnResilient is NewConn with an explicit link-resilience
+// configuration: when res.Heartbeat is positive the connection probes
+// whenever its receive direction has been quiet for an interval (the
+// server echoes), so transport idle timeouts never fire on a
+// healthy-but-quiet link, and a peer silent for 2× the interval fails the
+// connection — every pending call returns a *LinkError instead of blocking
+// forever behind a dead wire. res.Heartbeat == 0 disables both.
+func NewConnResilient(ch transport.Conn, pol Policy, res Resilience) *Conn {
 	c := &Conn{
 		ch:      ch,
 		pol:     pol.withDefaults(),
-		pending: make(map[uint64]chan *wire.Response),
+		hb:      res.Heartbeat,
+		pending: make(map[uint64]*call),
 		done:    make(chan struct{}),
 	}
+	now := time.Now().UnixNano()
+	c.lastSent.Store(now)
+	c.lastRecv.Store(now)
 	c.out = newBatcher(wire.BatchRequest, c.pol, ch.Send, c.fail)
+	c.out.preSend = c.markSent
 	go c.recvLoop()
+	if c.hb > 0 {
+		go c.heartbeatLoop()
+	}
 	return c
+}
+
+// markSent stamps outbound activity and flags each request entry's call as
+// handed to the wire, just before the frame ships.
+func (c *Conn) markSent(entries []wire.BatchEntry) {
+	c.lastSent.Store(time.Now().UnixNano())
+	c.mu.Lock()
+	for _, e := range entries {
+		if e.Cancel || e.Heartbeat {
+			continue
+		}
+		if ca, ok := c.pending[e.ID]; ok {
+			ca.sent.Store(true)
+		}
+	}
+	c.mu.Unlock()
 }
 
 // Call sends one request and blocks for its response. Closing cancel
 // abandons the call: a cancel entry tells the server to unblock and discard
-// the request, and Call returns ErrCanceled without waiting for it.
+// the request, and Call returns ErrCanceled without waiting for it. If the
+// link dies, Call fails fast with a *LinkError (errors.Is ErrLinkDown).
 func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
 	msg := wire.EncodeRequest(q)
-	rc := make(chan *wire.Response, 1)
+	ca := &call{rc: make(chan *wire.Response, 1)}
 	c.mu.Lock()
 	if c.err != nil {
-		err := c.err
+		err := c.callErr(c.err, false)
 		c.mu.Unlock()
 		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = rc
+	c.pending[id] = ca
 	c.mu.Unlock()
 
 	c.out.add(wire.BatchEntry{ID: id, Msg: msg})
 
 	select {
-	case resp := <-rc:
+	case resp := <-ca.rc:
 		return resp, nil
 	case <-cancel:
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		// Tell the server to abandon the in-flight request, which may be
-		// pinning a server thread on a folder wait.
-		c.out.add(wire.BatchEntry{ID: id, Cancel: true})
+		// pinning a server thread on a folder wait. Control enqueue: never
+		// parks this already-canceled caller behind the backpressure wait.
+		c.out.addControl(wire.BatchEntry{ID: id, Cancel: true})
 		return nil, ErrCanceled
 	case <-c.done:
 		c.mu.Lock()
-		err := c.err
+		err := c.callErr(c.err, ca.sent.Load())
 		delete(c.pending, id)
 		c.mu.Unlock()
 		// A response may have raced the teardown.
 		select {
-		case resp := <-rc:
+		case resp := <-ca.rc:
 			return resp, nil
 		default:
 		}
 		return nil, err
 	}
+}
+
+// callErr shapes the terminal cause into what a caller sees: an explicit
+// Close stays ErrConnClosed; a dead link becomes a *LinkError carrying
+// whether this call's request reached the wire.
+func (c *Conn) callErr(cause error, sent bool) error {
+	if cause == ErrConnClosed {
+		return ErrConnClosed
+	}
+	return &LinkError{Sent: sent, Cause: cause}
 }
 
 // recvLoop matches batched responses back to pending calls.
@@ -93,6 +162,7 @@ func (c *Conn) recvLoop() {
 			c.fail(err)
 			return
 		}
+		c.lastRecv.Store(time.Now().UnixNano())
 		if !wire.IsBatchFrame(buf) {
 			c.fail(fmt.Errorf("rpc: peer sent a non-batch frame"))
 			return
@@ -107,21 +177,65 @@ func (c *Conn) recvLoop() {
 			return
 		}
 		for _, e := range entries {
+			if e.Heartbeat {
+				// The echo's whole job was advancing lastRecv.
+				continue
+			}
 			resp, err := wire.DecodeResponse(e.Msg)
 			if err != nil {
 				c.fail(fmt.Errorf("rpc: bad response in batch: %w", err))
 				return
 			}
 			c.mu.Lock()
-			rc, ok := c.pending[e.ID]
+			ca, ok := c.pending[e.ID]
 			if ok {
 				delete(c.pending, e.ID)
 			}
 			c.mu.Unlock()
 			if ok {
-				rc <- resp
+				ca.rc <- resp
 			}
 			// Responses to unknown ids are replies to canceled calls; drop.
+		}
+	}
+}
+
+// heartbeatLoop probes when either direction of the link goes quiet for an
+// interval, and declares the peer dead when the receive direction stays
+// silent for 2×. Both idle triggers matter: a link streaming blocking
+// requests is send-busy yet legitimately receives nothing (only probe
+// echoes prove the peer alive), while a link draining a backlog of
+// responses is receive-busy yet sends nothing (only probes feed the peer's
+// read deadline). Checking at a quarter of the interval keeps detection
+// latency within ~2¼× the interval of the peer's last sign of life.
+func (c *Conn) heartbeatLoop() {
+	period := c.hb / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	var lastProbe time.Time
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		recvIdle := now.UnixNano() - c.lastRecv.Load()
+		if recvIdle >= int64(2*c.hb) {
+			c.fail(fmt.Errorf("rpc: peer silent beyond 2x heartbeat interval (%v)", c.hb))
+			return
+		}
+		sendIdle := now.UnixNano() - c.lastSent.Load()
+		if (recvIdle >= int64(c.hb) || sendIdle >= int64(c.hb)) && now.Sub(lastProbe) >= c.hb {
+			// Control enqueue: never parks behind a wedged wire, and never
+			// dropped at high water — a saturated healthy link still needs
+			// its proof-of-life probe, or the deadman would kill it.
+			if c.out.addControl(wire.BatchEntry{Heartbeat: true}) {
+				lastProbe = now
+			}
 		}
 	}
 }

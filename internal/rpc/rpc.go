@@ -32,7 +32,10 @@ package rpc
 
 import (
 	"errors"
+	"fmt"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // Flush-policy defaults: linger long enough for concurrent callers to
@@ -42,6 +45,11 @@ const (
 	DefaultMaxBytes = 64 << 10
 	DefaultLinger   = 100 * time.Microsecond
 )
+
+// DefaultHeartbeat is the probe interval client dial helpers use when the
+// caller does not choose one — sized so the daemons' default idle timeout
+// (15s, 3× this) never fires on a healthy-but-silent connection.
+const DefaultHeartbeat = 5 * time.Second
 
 // Policy tunes when a partially filled batch is flushed to the transport.
 // The zero Policy means the defaults. MaxCount = 1 disables coalescing
@@ -79,4 +87,69 @@ var (
 	ErrConnClosed = errors.New("rpc: connection closed")
 	// ErrCanceled reports a call abandoned via its cancel channel.
 	ErrCanceled = errors.New("rpc: call canceled")
+	// ErrLinkDown reports a call failed because the underlying link died —
+	// the transport errored, the mux tore down, or the heartbeat deadline
+	// expired. Match with errors.Is; the concrete error is a *LinkError
+	// carrying the cause and whether the request had reached the wire.
+	ErrLinkDown = errors.New("rpc: link down")
 )
+
+// LinkError is the failure a Call returns when its connection dies. Sent
+// distinguishes the two retry classes: a request that never left the local
+// batcher queue (Sent == false) was certainly not executed and is safe to
+// retry for any operation, while a request already handed to the transport
+// (Sent == true) may or may not have executed — only idempotent operations
+// may be retried blindly. errors.Is(err, ErrLinkDown) matches both.
+type LinkError struct {
+	// Sent reports whether the request was handed to the transport before
+	// the link died. Marked conservatively (just before the frame ships),
+	// so false is a guarantee and true is a maybe.
+	Sent bool
+	// Cause is the terminal link error (transport failure, mux teardown,
+	// heartbeat expiry).
+	Cause error
+}
+
+func (e *LinkError) Error() string {
+	if e.Sent {
+		return fmt.Sprintf("rpc: link down (request in flight): %v", e.Cause)
+	}
+	return fmt.Sprintf("rpc: link down (request not sent): %v", e.Cause)
+}
+
+func (e *LinkError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrLinkDown) true for every LinkError.
+func (e *LinkError) Is(target error) bool { return target == ErrLinkDown }
+
+// Resilience tunes the link-resilience layer: app-level heartbeats (so
+// transport idle timeouts can be armed without killing legitimately-silent
+// blocking folder waits), reconnect backoff for peer links, and the bounded
+// transparent-retry budget for safely-retriable calls. The zero value
+// disables all three (the pre-resilience behavior).
+//
+// The fields are consumed at different layers of the stack: Heartbeat by
+// every Conn (NewConnResilient), Redial and Retries by the memo server's
+// peer table only — a raw Conn has no dial function to retry with, so
+// NewConnResilient ignores them.
+type Resilience struct {
+	// Heartbeat, when positive, makes the client side of a Conn emit a
+	// heartbeat control entry whenever its receive direction has been
+	// quiet for this long; the server echoes it. Any inbound traffic
+	// re-arms the timer. A peer silent for 2× this interval is declared
+	// dead: the Conn fails and
+	// every pending call returns a *LinkError. Size transport idle
+	// timeouts to at least 2–3× this interval.
+	Heartbeat time.Duration
+	// Redial is the backoff schedule the memo-server peer table uses to
+	// re-dial dead peer links (zero = transport backoff defaults). Not
+	// consumed by NewConnResilient.
+	Redial transport.Backoff
+	// Retries bounds how many times a failed call is transparently
+	// re-dialed and re-issued by the memo server's peer table. Calls whose
+	// request provably never reached the wire retry regardless of
+	// operation; calls already in flight retry only for idempotent,
+	// non-destructive operations. 0 disables transparent retries. Not
+	// consumed by NewConnResilient.
+	Retries int
+}

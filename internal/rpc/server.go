@@ -90,10 +90,19 @@ func (s *server) serveSingle(buf []byte) error {
 	return s.ch.Send(wire.EncodeResponse(resp))
 }
 
-// dispatch routes one batch entry: cancels close the target request's
-// cancel channel; requests run concurrently and respond through the
-// batcher.
+// dispatch routes one batch entry: heartbeats echo straight back through
+// the response batcher (keeping both directions of the link visibly alive);
+// cancels close the target request's cancel channel; requests run
+// concurrently and respond through the batcher.
 func (s *server) dispatch(e wire.BatchEntry) {
+	if e.Heartbeat {
+		// Control enqueue: the read pump must never park behind a response
+		// queue wedged by a non-draining peer, and the echo must not be
+		// dropped behind a saturated-but-draining one — it is the prober's
+		// only proof of life.
+		s.out.addControl(wire.BatchEntry{ID: e.ID, Heartbeat: true})
+		return
+	}
 	if e.Cancel {
 		s.mu.Lock()
 		cc, ok := s.inflight[e.ID]

@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSevered reports a connection or dial refused because its link is
+// administratively severed by a Flaky transport.
+var ErrSevered = errors.New("transport: link severed (fault injection)")
+
+// Flaky decorates a Transport with command-driven fault injection: tests
+// (and chaos drills) can sever a link, silently blackhole it, drop the next
+// N messages, or add delay — per host pair or across the whole transport.
+// It is the backbone of the resilience tests: severing exercises
+// reconnect-with-backoff and ErrLinkDown fail-fast, blackholing exercises
+// heartbeat dead-peer detection (traffic vanishes but nothing errors, the
+// exact signature of a peer dead behind a silent network).
+//
+// Link state is keyed by unordered host pairs (HostOf of the two conn
+// endpoints), so it composes with the Sim transport's host-named addresses;
+// the zero-key ("", "") state applies to every conn, which is the useful
+// granularity over TCP where local addresses are ephemeral ports.
+type Flaky struct {
+	inner Transport
+	// dialFrom is the source-host-aware dial when inner supports one (Sim).
+	dialFrom func(src, addr string) (Conn, error)
+
+	mu    sync.Mutex
+	links map[[2]string]*linkState
+	conns map[*flakyConn]struct{}
+}
+
+// linkState is the injected condition of one link (or of all links, under
+// the wildcard key).
+type linkState struct {
+	severed   bool
+	blackhole bool
+	dropNext  int
+	delay     time.Duration
+}
+
+// NewFlaky wraps inner with fault injection. All links start healthy. If
+// inner is a *Sim, source-host-aware dials (DialFrom) route through it so
+// simulated link delays still apply.
+func NewFlaky(inner Transport) *Flaky {
+	f := &Flaky{
+		inner: inner,
+		links: make(map[[2]string]*linkState),
+		conns: make(map[*flakyConn]struct{}),
+	}
+	if sim, ok := inner.(*Sim); ok {
+		f.dialFrom = sim.DialFrom
+	} else {
+		f.dialFrom = func(_, addr string) (Conn, error) { return inner.Dial(addr) }
+	}
+	return f
+}
+
+// pairKey normalizes an unordered host pair. Empty-both is the wildcard.
+func pairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// link returns (creating if needed) the state for a host pair; call with
+// ("", "") for the all-links wildcard.
+func (f *Flaky) link(a, b string) *linkState {
+	k := pairKey(a, b)
+	st, ok := f.links[k]
+	if !ok {
+		st = &linkState{}
+		f.links[k] = st
+	}
+	return st
+}
+
+// Sever cuts the link between hosts a and b: every live connection between
+// them is closed (both ends fail with ErrClosed / read errors, exactly like
+// a reset), and new dials on the pair fail with ErrSevered until Restore.
+// Sever("", "") severs everything.
+func (f *Flaky) Sever(a, b string) {
+	f.mu.Lock()
+	f.link(a, b).severed = true
+	var victims []*flakyConn
+	for c := range f.conns {
+		if c.matches(a, b) {
+			victims = append(victims, c)
+			delete(f.conns, c)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range victims {
+		_ = c.Conn.Close()
+	}
+}
+
+// Restore clears every injected condition on the pair (severed, blackhole,
+// drops, delay). Connections killed by Sever stay dead — recovery is the
+// redialer's job, which is the point.
+func (f *Flaky) Restore(a, b string) {
+	f.mu.Lock()
+	*f.link(a, b) = linkState{}
+	f.mu.Unlock()
+}
+
+// Blackhole silently discards all traffic between a and b (both directions)
+// while on: sends succeed but deliver nothing, and no error ever surfaces —
+// the failure mode only heartbeats can detect.
+func (f *Flaky) Blackhole(a, b string, on bool) {
+	f.mu.Lock()
+	f.link(a, b).blackhole = on
+	f.mu.Unlock()
+}
+
+// DropNext silently discards the next n messages sent between a and b.
+func (f *Flaky) DropNext(a, b string, n int) {
+	f.mu.Lock()
+	f.link(a, b).dropNext = n
+	f.mu.Unlock()
+}
+
+// Delay adds d to every message sent between a and b.
+func (f *Flaky) Delay(a, b string, d time.Duration) {
+	f.mu.Lock()
+	f.link(a, b).delay = d
+	f.mu.Unlock()
+}
+
+// Name implements Transport.
+func (f *Flaky) Name() string { return "flaky+" + f.inner.Name() }
+
+// Dial implements Transport.
+func (f *Flaky) Dial(addr string) (Conn, error) {
+	return f.DialFrom(HostOf(addr), addr)
+}
+
+// DialFrom dials with an explicit source host (Sim-compatible), refusing
+// severed links.
+func (f *Flaky) DialFrom(srcHost, addr string) (Conn, error) {
+	dst := HostOf(addr)
+	if f.isSevered(srcHost, dst) {
+		return nil, ErrSevered
+	}
+	c, err := f.dialFrom(srcHost, addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(c, srcHost, dst), nil
+}
+
+// Listen implements Transport; accepted connections are wrapped so faults
+// apply to the server side of each link too.
+func (f *Flaky) Listen(addr string) (Listener, error) {
+	l, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyListener{Listener: l, f: f}, nil
+}
+
+func (f *Flaky) isSevered(a, b string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range [][2]string{pairKey(a, b), pairKey("", "")} {
+		if st, ok := f.links[k]; ok && st.severed {
+			return true
+		}
+	}
+	return false
+}
+
+// wrap registers a conn under its host pair. Dialed conns know both ends;
+// accepted conns leave the peer empty and resolve it from the conn's
+// learned remote address at evaluation time.
+func (f *Flaky) wrap(c Conn, local, remote string) *flakyConn {
+	fc := &flakyConn{Conn: c, f: f, local: local, remote: remote}
+	f.mu.Lock()
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	return fc
+}
+
+type flakyListener struct {
+	Listener
+	f *Flaky
+}
+
+func (l *flakyListener) Accept() (Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.f.wrap(c, HostOf(l.Addr()), ""), nil
+}
+
+// flakyConn applies its transport's injected link conditions to each Send.
+// Faults are evaluated at send time, so flipping a condition affects live
+// connections immediately.
+type flakyConn struct {
+	Conn
+	f *Flaky
+	// local and remote are the link's host endpoints. A dialed conn knows
+	// both; an accepted conn learns remote from traffic (Sim stamps its
+	// peer host on the first message), so a just-accepted idle conn may
+	// not yet match its host pair — by the time a test severs
+	// mid-workload, it does.
+	local, remote string
+}
+
+func (c *flakyConn) pair() [2]string {
+	remote := c.remote
+	if remote == "" {
+		remote = HostOf(c.RemoteAddr())
+	}
+	return pairKey(c.local, remote)
+}
+
+// matches reports whether this conn runs between hosts a and b (order
+// irrelevant), or unconditionally for the wildcard pair.
+func (c *flakyConn) matches(a, b string) bool {
+	if a == "" && b == "" {
+		return true
+	}
+	return c.pair() == pairKey(a, b)
+}
+
+// condition snapshots the effective link state for this conn, merging the
+// wildcard state with the host-pair state (any severed/blackhole wins,
+// delay accumulates). A severed link consumes no drop credits, and one
+// message burns at most one credit — pair state first, wildcard second —
+// so DropNext(a, b, n) drops exactly n deliverable messages.
+func (c *flakyConn) condition() linkState {
+	pk := c.pair()
+	var out linkState
+	c.f.mu.Lock()
+	defer c.f.mu.Unlock()
+	states := make([]*linkState, 0, 2)
+	for _, k := range [][2]string{pk, pairKey("", "")} {
+		if st, ok := c.f.links[k]; ok {
+			states = append(states, st)
+			out.severed = out.severed || st.severed
+			out.blackhole = out.blackhole || st.blackhole
+			out.delay += st.delay
+		}
+	}
+	if out.severed || out.blackhole {
+		// The message dies anyway; keep drop credits for messages that
+		// would otherwise be delivered.
+		return out
+	}
+	for _, st := range states {
+		if st.dropNext > 0 {
+			st.dropNext--
+			out.dropNext = 1
+			break
+		}
+	}
+	return out
+}
+
+func (c *flakyConn) Send(msg []byte) error {
+	st := c.condition()
+	if st.severed {
+		_ = c.Conn.Close()
+		return ErrSevered
+	}
+	if st.delay > 0 {
+		time.Sleep(st.delay)
+	}
+	if st.blackhole || st.dropNext > 0 {
+		return nil // swallowed: the caller believes it was sent
+	}
+	return c.Conn.Send(msg)
+}
+
+func (c *flakyConn) Close() error {
+	c.f.mu.Lock()
+	delete(c.f.conns, c)
+	c.f.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flakyPair dials one conn through a Flaky-wrapped in-process transport and
+// returns both wrapped endpoints.
+func flakyPair(t *testing.T) (*Flaky, Conn, Conn) {
+	t.Helper()
+	f := NewFlaky(NewInProc())
+	l, err := f.Listen("b/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialed, err := f.DialFrom("a", "b/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	return f, dialed, srv
+}
+
+func TestFlakyHealthyPassThrough(t *testing.T) {
+	_, cl, srv := flakyPair(t)
+	if err := cl.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := srv.Recv()
+	if err != nil || string(msg) != "ping" {
+		t.Fatalf("recv %q %v", msg, err)
+	}
+	if err := srv.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := cl.Recv(); err != nil || string(msg) != "pong" {
+		t.Fatalf("recv %q %v", msg, err)
+	}
+}
+
+func TestFlakySeverKillsConnsAndDials(t *testing.T) {
+	f, cl, srv := flakyPair(t)
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Recv()
+		recvErr <- err
+	}()
+
+	f.Sever("a", "b")
+	if err := cl.Send([]byte("x")); err == nil {
+		t.Fatal("send succeeded on a severed link")
+	}
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("blocked Recv returned nil after sever")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Recv survived the sever")
+	}
+	if _, err := f.DialFrom("a", "b/svc"); !errors.Is(err, ErrSevered) {
+		t.Fatalf("dial on severed link: %v, want ErrSevered", err)
+	}
+	// An unrelated pair still dials (sever is per-link).
+	if _, err := f.DialFrom("c", "b/svc"); err != nil {
+		t.Fatalf("dial on healthy pair failed: %v", err)
+	}
+
+	f.Restore("a", "b")
+	c2, err := f.DialFrom("a", "b/svc")
+	if err != nil {
+		t.Fatalf("dial after Restore: %v", err)
+	}
+	if err := c2.Send([]byte("back")); err != nil {
+		t.Fatalf("send after Restore: %v", err)
+	}
+}
+
+func TestFlakyWildcardSever(t *testing.T) {
+	f, cl, _ := flakyPair(t)
+	f.Sever("", "")
+	if err := cl.Send([]byte("x")); err == nil {
+		t.Fatal("send succeeded under wildcard sever")
+	}
+	if _, err := f.DialFrom("c", "b/svc"); !errors.Is(err, ErrSevered) {
+		t.Fatalf("dial under wildcard sever: %v, want ErrSevered", err)
+	}
+}
+
+func TestFlakyBlackholeSilentlyDrops(t *testing.T) {
+	f, cl, srv := flakyPair(t)
+	f.Blackhole("a", "b", true)
+	if err := cl.Send([]byte("void")); err != nil {
+		t.Fatalf("blackholed send errored: %v", err)
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		if msg, err := srv.Recv(); err == nil {
+			got <- msg
+		}
+	}()
+	select {
+	case msg := <-got:
+		t.Fatalf("blackholed message was delivered: %q", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	f.Blackhole("a", "b", false)
+	if err := cl.Send([]byte("visible")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if string(msg) != "visible" {
+			t.Fatalf("got %q after blackhole off", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message lost after blackhole off")
+	}
+}
+
+func TestFlakyDropNext(t *testing.T) {
+	f, cl, srv := flakyPair(t)
+	f.DropNext("a", "b", 2)
+	for _, m := range []string{"one", "two", "three"} {
+		if err := cl.Send([]byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "three" {
+		t.Fatalf("first delivered message %q, want %q (two dropped)", msg, "three")
+	}
+}
+
+func TestFlakyDelay(t *testing.T) {
+	f, cl, srv := flakyPair(t)
+	const d = 30 * time.Millisecond
+	f.Delay("a", "b", d)
+	start := time.Now()
+	if err := cl.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("delivery took %v, want ≥ %v", elapsed, d)
+	}
+}

@@ -24,9 +24,10 @@ import (
 //	uvarint entry count
 //	per entry:
 //	  uvarint id
-//	  byte    flags (bit 0: cancel — abandon the in-flight request `id`)
+//	  byte    flags (bit 0: cancel — abandon the in-flight request `id`;
+//	          bit 1: heartbeat — liveness probe/echo, no payload)
 //	  uvarint len, then len bytes of an encoded Request or Response
-//	          (empty for cancel entries)
+//	          (empty for cancel and heartbeat entries)
 //
 // Single-frame messages remain valid: their first byte is an Op or Status,
 // both of which are small constants, so IsBatchFrame cleanly discriminates.
@@ -65,11 +66,19 @@ type BatchEntry struct {
 	// request ID (the batched replacement for closing a per-request
 	// virtual connection). Msg is empty on cancel entries.
 	Cancel bool
+	// Heartbeat marks a liveness control entry. In a request batch it is a
+	// probe (piggybacking on whatever frame is departing, or riding alone
+	// on an otherwise idle link); in a response batch it is the echo. Msg
+	// is empty; ID is echoed back verbatim.
+	Heartbeat bool
 	// Msg is an encoded Request (BatchRequest) or Response (BatchResponse).
 	Msg []byte
 }
 
-const entryFlagCancel byte = 1 << 0
+const (
+	entryFlagCancel    byte = 1 << 0
+	entryFlagHeartbeat byte = 1 << 1
+)
 
 // IsBatchFrame reports whether buf is a batch frame rather than a single
 // encoded Request or Response.
@@ -93,6 +102,9 @@ func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
 		var flags byte
 		if e.Cancel {
 			flags |= entryFlagCancel
+		}
+		if e.Heartbeat {
+			flags |= entryFlagHeartbeat
 		}
 		w.byte(flags)
 		w.bytes(e.Msg)
@@ -129,6 +141,7 @@ func DecodeBatch(buf []byte) (BatchKind, []BatchEntry, error) {
 		e.ID = r.u64()
 		flags := r.byte()
 		e.Cancel = flags&entryFlagCancel != 0
+		e.Heartbeat = flags&entryFlagHeartbeat != 0
 		e.Msg = r.bytes()
 		if r.err != nil {
 			return 0, nil, r.err

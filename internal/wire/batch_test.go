@@ -19,6 +19,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		entries = append(entries, BatchEntry{ID: uint64(100 + i), Msg: EncodeRequest(q)})
 	}
 	entries = append(entries, BatchEntry{ID: 101, Cancel: true})
+	entries = append(entries, BatchEntry{ID: 55, Heartbeat: true})
 
 	frame := EncodeBatch(BatchRequest, entries)
 	if !IsBatchFrame(frame) {
@@ -35,7 +36,8 @@ func TestBatchRoundTrip(t *testing.T) {
 		t.Fatalf("entries = %d, want %d", len(got), len(entries))
 	}
 	for i, e := range got {
-		if e.ID != entries[i].ID || e.Cancel != entries[i].Cancel || !bytes.Equal(e.Msg, entries[i].Msg) {
+		if e.ID != entries[i].ID || e.Cancel != entries[i].Cancel ||
+			e.Heartbeat != entries[i].Heartbeat || !bytes.Equal(e.Msg, entries[i].Msg) {
 			t.Fatalf("entry %d = %+v, want %+v", i, e, entries[i])
 		}
 	}
