@@ -285,7 +285,7 @@ func BenchmarkE7VsLinda(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			store.Put(hot, payload)
-			if _, ok := store.GetSkip(hot); !ok {
+			if _, ok, _ := store.GetSkip(hot); !ok {
 				b.Fatal("lost memo")
 			}
 		}

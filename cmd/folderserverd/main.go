@@ -5,6 +5,11 @@
 // for debugging the protocol with raw clients.
 //
 //	folderserverd -id 3 -host bonnie -listen :7441
+//
+// With -data-dir the directory is durable: every mutation is write-ahead
+// logged (group-committed per -fsync), snapshots truncate the log, and a
+// restart — clean or after a crash — recovers every acknowledged memo,
+// including still-hidden put_delayed values and applied dedup tokens.
 package main
 
 import (
@@ -12,8 +17,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/folder"
 	"repro/internal/rpc"
 	"repro/internal/sharedmem"
@@ -33,6 +41,9 @@ func main() {
 	batchBytes := flag.Int("batch-bytes", 0, "max encoded bytes per rpc batch frame (0 = default 64KiB)")
 	batchLinger := flag.Duration("batch-linger", 0, "upper bound a queued response waits for batch companions (0 = default 100µs)")
 	idleTimeout := flag.Duration("idle-timeout", 15*time.Second, "close connections silent for this long (0 = never; rpc clients heartbeat when their receive side goes quiet, so only legacy raw-wire clients with long blocking waits need this off)")
+	dataDir := flag.String("data-dir", "", "directory for durability (per-shard WAL + snapshots); empty keeps folders in memory only")
+	fsync := flag.String("fsync", "batch", "WAL sync policy: batch (group commit), always (fsync per record), never (trust the OS cache)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "records between WAL snapshot+truncate cycles (0 = default, negative = never)")
 	flag.Parse()
 
 	if *host == "" {
@@ -46,10 +57,28 @@ func main() {
 	if *shards > 0 {
 		opts = append(opts, folder.WithShards(*shards))
 	}
-	store := folder.NewStore(opts...)
 	pol := rpc.Policy{MaxCount: *batchMax, MaxBytes: *batchBytes, Linger: *batchLinger}
-	srv := folder.NewServer(*id, *host, store, threadcache.Config{Disable: *noCache},
-		folder.WithBatchPolicy(pol))
+	cache := threadcache.Config{Disable: *noCache}
+
+	var srv *folder.Server
+	if *dataDir != "" {
+		syncMode, err := durable.ParseSyncMode(*fsync)
+		if err != nil {
+			log.Fatalf("folderserverd: %v", err)
+		}
+		dcfg := durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery}
+		srv, err = folder.OpenServer(*id, *host, *dataDir, dcfg, cache, opts,
+			folder.WithBatchPolicy(pol))
+		if err != nil {
+			log.Fatalf("folderserverd: %v", err)
+		}
+		st := srv.Store()
+		log.Printf("folderserverd: recovered %d memos, %d hidden delayed values, %d folders from %s",
+			st.MemoCount(), st.DelayedCount(), st.FolderCount(), *dataDir)
+	} else {
+		srv = folder.NewServer(*id, *host, folder.NewStore(opts...), cache,
+			folder.WithBatchPolicy(pol))
+	}
 
 	tcp := transport.NewTCP()
 	tcp.IdleTimeout = *idleTimeout
@@ -58,7 +87,20 @@ func main() {
 		log.Fatalf("folderserverd: %v", err)
 	}
 	log.Printf("folderserverd: folder server %d on %s listening at %s", *id, *host, l.Addr())
-	if err := srv.Serve(l); err != nil {
+
+	// Serve until SIGINT/SIGTERM: stop accepting, then flush and close the
+	// WAL before exiting, so a routine restart loses nothing.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case sig := <-sigc:
+		log.Printf("folderserverd: %v: shutting down", sig)
+		l.Close()
+	case err := <-done:
 		log.Fatalf("folderserverd: %v", err)
 	}
+	srv.Close()
+	log.Printf("folderserverd: folder state flushed; bye")
 }

@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/memoserver"
 	"repro/internal/rpc"
 	"repro/internal/threadcache"
@@ -71,6 +74,9 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 15*time.Second, "close connections silent for this long (0 = never; defaults off when heartbeats are disabled, since blocking waits legitimately silence a connection)")
 	redialMin := flag.Duration("redial-backoff", 50*time.Millisecond, "first re-dial delay after a peer link dies; doubles per failure up to the transport cap, with jitter")
 	retries := flag.Int("link-retries", 2, "transparent retries of safely-retriable forwarded calls after a link failure")
+	dataDir := flag.String("data-dir", "", "directory for folder-server durability (per-shard WAL + snapshots); empty keeps folders in memory only")
+	fsync := flag.String("fsync", "batch", "WAL sync policy: batch (group commit), always (fsync per record), never (trust the OS cache)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "records between WAL snapshot+truncate cycles (0 = default, negative = never)")
 	flag.Parse()
 
 	if *host == "" {
@@ -92,6 +98,11 @@ func main() {
 		log.Printf("memoserverd: warning: -idle-timeout %v < 2x -heartbeat-interval %v; healthy silent connections may be killed before their first probe", *idleTimeout, *heartbeat)
 	}
 
+	syncMode, err := durable.ParseSyncMode(*fsync)
+	if err != nil {
+		log.Fatalf("memoserverd: %v", err)
+	}
+
 	tcp := transport.NewTCP()
 	tcp.IdleTimeout = *idleTimeout
 	node := memoserver.NewWithDialer(*host, &mappedTransport{inner: tcp, listen: *listen, peers: peers},
@@ -104,12 +115,23 @@ func main() {
 				Redial:    transport.Backoff{Min: *redialMin},
 				Retries:   *retries,
 			},
+			DataDir: *dataDir,
+			Durable: durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery},
 		})
 	if err := node.Start(); err != nil {
 		log.Fatalf("memoserverd: %v", err)
 	}
 	log.Printf("memoserverd: host %s listening on %s", *host, *listen)
-	select {} // serve forever
+
+	// Serve until SIGINT/SIGTERM, then shut down in order: stop accepting,
+	// drain links, flush and close every folder server's WAL. A durable
+	// deployment relies on this to make a routine restart lose nothing.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	log.Printf("memoserverd: %v: shutting down", sig)
+	node.Close()
+	log.Printf("memoserverd: folder state flushed; bye")
 }
 
 // mappedTransport lets the memo server use logical addresses ("host/memo")

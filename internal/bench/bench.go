@@ -1,6 +1,7 @@
 // Package bench is the experiment harness: one function per experiment in
-// DESIGN.md §4 (E1–E11), each returning a printable table reproducing a
-// figure or claim of the paper. cmd/dmemo-bench drives them from the
+// DESIGN.md §4 (E1–E12), each returning a printable table reproducing a
+// figure or claim of the paper (E11/E12 quantify this reproduction's own
+// scaling and resilience layers). cmd/dmemo-bench drives them from the
 // command line; the repository-root bench_test.go wraps them as testing.B
 // benchmarks.
 package bench
@@ -112,6 +113,7 @@ func All() []Runner {
 		{"E9", "transferable scaling", E9Transferable},
 		{"E10", "languages on the API", E10Languages},
 		{"E11", "rpc batching amortization", E11Batching},
+		{"E12", "link health and retries", E12LinkHealth},
 	}
 }
 

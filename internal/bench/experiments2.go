@@ -185,7 +185,7 @@ func E7VsLinda(cfg Config) (*Table, error) {
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			store.Put(hot, payload)
-			if _, ok := store.GetSkip(hot); !ok {
+			if _, ok, _ := store.GetSkip(hot); !ok {
 				return nil, fmt.Errorf("E7: lost memo")
 			}
 		}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/adf"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/memoserver"
 	"repro/internal/placement"
 	"repro/internal/routing"
@@ -59,6 +60,14 @@ type Options struct {
 	// network and every connection; the booted Cluster exposes it as
 	// .Chaos so tests can sever, blackhole, delay, or drop links.
 	Chaos bool
+	// DataDir, when non-empty, makes every folder server in the cluster
+	// durable: per-host subdirectories of DataDir hold per-shard
+	// write-ahead logs and snapshots, and a crashed host's memo server can
+	// be restarted (RestartNode) recovering every acknowledged memo.
+	DataDir string
+	// Durable tunes the write-ahead logs when DataDir is set (zero =
+	// durable defaults).
+	Durable durable.Config
 }
 
 // Cluster is a running simulated network.
@@ -73,6 +82,7 @@ type Cluster struct {
 	registry *symbol.Registry
 	opts     Options
 	dialFrom memoserver.DialFunc
+	network  memoserver.Network
 
 	mu    sync.Mutex
 	nodes map[string]*memoserver.Node
@@ -116,33 +126,72 @@ func Boot(f *adf.File, opts Options) (*Cluster, error) {
 		dialFrom: sim.DialFrom,
 		nodes:    make(map[string]*memoserver.Node),
 	}
-	var nw memoserver.Network = sim
+	c.network = sim
 	if opts.Chaos {
 		c.Chaos = transport.NewFlaky(sim)
 		c.dialFrom = c.Chaos.DialFrom
-		nw = c.Chaos
+		c.network = c.Chaos
 	}
 	for _, h := range f.Hosts {
-		n := memoserver.NewWithNetwork(h.Name, nw, memoserver.Config{
-			Cache:        opts.Cache,
-			FolderCache:  opts.FolderCache,
-			Lambda:       opts.Lambda,
-			Arena:        opts.Arena,
-			FolderShards: opts.FolderShards,
-			Batch:        opts.Batch,
-			Resilience:   opts.Resilience,
-		})
-		if err := n.Start(); err != nil {
+		if _, err := c.startNode(h.Name); err != nil {
 			c.Shutdown()
 			return nil, err
 		}
-		if err := n.RegisterApp(f); err != nil {
-			c.Shutdown()
-			return nil, err
-		}
-		c.nodes[h.Name] = n
 	}
 	return c, nil
+}
+
+// startNode builds, starts, and registers the memo server for one host,
+// installing it in the node table. Used by Boot and RestartNode.
+func (c *Cluster) startNode(host string) (*memoserver.Node, error) {
+	cfg := memoserver.Config{
+		Cache:        c.opts.Cache,
+		FolderCache:  c.opts.FolderCache,
+		Lambda:       c.opts.Lambda,
+		Arena:        c.opts.Arena,
+		FolderShards: c.opts.FolderShards,
+		Batch:        c.opts.Batch,
+		Resilience:   c.opts.Resilience,
+		Durable:      c.opts.Durable,
+	}
+	if c.opts.DataDir != "" {
+		cfg.DataDir = fmt.Sprintf("%s/%s", c.opts.DataDir, host)
+	}
+	n := memoserver.NewWithNetwork(host, c.network, cfg)
+	if err := n.Start(); err != nil {
+		return nil, err
+	}
+	if err := n.RegisterApp(c.File); err != nil {
+		n.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nodes[host] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// CrashNode hard-stops a host's memo server as SIGKILL would: every link
+// and listener dies at once and durable folder stores abandon unacknowledged
+// records (see memoserver.Node.Crash). The node stays in the table so its
+// peers keep re-dialing its address; RestartNode brings the host back.
+func (c *Cluster) CrashNode(host string) error {
+	n, ok := c.Node(host)
+	if !ok {
+		return fmt.Errorf("cluster: unknown host %s", host)
+	}
+	n.Crash()
+	return nil
+}
+
+// RestartNode boots a fresh memo server for a crashed (or closed) host —
+// same address, same configuration, same data directory, so durable folder
+// servers recover their committed state and peers' redialers reconnect.
+func (c *Cluster) RestartNode(host string) (*memoserver.Node, error) {
+	if _, ok := c.File.HostByName(host); !ok {
+		return nil, fmt.Errorf("cluster: unknown host %s", host)
+	}
+	return c.startNode(host)
 }
 
 // BootADF parses and boots in one step.

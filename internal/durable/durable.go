@@ -1,0 +1,150 @@
+// Package durable is the persistence engine under a folder server's Store:
+// a per-shard write-ahead log with group commit, periodic snapshots with log
+// truncation, and replay-on-open recovery.
+//
+// The paper's folder servers hold their directories in memory ("exclusive
+// access to their folders", §4.1) and lose them on a crash. This package
+// gives a Store crash durability without giving up the sharded design:
+//
+//   - Every mutating operation (put, put_delayed, take, delayed-release)
+//     appends one Record to the WAL stripe of the shard it touched, while
+//     the shard lock is held — so per-folder record order always matches
+//     per-folder application order, which is all replay needs (folders never
+//     span shards, and no record touches two shards).
+//
+//   - Appends only buffer; durability is bought by Commit, which blocks
+//     until a dedicated per-stripe syncer has written and fsynced the
+//     record. The syncer drains by backpressure, mirroring the rpc
+//     batcher: one fsync's duration is exactly the window in which the
+//     next batch of records accumulates, so the sync cost amortizes over
+//     concurrent operations by itself (Config.MaxBatch/MaxBytes/Linger
+//     bound the mechanism, SyncAlways degenerates it to one fsync per
+//     record, SyncNever trusts the OS page cache).
+//
+//   - When enough records accumulate (Config.SnapshotEvery), the owner
+//     cuts a snapshot: shard by shard — under that shard's lock — the
+//     remaining stripe tail is flushed, the shard's in-memory state is
+//     dumped as compacted records into a temp file, and the stripe rotates
+//     onto a fresh log segment of the next generation. The temp file is
+//     fsynced and renamed only after every shard is cut, so a crash at any
+//     point leaves either the old generation (snapshot tmp ignored) or the
+//     new one (stale files deleted on open) — never a torn mixture.
+//
+//   - Open replays the newest complete snapshot, then every surviving log
+//     generation in order. Torn record frames (length or CRC check fails)
+//     mark the end of a stripe: everything before them was acknowledged
+//     durable, everything after was not yet acknowledged, so stopping at
+//     the tear is exactly at-most-once. Replayed stripes are never written
+//     again — every open starts a fresh generation, and the next snapshot
+//     deletes the superseded history.
+//
+// Records also carry at-most-once dedup tokens: a put retried after a link
+// failure or a crash carries the same client-generated token, the Store
+// records applied tokens through the same log, and replay restores them —
+// so a maybe-applied put can be re-sent safely across both failure modes.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrClosed reports an operation on a cleanly closed log.
+	ErrClosed = errors.New("durable: log closed")
+	// ErrCrashed reports an operation on a log torn down by Crash — the
+	// in-process stand-in for SIGKILL. Buffered records are abandoned.
+	ErrCrashed = errors.New("durable: log crashed")
+	// ErrCorrupt reports recovery hitting inconsistent state that cannot be
+	// explained by a torn tail (e.g. a take with no matching put).
+	ErrCorrupt = errors.New("durable: log corrupt")
+)
+
+// SyncMode selects how Commit buys durability.
+type SyncMode int
+
+const (
+	// SyncBatch (the default) group-commits: one fsync covers every record
+	// that accumulated while the previous fsync ran.
+	SyncBatch SyncMode = iota
+	// SyncAlways fsyncs once per record — the durability ceiling and the
+	// throughput floor; the benchmark baseline group commit is measured
+	// against.
+	SyncAlways
+	// SyncNever writes without fsync: records survive a process crash (the
+	// OS holds them) but not a host crash.
+	SyncNever
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("sync-mode(%d)", int(m))
+}
+
+// ParseSyncMode parses a -fsync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "batch", "":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown sync mode %q (want batch, always, or never)", s)
+}
+
+// Defaults.
+const (
+	// DefaultSnapshotEvery is the record count between snapshots.
+	DefaultSnapshotEvery = 8192
+	// DefaultMaxBatch caps records per group-commit fsync.
+	DefaultMaxBatch = 512
+	// DefaultMaxBytes caps bytes per group-commit write.
+	DefaultMaxBytes = 1 << 20
+)
+
+// Config tunes a Log. The zero value is the recommended configuration:
+// group commit, snapshot every DefaultSnapshotEvery records.
+type Config struct {
+	// Sync selects the fsync policy (zero = SyncBatch).
+	Sync SyncMode
+	// SnapshotEvery is how many appended records trigger a snapshot +
+	// truncation cycle (0 = DefaultSnapshotEvery, negative = never).
+	SnapshotEvery int
+	// MaxBatch caps how many records one group-commit cycle writes
+	// (0 = DefaultMaxBatch; forced to 1 by SyncAlways).
+	MaxBatch int
+	// MaxBytes caps how many bytes one group-commit cycle writes
+	// (0 = DefaultMaxBytes).
+	MaxBytes int
+	// Linger, when positive, is an extra accumulation window before each
+	// sync cycle. Backpressure draining usually makes it unnecessary —
+	// records pile up while the previous fsync runs — so the default is 0.
+	Linger time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.Sync == SyncAlways {
+		c.MaxBatch = 1
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	return c
+}

@@ -1,0 +1,492 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// File layout inside a Log directory:
+//
+//	wal-<gen>-<shard>.log   one log stripe per shard of generation <gen>
+//	snap-<gen>              the snapshot that generation <gen> started from
+//	snap-<gen>.tmp          an in-progress snapshot (ignored by recovery)
+//
+// A generation is the span between two snapshot cuts. Snapshot <g> captures
+// all state up to the cut, and wal-<g>-* hold everything after it, so
+// recovery is: load the newest complete snapshot, then replay every
+// surviving generation's stripes in ascending generation order. Files from
+// generations older than the newest snapshot are garbage from an
+// interrupted truncation and are deleted on open.
+
+func walName(gen uint64, shard int) string {
+	return fmt.Sprintf("wal-%08d-%04d.log", gen, shard)
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d", gen) }
+
+// snapMagic heads every snapshot file.
+var snapMagic = []byte("DMSNAP01")
+
+// Log is the durability engine for one folder store: per-shard WAL stripes
+// plus the snapshot/truncate cycle. All methods are safe for concurrent use
+// except StartSnapshot, whose caller must single-flight snapshots.
+type Log struct {
+	dir    string
+	cfg    Config
+	gen    atomic.Uint64 // advanced by snapshots (background goroutine)
+	shards []*stripe
+
+	// appended counts records since the last completed snapshot; the owner
+	// polls ShouldSnapshot after commits.
+	appended atomic.Int64
+}
+
+// Open opens (creating if necessary) the log in dir for a store with the
+// given shard count, replaying recovered records through apply in a replay
+// order that preserves each folder's mutation order. It is safe to reopen
+// with a different shard count: records name their folder, and one folder's
+// records never span stripes within a generation.
+func Open(dir string, shards int, cfg Config, apply func(*Record) error) (*Log, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("durable: shard count %d", shards)
+	}
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	snaps, walGens, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the newest complete snapshot as the base generation.
+	base := uint64(0)
+	haveSnap := false
+	for _, g := range snaps {
+		if g >= base {
+			base, haveSnap = g, true
+		}
+	}
+
+	replayed := int64(0)
+	if haveSnap {
+		n, err := replaySnapshot(filepath.Join(dir, snapName(base)), apply)
+		if err != nil {
+			return nil, err
+		}
+		replayed += n
+	}
+
+	// Replay surviving generations in ascending order. Per-folder order
+	// holds because a folder's records never span stripes within one
+	// generation, and every generation's records post-date the previous
+	// generation's entirely.
+	gen := base
+	for _, g := range walGens {
+		if haveSnap && g < base {
+			continue
+		}
+		if g > gen {
+			gen = g
+		}
+		for _, name := range stripeFiles(dir, g) {
+			n, err := replayStripe(name, apply)
+			if err != nil {
+				return nil, err
+			}
+			replayed += n
+		}
+	}
+
+	// Drop garbage from interrupted truncations: stripes and snapshots of
+	// generations older than the base, and abandoned snapshot temp files.
+	if err := removeStale(dir, base, haveSnap); err != nil {
+		return nil, err
+	}
+
+	// Every open starts a fresh generation: replayed stripes stay on disk
+	// as read-only history until a snapshot supersedes them, and new
+	// records — whose shard mapping may differ if the store was resized —
+	// always replay after everything recovered here.
+	gen++
+	l := &Log{dir: dir, cfg: cfg, shards: make([]*stripe, shards)}
+	l.gen.Store(gen)
+	for i := range l.shards {
+		name := filepath.Join(dir, walName(gen, i))
+		f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+		if err != nil {
+			l.abandon(i)
+			return nil, err
+		}
+		l.shards[i] = newStripe(f, cfg)
+	}
+	// A recovered backlog counts toward the next snapshot, so a log that
+	// crashed with a full generation compacts soon after reopening.
+	l.appended.Store(replayed)
+	return l, nil
+}
+
+// abandon closes the stripes created before a failed Open step.
+func (l *Log) abandon(n int) {
+	for i := 0; i < n; i++ {
+		if l.shards[i] != nil {
+			_ = l.shards[i].close()
+		}
+	}
+}
+
+// scanDir lists complete snapshot generations and wal generations present.
+func scanDir(dir string) (snaps, walGens []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && !strings.HasSuffix(name, ".tmp"):
+			if g, err := strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 10, 64); err == nil {
+				snaps = append(snaps, g)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			parts := strings.SplitN(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), "-", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			if g, err := strconv.ParseUint(parts[0], 10, 64); err == nil && !seen[g] {
+				seen[g] = true
+				walGens = append(walGens, g)
+			}
+		}
+	}
+	sort.Slice(walGens, func(i, j int) bool { return walGens[i] < walGens[j] })
+	return snaps, walGens, nil
+}
+
+// stripeFiles lists generation g's stripe files in shard order.
+func stripeFiles(dir string, g uint64) []string {
+	matches, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("wal-%08d-*.log", g)))
+	sort.Strings(matches)
+	return matches
+}
+
+// replayStripe applies every intact frame of one stripe file, stopping at a
+// torn tail (everything after a tear was never acknowledged durable).
+func replayStripe(name string, apply func(*Record) error) (int64, error) {
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(0)
+	rest := buf
+	for {
+		body, r, ok := nextFrame(rest)
+		if !ok {
+			break
+		}
+		rec, err := DecodeRecord(body)
+		if err != nil {
+			// The frame's CRC held but the body is malformed: corruption,
+			// not a torn tail.
+			return n, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(name), err)
+		}
+		if err := apply(rec); err != nil {
+			return n, fmt.Errorf("durable: replay %s: %w", filepath.Base(name), err)
+		}
+		n++
+		rest = r
+	}
+	return n, nil
+}
+
+// replaySnapshot applies every record of a completed snapshot. Unlike a wal
+// stripe, a completed (renamed) snapshot has no legitimate torn tail, so any
+// framing failure before EOF is corruption.
+func replaySnapshot(name string, apply func(*Record) error) (int64, error) {
+	buf, err := os.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < len(snapMagic) || string(buf[:len(snapMagic)]) != string(snapMagic) {
+		return 0, fmt.Errorf("%w: %s: bad snapshot header", ErrCorrupt, filepath.Base(name))
+	}
+	rest := buf[len(snapMagic):]
+	n := int64(0)
+	for len(rest) > 0 {
+		body, r, ok := nextFrame(rest)
+		if !ok {
+			return n, fmt.Errorf("%w: %s: torn frame in completed snapshot", ErrCorrupt, filepath.Base(name))
+		}
+		rec, err := DecodeRecord(body)
+		if err != nil {
+			return n, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(name), err)
+		}
+		if err := apply(rec); err != nil {
+			return n, fmt.Errorf("durable: replay %s: %w", filepath.Base(name), err)
+		}
+		n++
+		rest = r
+	}
+	return n, nil
+}
+
+// removeStale deletes files superseded by the base snapshot, plus abandoned
+// snapshot temp files. Best-effort: a leftover is re-deleted next open.
+func removeStale(dir string, base uint64, haveSnap bool) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		stale := false
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			stale = true
+		case haveSnap && strings.HasPrefix(name, "snap-"):
+			if g, err := strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 10, 64); err == nil && g < base {
+				stale = true
+			}
+		case haveSnap && strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			parts := strings.SplitN(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), "-", 2)
+			if len(parts) == 2 {
+				if g, err := strconv.ParseUint(parts[0], 10, 64); err == nil && g < base {
+					stale = true
+				}
+			}
+		}
+		if stale {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}
+
+// Append logs one record to the shard's stripe and returns its commit
+// handle. The caller holds the Store shard lock, which orders the records
+// of each folder. A dead log returns 0; Commit reports why.
+func (l *Log) Append(shard int, rec *Record) uint64 {
+	l.appended.Add(1)
+	return l.shards[shard].append(EncodeRecord(rec))
+}
+
+// Commit blocks until the shard's stripe has made seq durable.
+func (l *Log) Commit(shard int, seq uint64) error {
+	return l.shards[shard].commit(seq)
+}
+
+// Barrier blocks until everything appended to the shard's stripe so far is
+// durable — the wait a deduplicated (already-applied) put performs so its
+// acknowledgement never outruns the original record's fsync. An empty
+// stripe (the original landed in a previous generation) is trivially
+// durable.
+func (l *Log) Barrier(shard int) error {
+	s := l.shards[shard]
+	seq := s.barrier()
+	if seq == 0 {
+		return s.aliveErr()
+	}
+	return s.commit(seq)
+}
+
+// ShouldSnapshot reports whether enough records accumulated since the last
+// snapshot to warrant a truncation cycle. The owner single-flights the
+// actual snapshot.
+func (l *Log) ShouldSnapshot() bool {
+	return l.cfg.SnapshotEvery > 0 && l.appended.Load() >= int64(l.cfg.SnapshotEvery)
+}
+
+// Gen reports the current generation (diagnostics and tests).
+func (l *Log) Gen() uint64 { return l.gen.Load() }
+
+// Dir reports the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Shards reports the stripe count.
+func (l *Log) Shards() int { return len(l.shards) }
+
+// Close flushes every stripe and closes the files. Pending commits complete
+// durable; subsequent appends are dead.
+func (l *Log) Close() error {
+	var first error
+	for _, s := range l.shards {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Crash abandons buffered records and slams every stripe shut — the
+// in-process stand-in for SIGKILL. What earlier sync cycles wrote survives
+// in the files; pending commits fail with ErrCrashed.
+func (l *Log) Crash() {
+	for _, s := range l.shards {
+		s.crash()
+	}
+}
+
+// Snapshot is one in-progress snapshot + truncation cycle. The owner cuts
+// every shard exactly once (holding that shard's lock across the cut), then
+// commits. See StartSnapshot.
+type Snapshot struct {
+	l       *Log
+	gen     uint64 // the generation this snapshot opens
+	tmp     *os.File
+	buf     []byte
+	nrec    int64
+	rotated int
+}
+
+// StartSnapshot begins a snapshot into the next generation. The caller must
+// single-flight snapshots and, on any error from CutShard/AppendRecord,
+// Abort. Even an aborted snapshot advances the generation — its rotated
+// stripes are already live — which is safe: recovery replays every
+// generation the incomplete snapshot failed to supersede.
+func (l *Log) StartSnapshot() (*Snapshot, error) {
+	gen := l.gen.Load() + 1
+	tmp, err := os.OpenFile(filepath.Join(l.dir, snapName(gen)+".tmp"),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tmp.Write(snapMagic); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	return &Snapshot{l: l, gen: gen, tmp: tmp}, nil
+}
+
+// CutShard captures one shard: flushes its stripe, dumps the shard's
+// in-memory state (via dump, which emits compacted records), and rotates
+// the stripe onto the new generation's segment. The caller MUST hold that
+// shard's Store lock for the whole call — that is what makes the cut a
+// consistent point between the dumped state and the post-cut records.
+func (s *Snapshot) CutShard(shard int, dump func(emit func(*Record) error) error) error {
+	next, err := os.OpenFile(filepath.Join(s.l.dir, walName(s.gen, shard)),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := s.l.shards[shard].rotate(next); err != nil {
+		next.Close()
+		return err
+	}
+	s.rotated++
+	if err := dump(s.AppendRecord); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// AppendRecord writes one record into the snapshot body. Used by CutShard
+// dumps and for trailer records (the dedup-token table) that are not owned
+// by any single shard.
+func (s *Snapshot) AppendRecord(rec *Record) error {
+	s.buf = appendFrame(s.buf, EncodeRecord(rec))
+	s.nrec++
+	if len(s.buf) >= DefaultMaxBytes {
+		return s.flush()
+	}
+	return nil
+}
+
+func (s *Snapshot) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	_, err := s.tmp.Write(s.buf)
+	s.buf = s.buf[:0]
+	return err
+}
+
+// Commit finalizes the snapshot: fsync, rename into place, fsync the
+// directory, then delete the superseded generation's files. After Commit
+// the log's record counter restarts toward the next snapshot.
+func (s *Snapshot) Commit() error {
+	if err := s.flush(); err != nil {
+		s.Abort()
+		return err
+	}
+	if err := s.tmp.Sync(); err != nil {
+		s.Abort()
+		return err
+	}
+	if err := s.tmp.Close(); err != nil {
+		s.abortKeepGen()
+		return err
+	}
+	final := filepath.Join(s.l.dir, snapName(s.gen))
+	if err := os.Rename(final+".tmp", final); err != nil {
+		s.abortKeepGen()
+		return err
+	}
+	syncDir(s.l.dir)
+	// The rename is the commit point; everything below is cleanup. Every
+	// generation below the new one is superseded — there may be several,
+	// accumulated across restarts without an intervening snapshot.
+	s.l.gen.Store(s.gen)
+	s.l.appended.Store(0)
+	ents, err := os.ReadDir(s.l.dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var g uint64
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			parts := strings.SplitN(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), "-", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			var err error
+			if g, err = strconv.ParseUint(parts[0], 10, 64); err != nil {
+				continue
+			}
+		case strings.HasPrefix(name, "snap-") && !strings.HasSuffix(name, ".tmp"):
+			var err error
+			if g, err = strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 10, 64); err != nil {
+				continue
+			}
+		default:
+			continue
+		}
+		if g < s.gen {
+			_ = os.Remove(filepath.Join(s.l.dir, name))
+		}
+	}
+	return nil
+}
+
+// Abort discards the snapshot temp file. Stripes already rotated stay on
+// the new generation (recovery handles a generation with no snapshot), so
+// the log's generation still advances when any shard was cut.
+func (s *Snapshot) Abort() {
+	_ = s.tmp.Close()
+	s.abortKeepGen()
+}
+
+func (s *Snapshot) abortKeepGen() {
+	_ = os.Remove(filepath.Join(s.l.dir, snapName(s.gen)+".tmp"))
+	if s.rotated > 0 {
+		s.l.gen.Store(s.gen)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: some platforms refuse to fsync directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

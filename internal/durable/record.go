@@ -1,0 +1,271 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/symbol"
+)
+
+// RecType identifies a logged mutation.
+type RecType byte
+
+const (
+	// RecPut adds Payload to Key's folder. Replay deliberately does NOT
+	// release the folder's hidden delayed values the way a live put does:
+	// each delayed entry is removed only by its own RecRelease record, so
+	// an entry whose delivery was never confirmed survives recovery and is
+	// re-released (deduplicated by its release token) by the next trigger.
+	RecPut RecType = 1
+	// RecPutDelayed hides Payload in trigger folder Key, destined for Dest.
+	RecPutDelayed RecType = 2
+	// RecTake removes one item byte-equal to Payload from Key's folder.
+	// Folders are multisets, so "one equal item" identifies the removal
+	// exactly even when the extraction rng picked a different index.
+	RecTake RecType = 3
+	// RecToken records an applied dedup token with no accompanying put —
+	// used by snapshots to carry the token table across truncation.
+	RecToken RecType = 4
+	// RecRelease records that the delayed entry with release token Token
+	// was durably delivered out of trigger folder Key. It is logged only
+	// AFTER the re-deposit is safe (committed locally, or handed to the
+	// remote dispatcher), so recovery re-releases anything still pending —
+	// and the release token makes the re-delivery deduplicate instead of
+	// duplicating.
+	RecRelease RecType = 5
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecPut:
+		return "put"
+	case RecPutDelayed:
+		return "put_delayed"
+	case RecTake:
+		return "take"
+	case RecToken:
+		return "token"
+	case RecRelease:
+		return "release"
+	}
+	return fmt.Sprintf("rec-type(%d)", byte(t))
+}
+
+// Record is one logged Store mutation. Every record describes a transition
+// of exactly one folder (and therefore one shard), which is what lets the
+// per-shard logs replay independently.
+type Record struct {
+	Type RecType
+	// Key is the folder: the put/take target, or put_delayed's trigger.
+	Key symbol.Key
+	// Dest is put_delayed's destination folder.
+	Dest symbol.Key
+	// Payload is the memo payload.
+	Payload []byte
+	// Token is the at-most-once dedup token (0 = none). For RecRelease it
+	// names the released delayed entry's release token.
+	Token uint64
+	// Rel is a put_delayed entry's release token: the dedup token its
+	// eventual re-deposit will carry, minted when the entry is hidden so
+	// that a crash-recovered re-release can never deliver twice.
+	Rel uint64
+}
+
+// Encoding: varint conventions matching the wire codec, but deliberately
+// separate — log compatibility and wire compatibility evolve independently.
+
+type recWriter struct{ buf []byte }
+
+func (w *recWriter) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *recWriter) byte(b byte)  { w.buf = append(w.buf, b) }
+func (w *recWriter) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *recWriter) key(k symbol.Key) {
+	w.u64(uint64(k.S))
+	w.u64(uint64(len(k.X)))
+	for _, x := range k.X {
+		w.u64(uint64(x))
+	}
+}
+
+type recReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *recReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("durable: truncated record")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *recReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.err = fmt.Errorf("durable: truncated record")
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *recReader) bytes() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)-r.pos) < n {
+		r.err = fmt.Errorf("durable: truncated record")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.pos:r.pos+int(n)])
+	r.pos += int(n)
+	return b
+}
+
+func (r *recReader) key() symbol.Key {
+	s := r.u64()
+	n := r.u64()
+	if r.err != nil {
+		return symbol.Key{}
+	}
+	if n > uint64(len(r.buf)-r.pos) { // each element costs ≥ 1 byte
+		r.err = fmt.Errorf("durable: truncated record")
+		return symbol.Key{}
+	}
+	k := symbol.Key{S: symbol.Symbol(s)}
+	if n > 0 {
+		k.X = make([]uint32, n)
+		for i := range k.X {
+			k.X[i] = uint32(r.u64())
+		}
+	}
+	return k
+}
+
+// EncodeRecord serializes a record body (framing is separate; see
+// appendFrame).
+func EncodeRecord(rec *Record) []byte {
+	w := &recWriter{buf: make([]byte, 0, 24+len(rec.Payload))}
+	w.byte(byte(rec.Type))
+	switch rec.Type {
+	case RecPut:
+		w.key(rec.Key)
+		w.bytes(rec.Payload)
+		w.u64(rec.Token)
+	case RecPutDelayed:
+		w.key(rec.Key)
+		w.key(rec.Dest)
+		w.bytes(rec.Payload)
+		w.u64(rec.Token)
+		w.u64(rec.Rel)
+	case RecTake:
+		w.key(rec.Key)
+		w.bytes(rec.Payload)
+	case RecToken:
+		w.u64(rec.Token)
+	case RecRelease:
+		w.key(rec.Key)
+		w.u64(rec.Token)
+	}
+	return w.buf
+}
+
+// DecodeRecord parses a record body. It never panics on hostile input and
+// rejects trailing bytes, so a frame that passed its CRC still cannot smuggle
+// a malformed record past replay.
+func DecodeRecord(buf []byte) (*Record, error) {
+	r := &recReader{buf: buf}
+	rec := &Record{}
+	rec.Type = RecType(r.byte())
+	switch rec.Type {
+	case RecPut:
+		rec.Key = r.key()
+		rec.Payload = r.bytes()
+		rec.Token = r.u64()
+	case RecPutDelayed:
+		rec.Key = r.key()
+		rec.Dest = r.key()
+		rec.Payload = r.bytes()
+		rec.Token = r.u64()
+		rec.Rel = r.u64()
+	case RecTake:
+		rec.Key = r.key()
+		rec.Payload = r.bytes()
+	case RecToken:
+		rec.Token = r.u64()
+	case RecRelease:
+		rec.Key = r.key()
+		rec.Token = r.u64()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("durable: unknown record type %d", byte(rec.Type))
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("durable: %d trailing bytes in record", len(buf)-r.pos)
+	}
+	return rec, nil
+}
+
+// Frame format: u32le body length, u32le CRC-32C of the body, body bytes.
+// A record is only as durable as its whole frame: a partial write fails the
+// length or the CRC and replay stops there.
+
+const frameHeader = 8
+
+// maxFrameBody caps a single record frame; anything larger in a log file is
+// corruption, not an allocation request.
+const maxFrameBody = 1 << 28
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record body to dst.
+func appendFrame(dst []byte, body []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// nextFrame extracts the first frame's body from buf, returning the body and
+// the remainder. ok is false at a clean end or a torn tail — the caller
+// cannot distinguish the two, and does not need to: both mean "no further
+// acknowledged records".
+func nextFrame(buf []byte) (body, rest []byte, ok bool) {
+	if len(buf) < frameHeader {
+		return nil, buf, false
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxFrameBody || uint64(n) > uint64(len(buf)-frameHeader) {
+		return nil, buf, false
+	}
+	body = buf[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, buf, false
+	}
+	return body, buf[frameHeader+int(n):], true
+}

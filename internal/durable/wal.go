@@ -1,0 +1,299 @@
+package durable
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// stripe is one shard's write-ahead log: an append buffer, the current
+// segment file, and a dedicated syncer goroutine that drains the buffer by
+// backpressure — whatever accumulated while the previous write+fsync ran
+// ships in the next cycle, so one fsync amortizes over a group of records
+// exactly the way one in-flight frame amortizes the rpc batcher's sends.
+//
+// Locking: io serializes everything that touches the file (syncer cycles,
+// rotation, close); mu guards the buffer and sequence counters. io is always
+// taken before mu, and appenders take only mu, so an append never waits for
+// an fsync — only Commit does.
+type stripe struct {
+	cfg Config
+
+	io sync.Mutex // file writes, rotation, close; taken before mu
+	f  *os.File   // current segment; swapped by rotate under io+mu
+
+	mu      sync.Mutex
+	synced  *sync.Cond // signalled when syncedSeq/failed/state advance
+	frames  [][]byte   // encoded frames awaiting write, frames[i] is seq base+i+1
+	seq     uint64     // last appended sequence number
+	syncSeq uint64     // last sequence made durable (per the sync mode)
+	failed  error      // sticky terminal error (write/sync failure, crash)
+	closed  bool
+
+	wake chan struct{} // capacity 1: "frames may be pending"
+}
+
+func newStripe(f *os.File, cfg Config) *stripe {
+	s := &stripe{cfg: cfg, f: f, wake: make(chan struct{}, 1)}
+	s.synced = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// append buffers one framed record and returns its sequence number. The
+// caller holds the owning Store shard's lock, which is what orders records
+// of one folder. Returns 0 when the stripe is dead (commit will report why).
+func (s *stripe) append(body []byte) uint64 {
+	frame := appendFrame(make([]byte, 0, frameHeader+len(body)), body)
+	s.mu.Lock()
+	if s.closed || s.failed != nil {
+		s.mu.Unlock()
+		return 0
+	}
+	s.seq++
+	seq := s.seq
+	s.frames = append(s.frames, frame)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return seq
+}
+
+// commit blocks until seq is durable. seq 0 is a dead append (death is
+// sticky, so the terminal state explains it). A record flushed by close()
+// commits fine even though the stripe is now closed — durability checks
+// come first.
+func (s *stripe) commit(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq == 0 {
+		if s.failed != nil {
+			return s.failed
+		}
+		return ErrClosed
+	}
+	for {
+		if s.syncSeq >= seq {
+			return nil
+		}
+		if s.failed != nil {
+			return s.failed
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		s.synced.Wait()
+	}
+}
+
+// aliveErr reports the stripe's terminal state (nil while alive).
+func (s *stripe) aliveErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// barrier returns the current append sequence, for commit-waiting on
+// everything logged so far.
+func (s *stripe) barrier() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// run is the syncer: one write (+fsync per the mode) per cycle, covering
+// every frame that accumulated since the last cycle, bounded by
+// MaxBatch/MaxBytes.
+func (s *stripe) run() {
+	for range s.wake {
+		if s.cfg.Linger > 0 {
+			time.Sleep(s.cfg.Linger)
+		}
+		for {
+			s.io.Lock()
+			s.mu.Lock()
+			if s.closed || s.failed != nil {
+				s.mu.Unlock()
+				s.io.Unlock()
+				return
+			}
+			if len(s.frames) == 0 {
+				s.mu.Unlock()
+				s.io.Unlock()
+				break
+			}
+			batch, top := s.takeLocked()
+			f := s.f
+			s.mu.Unlock()
+
+			err := writeAll(f, batch)
+			if err == nil && s.cfg.Sync != SyncNever {
+				err = f.Sync()
+			}
+
+			s.mu.Lock()
+			if err != nil {
+				if s.failed == nil {
+					s.failed = err
+				}
+				s.synced.Broadcast()
+				s.mu.Unlock()
+				s.io.Unlock()
+				return
+			}
+			s.syncSeq = top
+			s.synced.Broadcast()
+			s.mu.Unlock()
+			s.io.Unlock()
+			// Yield before the next cycle: the waiters just woken re-append
+			// their next records first, so the following fsync covers a full
+			// group instead of racing ahead of its producers — that one
+			// scheduling gap is the difference between per-record and
+			// amortized sync cost when cores are scarce.
+			runtime.Gosched()
+		}
+	}
+}
+
+// takeLocked removes up to MaxBatch frames / ~MaxBytes from the buffer head
+// (always at least one) and returns them with the sequence of the last one.
+// Caller holds io and mu; io held through take+write+mark means no frames
+// are ever in flight elsewhere, so the buffer head is always frame
+// syncSeq+1 and the last taken frame's sequence is syncSeq + len(batch).
+func (s *stripe) takeLocked() ([][]byte, uint64) {
+	n, size := 0, 0
+	for n < len(s.frames) && n < s.cfg.MaxBatch {
+		size += len(s.frames[n])
+		n++
+		if size >= s.cfg.MaxBytes {
+			break
+		}
+	}
+	batch := s.frames[:n:n]
+	if n == len(s.frames) {
+		s.frames = nil
+	} else {
+		s.frames = s.frames[n:]
+	}
+	return batch, s.syncSeq + uint64(len(batch))
+}
+
+// flushLocked writes and (mode permitting) fsyncs every buffered frame to
+// the current file. Caller holds io and mu.
+func (s *stripe) flushLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	for len(s.frames) > 0 {
+		batch, top := s.takeLocked()
+		if err := writeAll(s.f, batch); err != nil {
+			s.failed = err
+			s.synced.Broadcast()
+			return err
+		}
+		s.syncSeq = top
+	}
+	if s.cfg.Sync != SyncNever {
+		if err := s.f.Sync(); err != nil {
+			s.failed = err
+			s.synced.Broadcast()
+			return err
+		}
+	}
+	s.synced.Broadcast()
+	return nil
+}
+
+// rotate flushes the old segment and switches the stripe onto next. The
+// caller holds the owning Store shard's lock, so no append races the swap;
+// io excludes an in-flight syncer cycle, so no pre-cut frame can land in the
+// post-cut segment.
+func (s *stripe) rotate(next *os.File) error {
+	s.io.Lock()
+	defer s.io.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	old := s.f
+	s.f = next
+	if err := old.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// close flushes and retires the stripe; pending commits complete first.
+func (s *stripe) close() error {
+	s.io.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.io.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	s.frames = nil
+	s.synced.Broadcast()
+	f := s.f
+	s.mu.Unlock()
+	s.io.Unlock()
+	// Unblock the syncer so it observes closed and exits; the channel is
+	// never closed because a racing append may still signal it.
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// crash abandons buffered frames and slams the file shut — what SIGKILL
+// does to a real process. Pending commits fail with ErrCrashed; whatever an
+// earlier cycle already wrote stays in the file, exactly like OS-buffered
+// data surviving a killed process.
+func (s *stripe) crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.failed == nil {
+		s.failed = ErrCrashed
+	}
+	s.frames = nil
+	s.synced.Broadcast()
+	f := s.f
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	_ = f.Close()
+}
+
+func writeAll(f *os.File, frames [][]byte) error {
+	for _, fr := range frames {
+		if _, err := f.Write(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package folder
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/durable"
+	"repro/internal/symbol"
+)
+
+// OpenStore opens a durable Store backed by the write-ahead log in dir,
+// replaying any recovered state (visible memos, still-hidden put_delayed
+// values, and applied dedup tokens) before the first operation is accepted.
+// The directory is created on first use. Every mutating operation on the
+// returned store is acknowledged only after its record is committed per
+// dcfg's sync mode, and the store snapshots + truncates the log in the
+// background as records accumulate.
+func OpenStore(dir string, dcfg durable.Config, opts ...Option) (*Store, error) {
+	s := NewStore(opts...)
+	lg, err := durable.Open(dir, s.ShardCount(), dcfg, s.applyRecord)
+	if err != nil {
+		return nil, fmt.Errorf("folder: open store %s: %w", dir, err)
+	}
+	s.wal = lg
+	return s, nil
+}
+
+// Durable reports whether the store is backed by a write-ahead log.
+func (s *Store) Durable() bool { return s.wal != nil }
+
+// Log exposes the durability engine (diagnostics and tests); nil on a
+// memory-only store.
+func (s *Store) Log() *durable.Log { return s.wal }
+
+// Close flushes and closes the write-ahead log. Pending operation commits
+// complete durable first. A memory-only store closes trivially.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// Crash abandons buffered-but-uncommitted log records and slams the log
+// shut — the in-process stand-in for SIGKILL, used by the crash-recovery
+// harness. Acknowledged operations survive in the log; unacknowledged ones
+// fail their commit and are rolled back or reported to the caller.
+func (s *Store) Crash() {
+	if s.wal != nil {
+		s.wal.Crash()
+	}
+}
+
+// applyRecord replays one recovered record. Replay runs before the store is
+// published, but it takes the shard locks anyway — they are uncontended and
+// keep the mutation paths uniform. Replay rebuilds state only: the
+// operation counters (Stats) stay zero, so a restarted store reports what
+// happened in this incarnation, not its entire logged history.
+func (s *Store) applyRecord(rec *durable.Record) error {
+	switch rec.Type {
+	case durable.RecPut:
+		canon := rec.Key.Canon()
+		it := s.wrap(rec.Payload)
+		sh := s.shardFor(rec.Key)
+		sh.mu.Lock()
+		f := sh.getFold(canon)
+		f.items = append(f.items, it)
+		// Deliberately NOT clearing f.delayed, although the live put
+		// released those entries: each entry is removed only by its own
+		// RecRelease record, logged once its re-deposit was safe. An entry
+		// that survives here is re-released by the next trigger put, and
+		// its release token deduplicates the delivery if the first one
+		// actually landed.
+		if rec.Token != 0 {
+			s.tokens.note(rec.Token)
+		}
+		sh.mu.Unlock()
+	case durable.RecPutDelayed:
+		canon := rec.Key.Canon()
+		it := s.wrap(rec.Payload)
+		sh := s.shardFor(rec.Key)
+		sh.mu.Lock()
+		f := sh.getFold(canon)
+		f.delayed = append(f.delayed, delayedEntry{val: it, dest: rec.Dest.Clone(), rel: rec.Rel})
+		if rec.Token != 0 {
+			s.tokens.note(rec.Token)
+		}
+		sh.mu.Unlock()
+	case durable.RecRelease:
+		canon := rec.Key.Canon()
+		sh := s.shardFor(rec.Key)
+		sh.mu.Lock()
+		if f, ok := sh.folders[canon]; ok {
+			for i := range f.delayed {
+				if f.delayed[i].rel == rec.Token {
+					if f.delayed[i].val.seg != nil && s.arena != nil {
+						_ = s.arena.Free(f.delayed[i].val.seg)
+					}
+					f.delayed = append(f.delayed[:i], f.delayed[i+1:]...)
+					break
+				}
+			}
+			// A missing entry is legal: a snapshot cut between the
+			// in-memory release and the RecRelease append dumps the folder
+			// without the entry, and the release record lands in the next
+			// generation.
+			sh.gcFold(canon, f)
+		}
+		sh.mu.Unlock()
+	case durable.RecTake:
+		canon := rec.Key.Canon()
+		sh := s.shardFor(rec.Key)
+		sh.mu.Lock()
+		f, ok := sh.folders[canon]
+		found := false
+		if ok {
+			for i := range f.items {
+				if bytes.Equal(f.items[i].data, rec.Payload) {
+					it := f.items[i]
+					last := len(f.items) - 1
+					f.items[i] = f.items[last]
+					f.items[last] = item{}
+					f.items = f.items[:last]
+					if it.seg != nil && s.arena != nil {
+						_ = s.arena.Free(it.seg)
+					}
+					found = true
+					break
+				}
+			}
+			sh.gcFold(canon, f)
+		}
+		sh.mu.Unlock()
+		if !found {
+			// Per-folder record order guarantees the put replays before its
+			// take; a miss is corruption, not a tolerable anomaly.
+			return fmt.Errorf("%w: take of %v finds no matching memo", durable.ErrCorrupt, rec.Key)
+		}
+	case durable.RecToken:
+		s.tokens.note(rec.Token)
+	default:
+		return fmt.Errorf("%w: unexpected record type %v", durable.ErrCorrupt, rec.Type)
+	}
+	return nil
+}
+
+// maybeSnapshot starts a background snapshot + truncation cycle when enough
+// records have accumulated. Single-flight; failures leave the log serving
+// (the rotated stripes simply carry more history until the next attempt).
+func (s *Store) maybeSnapshot() {
+	if s.wal == nil || !s.wal.ShouldSnapshot() {
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.snapshotting.Store(false)
+		_ = s.snapshot()
+	}()
+}
+
+// snapshot cuts every shard under its own lock — the store pauses one shard
+// at a time, never globally — then commits the snapshot, truncating all
+// superseded log generations.
+func (s *Store) snapshot() error {
+	snap, err := s.wal.StartSnapshot()
+	if err != nil {
+		return err
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := snap.CutShard(i, func(emit func(*durable.Record) error) error {
+			return dumpShard(sh, emit)
+		})
+		sh.mu.Unlock()
+		if err != nil {
+			snap.Abort()
+			return err
+		}
+	}
+	// The token table is global, not per-shard; dump it after every cut so
+	// a token noted before its shard's cut is never lost (one noted after
+	// rides in the new generation's records, and double-noting is
+	// idempotent).
+	for _, tok := range s.tokens.dump() {
+		if err := snap.AppendRecord(&durable.Record{Type: durable.RecToken, Token: tok}); err != nil {
+			snap.Abort()
+			return err
+		}
+	}
+	return snap.Commit()
+}
+
+// dumpShard emits one shard's state as compacted records: per folder the
+// visible items then the hidden delayed values (replay order matters — a
+// put record clears the folder's delayed list). Caller holds the shard lock.
+func dumpShard(sh *shard, emit func(*durable.Record) error) error {
+	for canon, f := range sh.folders {
+		key, err := symbol.ParseCanon(canon)
+		if err != nil {
+			return fmt.Errorf("%w: unparseable folder key %q", durable.ErrCorrupt, canon)
+		}
+		for _, it := range f.items {
+			if err := emit(&durable.Record{Type: durable.RecPut, Key: key, Payload: it.data}); err != nil {
+				return err
+			}
+		}
+		for _, d := range f.delayed {
+			if err := emit(&durable.Record{
+				Type: durable.RecPutDelayed, Key: key, Dest: d.dest, Payload: d.val.data,
+				Rel: d.rel,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tokenTable is the at-most-once dedup set: applied put tokens, bounded by
+// FIFO eviction. Its lock nests strictly inside a Store shard lock: seen
+// and note are only called while the tokened put's target shard is locked,
+// which serializes a retry against its original.
+type tokenTable struct {
+	mu   sync.Mutex
+	cap  int
+	set  map[uint64]struct{}
+	fifo []uint64
+	head int
+}
+
+// noteIfNew records tok and reports whether it was new — one acquisition
+// for the check-and-note a tokened put performs, keeping the global table
+// a single short critical section nested inside the shard lock.
+func (t *tokenTable) noteIfNew(tok uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.noteLocked(tok)
+}
+
+func (t *tokenTable) note(tok uint64) {
+	if tok == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.noteLocked(tok)
+	t.mu.Unlock()
+}
+
+func (t *tokenTable) noteLocked(tok uint64) bool {
+	if t.set == nil {
+		t.set = make(map[uint64]struct{})
+	}
+	if _, ok := t.set[tok]; ok {
+		return false
+	}
+	t.set[tok] = struct{}{}
+	t.fifo = append(t.fifo, tok)
+	if len(t.set) > t.cap && t.cap > 0 {
+		delete(t.set, t.fifo[t.head])
+		t.fifo[t.head] = 0
+		t.head++
+		if t.head > len(t.fifo)/2 && t.head > 1024 {
+			t.fifo = append([]uint64(nil), t.fifo[t.head:]...)
+			t.head = 0
+		}
+	}
+	return true
+}
+
+// newRelToken mints a non-zero release token for a hidden delayed value.
+func newRelToken() uint64 {
+	for {
+		if t := rand.Uint64(); t != 0 {
+			return t
+		}
+	}
+}
+
+// dump lists live tokens oldest-first (for snapshots).
+func (t *tokenTable) dump() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint64, 0, len(t.set))
+	for _, tok := range t.fifo[t.head:] {
+		if _, ok := t.set[tok]; ok {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Tokens reports the live dedup-token count (diagnostics and tests).
+func (s *Store) Tokens() int {
+	s.tokens.mu.Lock()
+	defer s.tokens.mu.Unlock()
+	return len(s.tokens.set)
+}

@@ -115,7 +115,7 @@ func TestQuickStoreMatchesModel(t *testing.T) {
 				s.PutDelayed(ka, kb, []byte(pay))
 				m.putDelayed(ka, kb, pay)
 			case 2:
-				got, ok := s.GetSkip(ka)
+				got, ok, _ := s.GetSkip(ka)
 				if ok {
 					if !m.take(ka, string(got)) {
 						t.Logf("store returned %q from %v which model does not hold", got, ka)
@@ -127,7 +127,7 @@ func TestQuickStoreMatchesModel(t *testing.T) {
 				}
 			case 3:
 				keys := []symbol.Key{ka, kb}
-				gotKey, got, ok := s.AltSkip(keys)
+				gotKey, got, ok, _ := s.AltSkip(keys)
 				if ok {
 					if !m.take(gotKey, string(got)) {
 						t.Logf("alt returned %q from %v not in model", got, gotKey)
@@ -146,7 +146,7 @@ func TestQuickStoreMatchesModel(t *testing.T) {
 		for i := uint8(0); i < nKeys; i++ {
 			k := key(i)
 			for {
-				got, ok := s.GetSkip(k)
+				got, ok, _ := s.GetSkip(k)
 				if !ok {
 					break
 				}

@@ -3,6 +3,7 @@ package folder
 import (
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
@@ -22,6 +23,9 @@ type Server struct {
 	store *Store
 	pool  *threadcache.Pool
 	batch rpc.Policy
+	// ownsStore marks a store this server opened itself (OpenServer): Close
+	// then flushes and closes its write-ahead log too.
+	ownsStore bool
 }
 
 // ServerOption tunes a Server.
@@ -48,14 +52,42 @@ func NewServer(id int, host string, store *Store, cache threadcache.Config, opts
 	return s
 }
 
+// OpenServer is the open-from-dir path: it opens (recovering if necessary)
+// a durable store from dir and wraps it in a Server that owns it — Close
+// flushes and closes the write-ahead log. storeOpts configure the store
+// (shards, arena, forward hook); opts configure the server.
+func OpenServer(id int, host, dir string, dcfg durable.Config, cache threadcache.Config,
+	storeOpts []Option, opts ...ServerOption) (*Server, error) {
+	store, err := OpenStore(dir, dcfg, storeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s := NewServer(id, host, store, cache, opts...)
+	s.ownsStore = true
+	return s, nil
+}
+
 // Store exposes the underlying directory (for stats and direct tests).
 func (s *Server) Store() *Store { return s.store }
 
 // CacheStats reports thread-cache counters (experiment E1).
 func (s *Server) CacheStats() threadcache.Stats { return s.pool.Stats() }
 
-// Close retires the thread cache.
+// Close retires the thread cache and, for a server that owns its store
+// (OpenServer), flushes and closes the write-ahead log.
 func (s *Server) Close() {
+	s.pool.Close()
+	if s.ownsStore {
+		_ = s.store.Close()
+	}
+}
+
+// Crash hard-stops an owned durable store without flushing — the SIGKILL
+// stand-in for the crash-recovery harness — and retires the thread cache.
+func (s *Server) Crash() {
+	if s.ownsStore {
+		s.store.Crash()
+	}
 	s.pool.Close()
 }
 
@@ -66,10 +98,14 @@ func (s *Server) Close() {
 func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
 	switch q.Op {
 	case wire.OpPut:
-		s.store.Put(q.Key, q.Payload)
+		if err := s.store.PutToken(q.Key, q.Payload, q.Token); err != nil {
+			return wire.Errf("put: %v", err)
+		}
 		return wire.OK()
 	case wire.OpPutDelayed:
-		s.store.PutDelayed(q.Key, q.Key2, q.Payload)
+		if err := s.store.PutDelayedToken(q.Key, q.Key2, q.Payload, q.Token); err != nil {
+			return wire.Errf("put_delayed: %v", err)
+		}
 		return wire.OK()
 	case wire.OpGet:
 		payload, err := s.store.Get(q.Key, cancel)
@@ -84,7 +120,10 @@ func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpGetSkip:
-		payload, ok := s.store.GetSkip(q.Key)
+		payload, ok, err := s.store.GetSkip(q.Key)
+		if err != nil {
+			return wire.Errf("get_skip: %v", err)
+		}
 		if !ok {
 			return &wire.Response{Status: wire.StatusEmpty}
 		}

@@ -71,7 +71,7 @@ func TestWatchEmptyKeySet(t *testing.T) {
 
 func TestAltSkipEmptyKeySet(t *testing.T) {
 	s := NewStore()
-	if _, _, ok := s.AltSkip(nil); ok {
+	if _, _, ok, _ := s.AltSkip(nil); ok {
 		t.Fatal("AltSkip(nil) claimed a memo")
 	}
 }
@@ -314,7 +314,7 @@ func TestStoreStressCrossShard(t *testing.T) {
 					}
 				case 1: // watch (does not consume), then non-blocking sweep
 					if _, err := s.Watch(sub, cancel); err == nil {
-						if _, v, ok := s.AltSkip(sub); ok {
+						if _, v, ok, _ := s.AltSkip(sub); ok {
 							record(v)
 						}
 					}

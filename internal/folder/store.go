@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/durable"
 	"repro/internal/sharedmem"
 	"repro/internal/symbol"
 )
@@ -36,7 +37,13 @@ var ErrNoKeys = errors.New("folder: empty key set")
 
 // ForwardFunc delivers a put_delayed release whose destination folder may
 // live on a different folder server. The Store calls it outside its locks.
-type ForwardFunc func(dest symbol.Key, payload []byte)
+// relToken is the entry's release token: the delivery must carry it as the
+// deposit's dedup token, so a crash-recovered re-release deduplicates
+// instead of duplicating. committed, when non-nil, must be called once the
+// delivery has been handed off safely (destination acknowledged, or queued
+// on the remote dispatcher); the store then logs the release as done so
+// recovery stops re-delivering it.
+type ForwardFunc func(dest symbol.Key, payload []byte, relToken uint64, committed func())
 
 // DefaultShards is the shard count used when WithShards is not given. A
 // power of two comfortably above typical core counts: striping is cheap and
@@ -63,11 +70,28 @@ type Store struct {
 	// Go heap. The arena carries its own lock.
 	arena sharedmem.SharedMemory
 
+	// wal, when non-nil, is the durability engine: every mutating op
+	// appends its record under the shard lock and waits for group commit
+	// before acknowledging. Nil (the default) keeps the historical
+	// memory-only store. See OpenStore.
+	wal *durable.Log
+	// snapshotting single-flights the background snapshot cycle.
+	snapshotting atomic.Bool
+
+	// tokens is the at-most-once dedup table: applied put tokens, checked
+	// and recorded inside the target shard's critical section (shard lock
+	// ordered before the table's own lock). It works with or without the
+	// wal — link-failure retries need it in memory, crash recovery
+	// additionally restores it from the log.
+	tokens   tokenTable
+	tokenCap int
+
 	puts      atomic.Int64
 	takes     atomic.Int64
 	copies    atomic.Int64
 	delayedIn atomic.Int64
 	released  atomic.Int64
+	dupPuts   atomic.Int64
 }
 
 // shard is one stripe of the directory: a mutex, the folders hashed onto
@@ -96,6 +120,10 @@ type item struct {
 type delayedEntry struct {
 	val  item
 	dest symbol.Key
+	// rel is the release token: minted when the value is hidden, carried
+	// by its eventual re-deposit as a dedup token, and named by the
+	// RecRelease record once that re-deposit is safe.
+	rel uint64
 }
 
 // Option configures a Store.
@@ -114,6 +142,21 @@ func WithArena(a sharedmem.SharedMemory) Option {
 // MaxShards caps the stripe count: far beyond any useful striping, and it
 // keeps the power-of-two rounding below from overflowing on absurd input.
 const MaxShards = 1 << 16
+
+// DefaultTokenCap bounds the dedup-token table. Evicted-oldest-first; a
+// retry delayed past this many newer tokened puts can no longer be
+// deduplicated, so the cap is sized far beyond any sane retry window.
+const DefaultTokenCap = 1 << 17
+
+// WithTokenCap overrides the dedup-token table bound (n <= 0 keeps the
+// default).
+func WithTokenCap(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.tokenCap = n
+		}
+	}
+}
 
 // WithShards sets the stripe count, rounded up to a power of two and
 // clamped to [1, MaxShards]. One shard reproduces the historical
@@ -137,11 +180,12 @@ func WithShards(n int) Option {
 
 // NewStore returns an empty directory.
 func NewStore(opts ...Option) *Store {
-	s := &Store{}
+	s := &Store{tokenCap: DefaultTokenCap}
 	WithShards(DefaultShards)(s)
 	for _, o := range opts {
 		o(s)
 	}
+	s.tokens.cap = s.tokenCap
 	for i := range s.shards {
 		s.shards[i].folders = make(map[string]*fold)
 		// Fixed per-shard seeds: deterministic, still unordered, never
@@ -255,17 +299,44 @@ func unwrapCopy(it item) []byte {
 }
 
 // Put deposits a memo and releases any delayed values hidden in the folder.
-func (s *Store) Put(key symbol.Key, payload []byte) {
+// The returned error is always nil on a memory-only store; on a durable
+// store it reports a failed commit (the deposit is then not acknowledged
+// durable).
+func (s *Store) Put(key symbol.Key, payload []byte) error {
+	return s.PutToken(key, payload, 0)
+}
+
+// PutToken is Put carrying an at-most-once dedup token (0 = none). A put
+// whose token was already applied is acknowledged without depositing again
+// — the retry path for a maybe-delivered put. The acknowledgement of a
+// deduplicated put still waits for the original record's durability, so a
+// crash can never have acknowledged the retry and lost the original.
+func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 	canon := key.Canon()
 	it := s.wrap(payload)
-	sh := s.shardFor(key)
+	si := int(s.shardIndex(key))
+	sh := &s.shards[si]
 	sh.mu.Lock()
+	if token != 0 && !s.tokens.noteIfNew(token) {
+		sh.mu.Unlock()
+		s.dupPuts.Add(1)
+		if s.wal != nil {
+			return s.wal.Barrier(si)
+		}
+		return nil
+	}
 	f := sh.getFold(canon)
 	f.items = append(f.items, it)
 	released := f.delayed
 	f.delayed = nil
 	waiters := f.waiters
 	f.waiters = nil
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.Append(si, &durable.Record{
+			Type: durable.RecPut, Key: key, Payload: payload, Token: token,
+		})
+	}
 	sh.mu.Unlock()
 
 	s.puts.Add(1)
@@ -279,43 +350,111 @@ func (s *Store) Put(key symbol.Key, payload []byte) {
 	}
 	// Deliver released delayed values after dropping the lock: their
 	// destinations may be remote, or even folders on this same store.
+	// Each delivery carries the entry's release token as its dedup token,
+	// and only once the delivery is safe is the release logged done
+	// (releaseDone). Replay therefore keeps any entry whose RecRelease
+	// never landed, and the next trigger re-delivers it — deduplicated, so
+	// an acknowledged hidden value survives a crash at any instant without
+	// ever landing twice.
 	for _, d := range released {
 		s.released.Add(1)
 		payload := s.unwrapTake(d.val)
 		if s.forward != nil {
-			s.forward(d.dest, payload)
-		} else {
-			s.Put(d.dest, payload)
+			rel := d.rel
+			s.forward(d.dest, payload, rel, func() { s.releaseDone(key, rel) })
+		} else if err := s.PutToken(d.dest, payload, d.rel); err == nil {
+			s.releaseDone(key, d.rel)
 		}
 	}
+	if s.wal != nil {
+		if err := s.wal.Commit(si, seq); err != nil {
+			return err
+		}
+		s.maybeSnapshot()
+	}
+	return nil
+}
+
+// releaseDone logs that the delayed entry with release token rel has left
+// trigger's folder durably-enough: its re-deposit committed locally or was
+// handed to the remote dispatcher. No commit wait — if the record is lost
+// to a crash, recovery re-releases the entry and the release token
+// deduplicates the second delivery.
+func (s *Store) releaseDone(trigger symbol.Key, rel uint64) {
+	if s.wal == nil || rel == 0 {
+		return
+	}
+	si := int(s.shardIndex(trigger))
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	s.wal.Append(si, &durable.Record{Type: durable.RecRelease, Key: trigger, Token: rel})
+	sh.mu.Unlock()
 }
 
 // PutDelayed hides payload in trigger's folder; the next memo arriving in
 // trigger releases it into dest (§6.1.2). The hidden value is not gettable
 // from trigger.
-func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) {
+func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) error {
+	return s.PutDelayedToken(trigger, dest, payload, 0)
+}
+
+// PutDelayedToken is PutDelayed with an at-most-once dedup token (0 = none),
+// with the same semantics as PutToken.
+func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token uint64) error {
 	canon := trigger.Canon()
 	it := s.wrap(payload)
-	sh := s.shardFor(trigger)
+	si := int(s.shardIndex(trigger))
+	sh := &s.shards[si]
 	sh.mu.Lock()
+	if token != 0 && !s.tokens.noteIfNew(token) {
+		sh.mu.Unlock()
+		s.dupPuts.Add(1)
+		if s.wal != nil {
+			return s.wal.Barrier(si)
+		}
+		return nil
+	}
 	f := sh.getFold(canon)
-	f.delayed = append(f.delayed, delayedEntry{val: it, dest: dest.Clone()})
+	// Every hidden value gets a release token up front: its eventual
+	// re-deposit (possibly re-driven by crash recovery, possibly retried
+	// across a link failure) dedups on it.
+	rel := newRelToken()
+	f.delayed = append(f.delayed, delayedEntry{val: it, dest: dest.Clone(), rel: rel})
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.Append(si, &durable.Record{
+			Type: durable.RecPutDelayed, Key: trigger, Dest: dest, Payload: payload,
+			Token: token, Rel: rel,
+		})
+	}
 	sh.mu.Unlock()
 	s.delayedIn.Add(1)
+	if s.wal != nil {
+		if err := s.wal.Commit(si, seq); err != nil {
+			return err
+		}
+		s.maybeSnapshot()
+	}
+	return nil
 }
 
 // Get removes and returns a memo, blocking until one is available or cancel
 // is closed.
 func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 	canon := key.Canon()
-	sh := s.shardFor(key)
+	si := int(s.shardIndex(key))
+	sh := &s.shards[si]
 	for {
 		sh.mu.Lock()
 		f := sh.getFold(canon)
 		if len(f.items) > 0 {
 			it := sh.takeLocked(f)
+			seq := s.logTake(si, key, it)
 			sh.gcFold(canon, f)
 			sh.mu.Unlock()
+			if err := s.commitTake(si, seq, key, it); err != nil {
+				return nil, err
+			}
 			s.takes.Add(1)
 			return s.unwrapTake(it), nil
 		}
@@ -359,21 +498,72 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 	}
 }
 
-// GetSkip removes and returns a memo if one is present.
-func (s *Store) GetSkip(key symbol.Key) ([]byte, bool) {
+// GetSkip removes and returns a memo if one is present. A non-nil error
+// reports a durable store whose log has died: the take is rolled back — a
+// payload never leaves the store unless its removal is on disk — and the
+// caller sees the failure instead of a forever-empty folder.
+func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 	canon := key.Canon()
-	sh := s.shardFor(key)
+	si := int(s.shardIndex(key))
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	f, ok := sh.folders[canon]
 	if !ok || len(f.items) == 0 {
 		sh.mu.Unlock()
-		return nil, false
+		return nil, false, nil
 	}
 	it := sh.takeLocked(f)
+	seq := s.logTake(si, key, it)
 	sh.gcFold(canon, f)
 	sh.mu.Unlock()
+	if err := s.commitTake(si, seq, key, it); err != nil {
+		return nil, false, err
+	}
 	s.takes.Add(1)
-	return s.unwrapTake(it), true
+	return s.unwrapTake(it), true, nil
+}
+
+// logTake appends a take record for it (caller holds the shard lock).
+// Returns 0 when the store is memory-only.
+func (s *Store) logTake(si int, key symbol.Key, it item) uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Append(si, &durable.Record{Type: durable.RecTake, Key: key, Payload: it.data})
+}
+
+// commitTake waits for a take record's durability. If the commit fails —
+// only possible once the log is terminally dead — the item is restored, so
+// a payload never leaves the store without its removal being durable.
+func (s *Store) commitTake(si int, seq uint64, key symbol.Key, it item) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Commit(si, seq); err != nil {
+		s.untake(key, it)
+		return err
+	}
+	s.maybeSnapshot()
+	return nil
+}
+
+// untake puts a taken item back after a failed take commit. No record is
+// logged: commits only fail on a dead log, which accepts no records.
+func (s *Store) untake(key symbol.Key, it item) {
+	canon := key.Canon()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	f := sh.getFold(canon)
+	f.items = append(f.items, it)
+	waiters := f.waiters
+	f.waiters = nil
+	sh.mu.Unlock()
+	for _, w := range waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // altGroup is the slice of a multi-folder key set that lives on one shard:
@@ -474,12 +664,16 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 	canons := canonsOf(keys)
 	groups := s.groupByShard(keys)
 	var it item
+	var seq uint64
+	var seqShard int
 	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
 		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
 		for j := range g.idxs {
 			idx := g.idxs[(off+j)%len(g.idxs)]
 			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
 				it = g.sh.takeLocked(f)
+				seqShard = int(s.shardIndex(keys[idx]))
+				seq = s.logTake(seqShard, keys[idx], it)
 				g.sh.gcFold(canons[idx], f)
 				return idx
 			}
@@ -489,16 +683,20 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 	if err != nil {
 		return symbol.Key{}, nil, err
 	}
+	if err := s.commitTake(seqShard, seq, keys[found], it); err != nil {
+		return symbol.Key{}, nil, err
+	}
 	s.takes.Add(1)
 	return keys[found], s.unwrapTake(it), nil
 }
 
 // AltSkip removes a memo from any of the folders without blocking. The scan
 // visits shards one at a time, so concurrent mutation between shards may be
-// observed — same as the cross-server get_alt_skip built above this.
-func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool) {
+// observed — same as the cross-server get_alt_skip built above this. A
+// non-nil error reports a dead durable log (the take is rolled back).
+func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 	if len(keys) == 0 {
-		return symbol.Key{}, nil, false
+		return symbol.Key{}, nil, false, nil
 	}
 	canons := canonsOf(keys)
 	groups := s.groupByShard(keys)
@@ -511,15 +709,20 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool) {
 			idx := g.idxs[(off+j)%len(g.idxs)]
 			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
 				it := g.sh.takeLocked(f)
+				si := int(s.shardIndex(keys[idx]))
+				seq := s.logTake(si, keys[idx], it)
 				g.sh.gcFold(canons[idx], f)
 				g.sh.mu.Unlock()
+				if err := s.commitTake(si, seq, keys[idx], it); err != nil {
+					return symbol.Key{}, nil, false, err
+				}
 				s.takes.Add(1)
-				return keys[idx], s.unwrapTake(it), true
+				return keys[idx], s.unwrapTake(it), true, nil
 			}
 		}
 		g.sh.mu.Unlock()
 	}
-	return symbol.Key{}, nil, false
+	return symbol.Key{}, nil, false, nil
 }
 
 // Watch blocks until any of the folders is non-empty, without consuming.
@@ -628,6 +831,9 @@ func (s *Store) DelayedCount() int {
 // Stats is a snapshot of operation counters.
 type Stats struct {
 	Puts, Takes, Copies, DelayedIn, Released int64
+	// DupPuts counts tokened puts acknowledged without applying — retries
+	// of an already-applied put, deduplicated by their token.
+	DupPuts int64
 }
 
 // Stats snapshots the counters.
@@ -638,5 +844,6 @@ func (s *Store) Stats() Stats {
 		Copies:    s.copies.Load(),
 		DelayedIn: s.delayedIn.Load(),
 		Released:  s.released.Load(),
+		DupPuts:   s.dupPuts.Load(),
 	}
 }

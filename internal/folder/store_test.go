@@ -133,18 +133,18 @@ func TestGetCopyReturnsIndependentCopy(t *testing.T) {
 func TestGetSkip(t *testing.T) {
 	s := NewStore()
 	k := symbol.K(5)
-	if _, ok := s.GetSkip(k); ok {
+	if _, ok, _ := s.GetSkip(k); ok {
 		t.Fatal("GetSkip found a memo in an empty folder")
 	}
 	if s.FolderCount() != 0 {
 		t.Fatal("GetSkip on missing folder created it")
 	}
 	s.Put(k, []byte("x"))
-	v, ok := s.GetSkip(k)
+	v, ok, _ := s.GetSkip(k)
 	if !ok || string(v) != "x" {
 		t.Fatalf("GetSkip = %q,%v", v, ok)
 	}
-	if _, ok := s.GetSkip(k); ok {
+	if _, ok, _ := s.GetSkip(k); ok {
 		t.Fatal("GetSkip found a consumed memo")
 	}
 }
@@ -193,20 +193,20 @@ func TestPutDelayedHiddenUntilTrigger(t *testing.T) {
 		t.Fatalf("DelayedCount = %d", s.DelayedCount())
 	}
 	// Hidden: not gettable from trigger or dest.
-	if _, ok := s.GetSkip(trigger); ok {
+	if _, ok, _ := s.GetSkip(trigger); ok {
 		t.Fatal("delayed value visible in trigger folder")
 	}
-	if _, ok := s.GetSkip(dest); ok {
+	if _, ok, _ := s.GetSkip(dest); ok {
 		t.Fatal("delayed value visible in dest folder before trigger")
 	}
 	// Trigger arrives.
 	s.Put(trigger, []byte("the trigger"))
-	v, ok := s.GetSkip(dest)
+	v, ok, _ := s.GetSkip(dest)
 	if !ok || string(v) != "payload" {
 		t.Fatalf("released value = %q,%v", v, ok)
 	}
 	// The trigger memo itself stays in the trigger folder.
-	tv, ok := s.GetSkip(trigger)
+	tv, ok, _ := s.GetSkip(trigger)
 	if !ok || string(tv) != "the trigger" {
 		t.Fatalf("trigger memo = %q,%v", tv, ok)
 	}
@@ -222,10 +222,10 @@ func TestPutDelayedMultipleReleasedByOneTrigger(t *testing.T) {
 	s.PutDelayed(trigger, d1, []byte("a"))
 	s.PutDelayed(trigger, d2, []byte("b"))
 	s.Put(trigger, []byte("go"))
-	if _, ok := s.GetSkip(d1); !ok {
+	if _, ok, _ := s.GetSkip(d1); !ok {
 		t.Fatal("first delayed value not released")
 	}
-	if _, ok := s.GetSkip(d2); !ok {
+	if _, ok, _ := s.GetSkip(d2); !ok {
 		t.Fatal("second delayed value not released")
 	}
 }
@@ -238,21 +238,26 @@ func TestPutDelayedChain(t *testing.T) {
 	s.PutDelayed(b, c, []byte("stage2"))
 	s.PutDelayed(a, b, []byte("stage1"))
 	s.Put(a, []byte("spark"))
-	if v, ok := s.GetSkip(c); !ok || string(v) != "stage2" {
+	if v, ok, _ := s.GetSkip(c); !ok || string(v) != "stage2" {
 		t.Fatalf("chain did not propagate: %q %v", v, ok)
 	}
-	if v, ok := s.GetSkip(b); !ok || string(v) != "stage1" {
+	if v, ok, _ := s.GetSkip(b); !ok || string(v) != "stage1" {
 		t.Fatalf("intermediate stage lost: %q %v", v, ok)
 	}
 }
 
 func TestPutDelayedForwardHook(t *testing.T) {
 	var forwarded []string
+	var tokens []uint64
 	var mu sync.Mutex
-	s := NewStore(WithForward(func(dest symbol.Key, payload []byte) {
+	s := NewStore(WithForward(func(dest symbol.Key, payload []byte, relToken uint64, committed func()) {
 		mu.Lock()
 		forwarded = append(forwarded, dest.Canon()+"="+string(payload))
+		tokens = append(tokens, relToken)
 		mu.Unlock()
+		if committed != nil {
+			committed()
+		}
 	}))
 	s.PutDelayed(symbol.K(1), symbol.K(2, 3), []byte("x"))
 	s.Put(symbol.K(1), nil)
@@ -260,6 +265,9 @@ func TestPutDelayedForwardHook(t *testing.T) {
 	defer mu.Unlock()
 	if len(forwarded) != 1 || forwarded[0] != "2/3=x" {
 		t.Fatalf("forwarded = %v", forwarded)
+	}
+	if len(tokens) != 1 || tokens[0] == 0 {
+		t.Fatalf("release token = %v, want one non-zero token", tokens)
 	}
 }
 
@@ -355,11 +363,11 @@ func TestAltTakeEventuallyDrainsAllFolders(t *testing.T) {
 func TestAltSkip(t *testing.T) {
 	s := NewStore()
 	ks := []symbol.Key{symbol.K(28), symbol.K(29)}
-	if _, _, ok := s.AltSkip(ks); ok {
+	if _, _, ok, _ := s.AltSkip(ks); ok {
 		t.Fatal("AltSkip found memo in empty folders")
 	}
 	s.Put(ks[1], []byte("z"))
-	k, v, ok := s.AltSkip(ks)
+	k, v, ok, _ := s.AltSkip(ks)
 	if !ok || !k.Equal(ks[1]) || string(v) != "z" {
 		t.Fatalf("AltSkip = %v %q %v", k, v, ok)
 	}
@@ -557,7 +565,7 @@ func TestDistinctKeysDistinctFolders(t *testing.T) {
 	b := symbol.K(60, 1, 3)
 	s.Put(a, []byte("A"))
 	s.Put(b, []byte("B"))
-	v, _ := s.GetSkip(b)
+	v, _, _ := s.GetSkip(b)
 	if string(v) != "B" {
 		t.Fatalf("key separation broken: %q", v)
 	}
@@ -599,7 +607,7 @@ func ExampleStore_PutDelayed() {
 	// arrives (§6.3.3 dataflow).
 	s.PutDelayed(operand, jobJar, []byte("add-step"))
 	s.Put(operand, []byte("42"))
-	op, _ := s.GetSkip(jobJar)
+	op, _, _ := s.GetSkip(jobJar)
 	fmt.Println(string(op))
 	// Output: add-step
 }

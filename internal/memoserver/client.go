@@ -1,7 +1,9 @@
 package memoserver
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -13,12 +15,21 @@ import (
 // server does all remote work). One Client pipelines any number of
 // concurrent requests over one virtual connection: requests are coalesced
 // into batch frames by the rpc layer and responses match back by id.
+//
+// The connection rides the same resilient-link machinery as memo-server
+// peer links: if the local memo server restarts, the next request re-dials
+// under exponential backoff instead of failing forever, and with
+// rpc.Resilience.Retries armed the Client transparently retries
+// safely-retriable requests — stamping puts with an at-most-once dedup
+// token so even a maybe-delivered deposit can be re-sent without ever
+// landing twice.
 type Client struct {
 	Host string
 	App  string
 
-	mux  *transport.Mux
-	conn *rpc.Conn
+	res     rpc.Resilience
+	link    *rlink
+	retried atomic.Int64
 }
 
 // DialFunc matches Network.DialFrom.
@@ -39,36 +50,77 @@ func DialClientPolicy(dial DialFunc, host, app string, pol rpc.Policy) (*Client,
 	return DialClientResilient(dial, host, app, pol, rpc.Resilience{Heartbeat: rpc.DefaultHeartbeat})
 }
 
-// DialClientResilient connects with a batch flush policy and the
-// link-resilience layer: with res.Heartbeat set, the connection probes the
-// memo server whenever its receive side goes quiet, so daemon-side idle
-// timeouts stay armed without killing a client parked on a blocking folder
-// wait, and a
-// dead server fails every pending call with rpc.ErrLinkDown instead of
-// hanging them.
+// DialClientResilient connects with a batch flush policy and the full
+// link-resilience layer: heartbeats (res.Heartbeat), reconnect with backoff
+// when the link to the local memo server dies (res.Redial — the link heals
+// across a memo-server restart), and bounded transparent retries
+// (res.Retries) of safely-retriable requests, with puts carried under
+// client-generated dedup tokens so maybe-delivered deposits retry safely.
+// The initial dial happens eagerly, so an unreachable memo server surfaces
+// here rather than on the first request.
 func DialClientResilient(dial DialFunc, host, app string, pol rpc.Policy, res rpc.Resilience) (*Client, error) {
-	conn, err := dial(host, MemoAddr(host))
-	if err != nil {
+	c := &Client{Host: host, App: app, res: res}
+	c.link = newRlink(func() (transport.Conn, error) {
+		raw, err := dial(host, MemoAddr(host))
+		if err != nil {
+			return nil, err
+		}
+		return dialMux(raw), nil
+	}, pol, res)
+	if _, _, err := c.link.get(nil); err != nil {
+		c.link.close()
 		return nil, fmt.Errorf("memoserver: dial %s: %w", host, err)
 	}
-	mux := transport.NewMux(conn, 4096)
-	go mux.Run()
-	return &Client{Host: host, App: app, mux: mux, conn: rpc.NewConnResilient(mux.Channel(1), pol, res)}, nil
+	return c, nil
 }
 
 // Do executes one request and waits for its response. Many Do calls may be
 // in flight concurrently on the one connection. Cancel aborts a blocked
 // operation: the rpc layer sends a cancel entry naming the request, which
-// the server propagates to the folder wait.
+// the server propagates to the folder wait. If the link dies mid-call the
+// request fails fast; with res.Retries armed it is transparently re-issued
+// on the re-dialed link when that is safe (always when provably unsent,
+// and for idempotent or token-deduplicated requests when maybe-executed).
 func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
 	if q.App == "" {
 		q.App = c.App
 	}
-	resp, err := c.conn.Call(q, cancel)
-	if err == rpc.ErrCanceled {
-		return nil, ErrClientCanceled
+	if c.res.Retries > 0 && q.Token == 0 && tokenizableOp(q.Op) {
+		// Client-generated token: the outermost stamp, preserved hop by
+		// hop, so dedup is end-to-end from application to folder server.
+		q.Token = newToken()
 	}
-	return resp, err
+	for attempt := 0; ; attempt++ {
+		conn, epoch, err := c.link.get(cancel)
+		if err != nil {
+			select {
+			case <-cancel:
+				return nil, ErrClientCanceled
+			default:
+			}
+			if attempt < c.res.Retries { // a failed dial sent nothing
+				c.retried.Add(1)
+				continue
+			}
+			return nil, fmt.Errorf("memoserver: dial %s: %w", c.Host, err)
+		}
+		resp, err := conn.Call(q, cancel)
+		if err == nil {
+			return resp, nil
+		}
+		if err == rpc.ErrCanceled {
+			return nil, ErrClientCanceled
+		}
+		var le *rpc.LinkError
+		if errors.As(err, &le) {
+			c.link.fault(epoch)
+			if attempt < c.res.Retries && (!le.Sent || retriableInFlight(q)) {
+				c.retried.Add(1)
+				continue
+			}
+		}
+		return nil, err
+	}
 }
 
 // ErrClientCanceled reports a client-side cancellation.
@@ -103,8 +155,20 @@ func (c *Client) Ping() error {
 	return nil
 }
 
+// ClientStats is a snapshot of the client link's health counters.
+type ClientStats struct {
+	transport.RedialerStats
+	// Retried counts requests transparently re-issued after a link failure.
+	Retried int64
+}
+
+// Stats snapshots the client link's health counters (dmemo-bench E12).
+func (c *Client) Stats() ClientStats {
+	return ClientStats{RedialerStats: c.link.stats(), Retried: c.retried.Load()}
+}
+
 // Close tears the connection down.
 func (c *Client) Close() error {
-	c.conn.Close()
-	return c.mux.Close()
+	c.link.close()
+	return nil
 }

@@ -17,10 +17,13 @@ package memoserver
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/adf"
+	"repro/internal/durable"
 	"repro/internal/folder"
 	"repro/internal/placement"
 	"repro/internal/routing"
@@ -108,6 +111,16 @@ type Config struct {
 	// non-blocking ops were inlined (the benchmark baseline, and the E1
 	// thread-cache-fidelity configuration).
 	NoLocalInline bool
+	// DataDir, when non-empty, makes every folder server this node creates
+	// at registration durable: its store opens from
+	// DataDir/<app>/folder-<id> (recovering whatever a previous incarnation
+	// committed) and write-ahead-logs every mutation. Empty (the default)
+	// keeps the historical in-memory folder servers.
+	DataDir string
+	// Durable tunes the write-ahead log when DataDir is set (zero = durable
+	// defaults: group commit, snapshot every durable.DefaultSnapshotEvery
+	// records).
+	Durable durable.Config
 }
 
 // listenNet is the slice of a transport a Node drives directly; both
@@ -149,30 +162,13 @@ type Node struct {
 
 // peerLink is the resilient rpc connection to a neighbouring memo server;
 // every forwarded request to that neighbour shares it, so concurrent
-// forwards pipeline and batch. When the link dies the embedded Redialer
+// forwards pipeline and batch. When the link dies the embedded rlink
 // reconnects with exponential backoff + jitter, and forward retries
-// safely-retriable calls on the fresh connection.
+// safely-retriable calls on the fresh connection. The same rlink machinery
+// backs the application↔local-memo-server Client.
 type peerLink struct {
-	node *Node
 	host string
-	rd   *transport.Redialer
-
-	mu    sync.Mutex
-	epoch uint64
-	conn  *rpc.Conn
-}
-
-// muxChannel is the conn a peer-link Redialer manages: one rpc virtual
-// circuit whose Close also retires the mux carrying it, so a faulted link
-// leaks neither.
-type muxChannel struct {
-	*transport.Channel
-	mux *transport.Mux
-}
-
-func (m *muxChannel) Close() error {
-	_ = m.Channel.Close()
-	return m.mux.Close()
+	*rlink
 }
 
 func (n *Node) newPeerLink(host string) *peerLink {
@@ -184,49 +180,9 @@ func (n *Node) newPeerLink(host string) *peerLink {
 		if err != nil {
 			return nil, err
 		}
-		mux := transport.NewMux(raw, 4096)
-		go mux.Run()
-		return &muxChannel{Channel: mux.Channel(1), mux: mux}, nil
+		return dialMux(raw), nil
 	}
-	return &peerLink{node: n, host: host, rd: transport.NewRedialer(dial, n.cfg.Resilience.Redial)}
-}
-
-// get returns the live rpc connection for this link (dialing or re-dialing
-// under backoff if it is down) and the epoch to report to fault on failure.
-func (p *peerLink) get(giveup <-chan struct{}) (*rpc.Conn, uint64, error) {
-	ch, ep, err := p.rd.Get(giveup)
-	if err != nil {
-		return nil, 0, err
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	// Only a strictly newer epoch replaces the conn: a goroutine that slept
-	// on an old Get result must not tear down the link a concurrent fault
-	// cycle already rebuilt. Whatever is current is what we hand back (a
-	// stale ch is dead anyway), with the matching epoch for fault.
-	if p.conn == nil || ep > p.epoch {
-		if p.conn != nil {
-			p.conn.Close()
-		}
-		p.conn = rpc.NewConnResilient(ch, p.node.cfg.Batch, p.node.cfg.Resilience)
-		p.epoch = ep
-	}
-	return p.conn, p.epoch, nil
-}
-
-// fault reports the connection handed out under epoch dead; the next get
-// re-dials. Stale epochs are ignored, so concurrent forwards may all fault.
-func (p *peerLink) fault(epoch uint64) { p.rd.Fault(epoch) }
-
-func (p *peerLink) close() {
-	p.rd.Close()
-	p.mu.Lock()
-	c := p.conn
-	p.conn = nil
-	p.mu.Unlock()
-	if c != nil {
-		c.Close()
-	}
+	return &peerLink{host: host, rlink: newRlink(dial, n.cfg.Batch, n.cfg.Resilience)}
 }
 
 // New creates a memo server for host over the given network. For the
@@ -274,8 +230,20 @@ func (n *Node) Start() error {
 	return nil
 }
 
-// Close stops the server, its folder servers, and peer links.
-func (n *Node) Close() {
+// Close stops the server, its folder servers, and peer links. Durable
+// folder stores flush their write-ahead logs, so every acknowledged
+// operation is on disk when Close returns.
+func (n *Node) Close() { n.shutdown(false) }
+
+// Crash hard-stops the node the way SIGKILL would: the listener and every
+// link die immediately and durable folder stores abandon their
+// buffered-but-uncommitted records instead of flushing. Only what was
+// acknowledged before the crash survives in the data directory — which is
+// exactly the guarantee the crash-recovery harness audits. Reopen by
+// building a new Node with the same Config.DataDir.
+func (n *Node) Crash() { n.shutdown(true) }
+
+func (n *Node) shutdown(crash bool) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -286,6 +254,17 @@ func (n *Node) Close() {
 	inbound := n.inbound
 	n.inbound = nil
 	n.mu.Unlock()
+	if crash {
+		// Crash the stores first: an in-flight operation that has not yet
+		// committed must fail its commit rather than slip in after the
+		// "kill" point.
+		n.apps.Range(func(_, v any) bool {
+			for _, fs := range v.(*App).local {
+				fs.Store().Crash()
+			}
+			return true
+		})
+	}
 	if l != nil {
 		l.Close()
 	}
@@ -299,7 +278,11 @@ func (n *Node) Close() {
 	}
 	n.apps.Range(func(_, v any) bool {
 		for _, fs := range v.(*App).local {
-			fs.Close()
+			if crash {
+				fs.Crash()
+			} else {
+				fs.Close()
+			}
 		}
 		return true
 	})
@@ -396,8 +379,8 @@ func (n *Node) RegisterApp(f *adf.File) error {
 			continue
 		}
 		opts := []folder.Option{
-			folder.WithForward(func(dest symbol.Key, payload []byte) {
-				n.forwardRelease(appName, dest, payload)
+			folder.WithForward(func(dest symbol.Key, payload []byte, relToken uint64, committed func()) {
+				n.forwardRelease(appName, dest, payload, relToken, committed)
 			}),
 		}
 		if n.cfg.Arena > 0 {
@@ -406,6 +389,22 @@ func (n *Node) RegisterApp(f *adf.File) error {
 		}
 		if n.cfg.FolderShards > 0 {
 			opts = append(opts, folder.WithShards(n.cfg.FolderShards))
+		}
+		if n.cfg.DataDir != "" {
+			// Durable: open (recovering) the folder server's store from its
+			// own directory; the server owns the store and flushes its log
+			// on Close.
+			dir := filepath.Join(n.cfg.DataDir, f.App, fmt.Sprintf("folder-%d", fs.ID))
+			srv, err := folder.OpenServer(fs.ID, n.Host, dir, n.cfg.Durable, n.cfg.FolderCache,
+				opts, folder.WithBatchPolicy(n.cfg.Batch))
+			if err != nil {
+				for _, s := range app.local {
+					s.Close()
+				}
+				return fmt.Errorf("memoserver %s: %w", n.Host, err)
+			}
+			app.local[fs.ID] = srv
+			continue
 		}
 		store := folder.NewStore(opts...)
 		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache,
@@ -546,17 +545,22 @@ func nonBlockingOp(op wire.Op) bool {
 	return false
 }
 
-// retriableInFlight reports ops safe to re-issue even when the first
+// retriableInFlight reports requests safe to re-issue even when the first
 // attempt may have executed: reads that take nothing (get_copy, watch,
-// fetch) and idempotent control ops. Put and the destructive gets are
-// deliberately absent — re-running a maybe-applied put duplicates a memo
-// and re-running a maybe-applied get_skip can consume a second one; those
-// retry only when the link died before the request reached the wire
-// (rpc.LinkError.Sent == false).
-func retriableInFlight(op wire.Op) bool {
-	switch op {
+// fetch), idempotent control ops, and — now that folder servers deduplicate
+// by token — any put or put_delayed carrying a dedup token: the retry
+// re-sends the same token, and a folder server that already applied it
+// acknowledges without depositing twice. Untokened puts and the destructive
+// gets still retry only when the link died before the request reached the
+// wire (rpc.LinkError.Sent == false): re-running a maybe-applied untokened
+// put duplicates a memo and re-running a maybe-applied get_skip can consume
+// a second one.
+func retriableInFlight(q *wire.Request) bool {
+	switch q.Op {
 	case wire.OpGetCopy, wire.OpWatch, wire.OpPing, wire.OpFetch, wire.OpRegister:
 		return true
+	case wire.OpPut, wire.OpPutDelayed:
+		return q.Token != 0
 	}
 	return false
 }
@@ -578,8 +582,15 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 	}
 	fq := *q
 	fq.Hops = q.Hops + 1
-	n.forwards.Add(1)
 	retries := n.cfg.Resilience.Retries
+	if retries > 0 && fq.Token == 0 && tokenizableOp(fq.Op) {
+		// Stamp a dedup token on the first hop that may ever retry this
+		// deposit, so a maybe-delivered attempt can be re-sent safely. A
+		// token already present (stamped by the application's client or an
+		// earlier hop) is preserved — dedup is end-to-end.
+		fq.Token = newToken()
+	}
+	n.forwards.Add(1)
 	for attempt := 0; ; attempt++ {
 		conn, epoch, err := link.get(cancel)
 		if err != nil {
@@ -604,7 +615,7 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 		var le *rpc.LinkError
 		if errors.As(err, &le) {
 			link.fault(epoch)
-			if attempt < retries && (!le.Sent || retriableInFlight(q.Op)) {
+			if attempt < retries && (!le.Sent || retriableInFlight(&fq)) {
 				n.retried.Add(1)
 				continue
 			}
@@ -649,7 +660,10 @@ var never = make(chan struct{})
 // folder lives. It runs asynchronously: the releasing Put must not block on
 // remote delivery, and the destination may even be a folder on the same
 // store (which would deadlock a synchronous call through the thread cache).
-func (n *Node) forwardRelease(appName string, dest symbol.Key, payload []byte) {
+// The release token rides as the deposit's dedup token, and committed fires
+// only on an acknowledged delivery — so the releasing store logs the
+// release done, and a crash-recovered re-delivery deduplicates.
+func (n *Node) forwardRelease(appName string, dest symbol.Key, payload []byte, relToken uint64, committed func()) {
 	app, ok := n.lookupApp(appName)
 	if !ok {
 		return
@@ -661,8 +675,13 @@ func (n *Node) forwardRelease(appName string, dest symbol.Key, payload []byte) {
 		FolderID: target.ID,
 		Key:      dest,
 		Payload:  payload,
+		Token:    relToken,
 	}
-	go n.Dispatch(q, never)
+	go func() {
+		if resp := n.Dispatch(q, never); resp.Status == wire.StatusOK && committed != nil {
+			committed()
+		}
+	}()
 }
 
 // Stats reports memo-server counters.
@@ -687,6 +706,25 @@ func (n *Node) Stats() Stats {
 		Retried:    n.retried.Load(),
 		Registered: n.registered.Load(),
 	}
+}
+
+// LinkStat is one peer link's health: the neighbour host plus the link's
+// redial counters (surfaced by dmemo-bench experiment E12).
+type LinkStat struct {
+	Peer string
+	transport.RedialerStats
+}
+
+// LinkStats snapshots the health counters of every peer link this node has
+// opened, sorted by peer host.
+func (n *Node) LinkStats() []LinkStat {
+	var out []LinkStat
+	n.peers.Range(func(host, v any) bool {
+		out = append(out, LinkStat{Peer: host.(string), RedialerStats: v.(*peerLink).stats()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // CacheStats reports the node's thread-cache counters (experiment E1).

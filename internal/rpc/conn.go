@@ -115,7 +115,10 @@ func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 	c.pending[id] = ca
 	c.mu.Unlock()
 
-	c.out.add(wire.BatchEntry{ID: id, Msg: msg})
+	// The dedup token rides the batch entry, not the request codec, so it
+	// re-attaches at every forwarding hop without touching the legacy
+	// single-frame protocol.
+	c.out.add(wire.BatchEntry{ID: id, Token: q.Token, Msg: msg})
 
 	select {
 	case resp := <-ca.rc:

@@ -120,6 +120,9 @@ func (s *server) dispatch(e wire.BatchEntry) {
 		s.respond(e.ID, wire.Errf("bad request: %v", err))
 		return
 	}
+	// Re-attach the batch-entry dedup token; the request codec does not
+	// carry it.
+	q.Token = e.Token
 	cc := make(chan struct{})
 	s.mu.Lock()
 	if s.down {

@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,6 +98,32 @@ type Redialer struct {
 	lastErr error
 	dialing chan struct{} // non-nil while a dial is in flight
 	closed  bool
+
+	// Health counters (surfaced per link by dmemo-bench E12).
+	dials       atomic.Int64
+	failedDials atomic.Int64
+	faults      atomic.Int64
+}
+
+// RedialerStats is a snapshot of one link's health counters.
+type RedialerStats struct {
+	// Dials counts successful dials: the first connect plus every re-dial
+	// that healed the link.
+	Dials int64
+	// FailedDials counts dial attempts that errored.
+	FailedDials int64
+	// Faults counts reports of a live conn dying (stale-epoch reports are
+	// not counted — only ones that actually tore a conn down).
+	Faults int64
+}
+
+// Stats snapshots the link's health counters.
+func (r *Redialer) Stats() RedialerStats {
+	return RedialerStats{
+		Dials:       r.dials.Load(),
+		FailedDials: r.failedDials.Load(),
+		Faults:      r.faults.Load(),
+	}
 }
 
 // NewRedialer wraps dial with reconnect state. The zero Backoff means the
@@ -189,6 +216,7 @@ func (r *Redialer) finishDial(c Conn, err error, done chan struct{}, attempted b
 	case !attempted:
 		// Leave the schedule as it was.
 	case err != nil:
+		r.failedDials.Add(1)
 		r.lastErr = err
 		r.nextTry = time.Now().Add(r.bo.Delay(r.attempt, nil))
 		r.attempt++
@@ -197,6 +225,7 @@ func (r *Redialer) finishDial(c Conn, err error, done chan struct{}, attempted b
 			c.Close()
 		}
 	default:
+		r.dials.Add(1)
 		r.cur = c
 		r.epoch++
 		r.attempt = 0 // reset-on-success: the next outage backs off from Min
@@ -220,6 +249,7 @@ func (r *Redialer) Fault(epoch uint64) {
 	}
 	r.mu.Unlock()
 	if dead != nil {
+		r.faults.Add(1)
 		dead.Close()
 	}
 }

@@ -25,9 +25,16 @@ import (
 //	per entry:
 //	  uvarint id
 //	  byte    flags (bit 0: cancel — abandon the in-flight request `id`;
-//	          bit 1: heartbeat — liveness probe/echo, no payload)
+//	          bit 1: heartbeat — liveness probe/echo, no payload;
+//	          bit 2: token — an at-most-once dedup token follows)
+//	  uvarint dedup token (present only when flag bit 2 is set)
 //	  uvarint len, then len bytes of an encoded Request or Response
 //	          (empty for cancel and heartbeat entries)
+//
+// The token is a flag-gated extension rather than a Request field so that
+// frames without tokens are byte-identical to version 1 frames that predate
+// it, and the request codec (shared with the single-frame legacy protocol)
+// stays untouched.
 //
 // Single-frame messages remain valid: their first byte is an Op or Status,
 // both of which are small constants, so IsBatchFrame cleanly discriminates.
@@ -71,6 +78,9 @@ type BatchEntry struct {
 	// on an otherwise idle link); in a response batch it is the echo. Msg
 	// is empty; ID is echoed back verbatim.
 	Heartbeat bool
+	// Token carries the request's at-most-once dedup token (0 = none);
+	// meaningful only in request batches.
+	Token uint64
 	// Msg is an encoded Request (BatchRequest) or Response (BatchResponse).
 	Msg []byte
 }
@@ -78,6 +88,7 @@ type BatchEntry struct {
 const (
 	entryFlagCancel    byte = 1 << 0
 	entryFlagHeartbeat byte = 1 << 1
+	entryFlagToken     byte = 1 << 2
 )
 
 // IsBatchFrame reports whether buf is a batch frame rather than a single
@@ -106,7 +117,13 @@ func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
 		if e.Heartbeat {
 			flags |= entryFlagHeartbeat
 		}
+		if e.Token != 0 {
+			flags |= entryFlagToken
+		}
 		w.byte(flags)
+		if e.Token != 0 {
+			w.u64(e.Token)
+		}
 		w.bytes(e.Msg)
 	}
 	return w.buf
@@ -142,6 +159,9 @@ func DecodeBatch(buf []byte) (BatchKind, []BatchEntry, error) {
 		flags := r.byte()
 		e.Cancel = flags&entryFlagCancel != 0
 		e.Heartbeat = flags&entryFlagHeartbeat != 0
+		if flags&entryFlagToken != 0 {
+			e.Token = r.u64()
+		}
 		e.Msg = r.bytes()
 		if r.err != nil {
 			return 0, nil, r.err

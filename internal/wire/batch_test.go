@@ -20,6 +20,10 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 	entries = append(entries, BatchEntry{ID: 101, Cancel: true})
 	entries = append(entries, BatchEntry{ID: 55, Heartbeat: true})
+	// The dedup-token extension: flag-gated, so only this entry's layout
+	// differs from a pre-token frame.
+	entries = append(entries, BatchEntry{ID: 200, Token: 0xFEEDFACE,
+		Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(9), Payload: []byte("tokened")})})
 
 	frame := EncodeBatch(BatchRequest, entries)
 	if !IsBatchFrame(frame) {
@@ -37,7 +41,8 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 	for i, e := range got {
 		if e.ID != entries[i].ID || e.Cancel != entries[i].Cancel ||
-			e.Heartbeat != entries[i].Heartbeat || !bytes.Equal(e.Msg, entries[i].Msg) {
+			e.Heartbeat != entries[i].Heartbeat || e.Token != entries[i].Token ||
+			!bytes.Equal(e.Msg, entries[i].Msg) {
 			t.Fatalf("entry %d = %+v, want %+v", i, e, entries[i])
 		}
 	}

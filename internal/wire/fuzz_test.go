@@ -85,7 +85,8 @@ func FuzzDecodeBatch(f *testing.F) {
 	for i, q := range seedRequests() {
 		reqEntries = append(reqEntries, BatchEntry{ID: uint64(i), Msg: EncodeRequest(q)})
 	}
-	reqEntries = append(reqEntries, BatchEntry{ID: 99, Cancel: true}, BatchEntry{ID: 98, Heartbeat: true})
+	reqEntries = append(reqEntries, BatchEntry{ID: 99, Cancel: true}, BatchEntry{ID: 98, Heartbeat: true},
+		BatchEntry{ID: 97, Token: 0xABCDEF, Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(3)})})
 	for i, p := range seedResponses() {
 		respEntries = append(respEntries, BatchEntry{ID: uint64(i), Msg: EncodeResponse(p)})
 	}
@@ -126,6 +127,7 @@ func FuzzDecodeBatch(f *testing.F) {
 		for i := range entries {
 			if entries[i].ID != entries2[i].ID || entries[i].Cancel != entries2[i].Cancel ||
 				entries[i].Heartbeat != entries2[i].Heartbeat ||
+				entries[i].Token != entries2[i].Token ||
 				!bytes.Equal(entries[i].Msg, entries2[i].Msg) {
 				t.Fatalf("entry %d diverged", i)
 			}

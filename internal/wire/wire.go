@@ -107,6 +107,13 @@ type Request struct {
 	Dir string
 	// TargetHost addresses host-directed operations (Pump/Fetch).
 	TargetHost string
+	// Token is an at-most-once dedup token for put/put_delayed (0 = none):
+	// a retried maybe-delivered put carries the same token, and the folder
+	// server acknowledges without re-applying if it already holds it. The
+	// token is NOT part of the request codec — it travels as a batch-entry
+	// extension (see batch.go), so the single-frame legacy protocol is
+	// untouched and the rpc layer re-attaches it at every hop.
+	Token uint64
 }
 
 // Response answers a Request.
