@@ -1,12 +1,18 @@
 // Command dmemo-bench regenerates the reproduction experiments (DESIGN.md
-// §4, E1–E11), printing one table per experiment.
+// §4, E1–E13), printing one table per experiment.
 //
 // Usage:
 //
-//	dmemo-bench            # run everything at full scale
-//	dmemo-bench -quick     # smaller workloads
-//	dmemo-bench -exp E4    # one experiment
-//	dmemo-bench -list      # list experiments
+//	dmemo-bench                 # run everything at full scale
+//	dmemo-bench -quick          # smaller workloads
+//	dmemo-bench -exp E4         # one experiment
+//	dmemo-bench -list           # list experiments
+//	dmemo-bench -json out/      # also write one BENCH_E<n>.json per table
+//
+// With -json each experiment's table is additionally written as
+// machine-readable JSON (BENCH_E<n>.json) under the given directory, so the
+// perf trajectory can be tracked across PRs; the CI bench-smoke step uploads
+// these files as an artifact.
 package main
 
 import (
@@ -19,8 +25,9 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
-	exp := flag.String("exp", "", "run a single experiment by id (E1..E11)")
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E13)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonDir := flag.String("json", "", "also write each table as BENCH_E<n>.json under this directory")
 	flag.Parse()
 
 	if *list {
@@ -49,6 +56,15 @@ func main() {
 			continue
 		}
 		tbl.Fprint(os.Stdout)
+		if *jsonDir != "" {
+			path, err := tbl.WriteJSON(*jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmemo-bench: %s: write json: %v\n", r.ID, err)
+				failed = true
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "dmemo-bench: wrote %s\n", path)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,11 +46,23 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durability (per-shard WAL + snapshots); empty keeps folders in memory only")
 	fsync := flag.String("fsync", "batch", "WAL sync policy: batch (group commit), always (fsync per record), never (trust the OS cache)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "records between WAL snapshot+truncate cycles (0 = default, negative = never)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 
 	if *host == "" {
 		fmt.Fprintln(os.Stderr, "folderserverd: -host is required")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		// Allocation and CPU profiles from a live cluster: off by default,
+		// and when enabled, bind a loopback address unless you mean to
+		// expose the profiler.
+		go func() {
+			log.Printf("folderserverd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("folderserverd: pprof: %v", err)
+			}
+		}()
 	}
 	var opts []folder.Option
 	if *arena > 0 {

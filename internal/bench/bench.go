@@ -1,14 +1,17 @@
 // Package bench is the experiment harness: one function per experiment in
-// DESIGN.md §4 (E1–E12), each returning a printable table reproducing a
-// figure or claim of the paper (E11/E12 quantify this reproduction's own
-// scaling and resilience layers). cmd/dmemo-bench drives them from the
-// command line; the repository-root bench_test.go wraps them as testing.B
-// benchmarks.
+// DESIGN.md §4 (E1–E13), each returning a printable table reproducing a
+// figure or claim of the paper (E11–E13 quantify this reproduction's own
+// scaling, resilience, and memory-management layers). cmd/dmemo-bench
+// drives them from the command line; the repository-root bench_test.go
+// wraps them as testing.B benchmarks.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
@@ -69,6 +72,35 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// tableJSON is the machine-readable shape of a Table. Field names are
+// stable: downstream tooling diffs these files across PRs to track the
+// perf trajectory.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON writes the table as BENCH_<ID>.json under dir (created if
+// needed), one file per experiment, and returns the file path.
+func (t *Table) WriteJSON(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	blob, err := json.MarshalIndent(tableJSON{
+		ID: t.ID, Title: t.Title, Claim: t.Claim,
+		Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	return path, os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
 // F formats a float compactly.
 func F(v float64) string { return fmt.Sprintf("%.4g", v) }
 
@@ -114,6 +146,7 @@ func All() []Runner {
 		{"E10", "languages on the API", E10Languages},
 		{"E11", "rpc batching amortization", E11Batching},
 		{"E12", "link health and retries", E12LinkHealth},
+		{"E13", "hot-path allocations (pooled vs seed)", E13AllocHotPath},
 	}
 }
 

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// seedE13 is the recorded pre-pooling baseline for the E13 table: the
+// batched rows of BenchmarkRPCBatchedRoundTrip measured at the PR-5 seed
+// commit (before internal/pool and the zero-copy framing path), on the same
+// 1-CPU container the other experiment numbers come from. Keyed by caller
+// count.
+var seedE13 = map[int]struct {
+	nsOp   float64
+	allocs float64
+}{
+	1:  {113013, 29},
+	8:  {21545, 19},
+	64: {3854, 13},
+}
+
+// E13AllocHotPath measures per-operation heap allocations and latency of
+// the steady-state remote round trip (the same workload as
+// BenchmarkRPCBatchedRoundTrip's batched mode: ping round trips over
+// sim-latency links through the mux and the batching rpc layer) and
+// compares them against the recorded seed baseline. The pooled path should
+// hold allocs/op ≥70% under the seed at 8 and 64 callers with no
+// single-caller latency regression.
+func E13AllocHotPath(cfg Config) (*Table, error) {
+	const linkDelay = 50 * time.Microsecond
+	opsPerCaller := cfg.scale(200, 2000)
+
+	run := func(callers int) (nsOp, allocsOp float64, err error) {
+		model := transport.NewNetModel(linkDelay)
+		model.SetLink("cli", "srv", 1)
+		model.SetLink("srv", "cli", 1)
+		sim := transport.NewSim(model)
+		l, err := sim.Listen("srv/rpc")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer l.Close()
+		go func() {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				mux := transport.NewMux(conn, 1<<20)
+				go mux.Run()
+				go func() {
+					for {
+						ch, err := mux.Accept()
+						if err != nil {
+							return
+						}
+						go rpc.Serve(ch, func(q *wire.Request, _ <-chan struct{}) *wire.Response {
+							return wire.OK()
+						}, nil, rpc.Policy{})
+					}
+				}()
+			}
+		}()
+		conn, err := sim.DialFrom("cli", "srv/rpc")
+		if err != nil {
+			return 0, 0, err
+		}
+		mux := transport.NewMux(conn, 1<<20)
+		go mux.Run()
+		defer mux.Close()
+		c := rpc.NewConn(mux.Channel(1), rpc.Policy{})
+		defer c.Close()
+
+		// Warm the path (and the buffer pools) so setup cost stays out of
+		// the measurement.
+		for i := 0; i < 32; i++ {
+			if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
+				return 0, 0, err
+			}
+		}
+
+		total := int64(opsPerCaller * callers)
+		var next, failed atomic.Int64
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < callers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= total {
+					if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
+						failed.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if failed.Load() > 0 {
+			return 0, 0, fmt.Errorf("%d calls failed", failed.Load())
+		}
+		nsOp = float64(elapsed.Nanoseconds()) / float64(total)
+		allocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+		return nsOp, allocsOp, nil
+	}
+
+	t := &Table{
+		ID:    "E13",
+		Title: "Hot-path allocations: pooled vs. seed path (batched rpc round trip)",
+		Claim: "pooled buffers + zero-copy framing cut steady-state allocs/op >=70% with no single-caller latency regression",
+		Columns: []string{
+			"concurrent callers", "seed ns/op", "pooled ns/op", "seed allocs/op", "pooled allocs/op", "allocs cut",
+		},
+		Notes: []string{
+			"seed columns are recorded numbers from the pre-pooling commit (same workload, same 1-CPU container); see DESIGN.md §8",
+		},
+	}
+	for _, callers := range []int{1, 8, 64} {
+		nsOp, allocsOp, err := run(callers)
+		if err != nil {
+			return nil, err
+		}
+		seed := seedE13[callers]
+		cut := 1 - allocsOp/seed.allocs
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(callers), F(seed.nsOp), F(nsOp), F(seed.allocs), F(allocsOp), Pct(cut),
+		})
+	}
+	return t, nil
+}

@@ -152,6 +152,10 @@ func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 // overhead").
 func (s *Server) Submit(task func()) error { return s.pool.Submit(task) }
 
+// SubmitArg runs fn(arg) on the server's thread cache — the allocation-free
+// submission path the rpc server dispatches batched requests through.
+func (s *Server) SubmitArg(fn func(any), arg any) error { return s.pool.SubmitArg(fn, arg) }
+
 // Serve accepts connections on l and answers requests until the listener
 // closes. Used by cmd/folderserverd; in the simulated cluster the memo
 // server calls Handle directly. Each virtual connection is driven by the
@@ -164,7 +168,7 @@ func (s *Server) Serve(l transport.Listener) error {
 		if err != nil {
 			return err
 		}
-		mux := transport.NewMux(conn, 4096)
+		mux := transport.NewMux(conn, transport.DefaultMTU)
 		go mux.Run()
 		go s.serveMux(mux)
 	}
@@ -177,7 +181,7 @@ func (s *Server) serveMux(mux *transport.Mux) {
 			return
 		}
 		if err := s.Submit(func() {
-			_ = rpc.Serve(ch, s.Handle, s.Submit, s.batch)
+			_ = rpc.Serve(ch, s.Handle, s.SubmitArg, s.batch)
 			ch.Close()
 		}); err != nil {
 			// Shutting down. Closing the channel is the whole message: an

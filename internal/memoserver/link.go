@@ -40,7 +40,7 @@ func (m *muxChannel) Close() error {
 // dialMux wraps a raw transport conn into the mux-backed channel an rlink
 // manages.
 func dialMux(raw transport.Conn) transport.Conn {
-	mux := transport.NewMux(raw, 4096)
+	mux := transport.NewMux(raw, transport.DefaultMTU)
 	go mux.Run()
 	return &muxChannel{Channel: mux.Channel(1), mux: mux}
 }

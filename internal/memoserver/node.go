@@ -301,7 +301,7 @@ func (n *Node) acceptLoop(l transport.Listener) {
 		if err != nil {
 			return
 		}
-		mux := transport.NewMux(conn, 4096)
+		mux := transport.NewMux(conn, transport.DefaultMTU)
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -326,7 +326,7 @@ func (n *Node) serveMux(mux *transport.Mux) {
 			return
 		}
 		if err := n.pool.Submit(func() {
-			_ = rpc.Serve(ch, n.Dispatch, n.pool.Submit, n.cfg.Batch)
+			_ = rpc.Serve(ch, n.Dispatch, n.pool.SubmitArg, n.cfg.Batch)
 			ch.Close()
 		}); err != nil {
 			// Shutting down. Closing the channel is the whole message: an
@@ -518,7 +518,13 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		}
 		// Hand the request to the folder server's thread cache: "each
 		// request to a server will cause a thread to be created to handle
-		// the request".
+		// the request". The handoff goroutine may outlive this dispatch —
+		// the cancel arm below returns without waiting — while q.Payload
+		// still aliases the rpc layer's read frame, which recycles as soon
+		// as we return; detach the payload first so an abandoned handler
+		// never reads a reused buffer. Blocking ops carry no payload, so
+		// this copies only on the NoLocalInline put path.
+		q.Retain()
 		respCh := make(chan *wire.Response, 1)
 		if err := fs.Submit(func() { respCh <- fs.Handle(q, cancel) }); err != nil {
 			return wire.Errf("folder server %d: %v", q.FolderID, err)

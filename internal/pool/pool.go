@@ -1,0 +1,106 @@
+// Package pool provides size-classed byte buffers for the request hot path.
+//
+// The steady-state request path used to allocate at least five times per hop
+// (encode, mux framing, sim envelope, transport copy, decode). Every one of
+// those buffers has the same life cycle — filled, handed to exactly one
+// consumer, dead — so they recycle through a small set of size-classed free
+// lists instead of the garbage collector.
+//
+// Ownership rules (the whole contract):
+//
+//   - Get(n) returns a zero-length buffer with capacity ≥ n that the caller
+//     owns exclusively. Append to it freely; it never moves to another class.
+//   - Put(b) relinquishes ownership. The caller must not touch b (or any
+//     alias of it) afterwards. Put is optional — a buffer that escapes to a
+//     component unaware of the pool is simply collected by the GC.
+//   - Never Put the same backing array twice. When a buffer is handed off
+//     (e.g. a transport delivering a received frame), exactly one side —
+//     the final consumer — Puts it.
+//   - Subslices are fine: Put files a buffer under the largest class that
+//     still fits its capacity, so a buffer trimmed by a few header bytes
+//     recycles at the class below at worst.
+//
+// Free lists are buffered channels rather than sync.Pools: channel sends and
+// receives of a []byte do not allocate (a sync.Pool round trip boxes the
+// slice header on every Put), each class stays memory-bounded without GC
+// cooperation, and the single-lock cost of a channel is invisible next to
+// the lock already serializing every transport send.
+package pool
+
+// Size classes: powers of two from minSize (64 B) through maxSize (1 MiB).
+// Requests beyond maxSize fall through to plain allocation and are dropped
+// on Put — frames that large are fragmented by the mux anyway.
+const (
+	minShift = 6
+	maxShift = 20
+	minSize  = 1 << minShift
+	maxSize  = 1 << maxShift
+
+	// classMem bounds each class's idle memory, so an idle process parks at
+	// most classMem per class (a few MiB total) no matter what burst it saw.
+	classMem = 1 << 22
+)
+
+var classes [maxShift - minShift + 1]chan []byte
+
+func init() {
+	for i := range classes {
+		size := 1 << (minShift + i)
+		slots := classMem / size
+		if slots > 256 {
+			slots = 256
+		}
+		if slots < 4 {
+			slots = 4
+		}
+		classes[i] = make(chan []byte, slots)
+	}
+}
+
+// classFor returns the index of the smallest class with size ≥ n, or -1 when
+// n exceeds the largest class.
+func classFor(n int) int {
+	if n > maxSize {
+		return -1
+	}
+	c := 0
+	for size := minSize; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+// Get returns a zero-length buffer with capacity at least n, owned
+// exclusively by the caller until Put.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	select {
+	case b := <-classes[c]:
+		return b
+	default:
+		return make([]byte, 0, 1<<(minShift+uint(c)))
+	}
+}
+
+// Put relinquishes b to the pool. The buffer is filed under the largest
+// class its capacity still covers; buffers smaller than the smallest class,
+// larger than the largest (they were plain allocations from Get, and
+// parking multi-MiB arrays in the top class would break its memory bound),
+// or arriving when the class is full are dropped for the GC.
+func Put(b []byte) {
+	c := cap(b)
+	if c < minSize || c > maxSize {
+		return
+	}
+	idx := 0
+	for size := minSize; size<<1 <= c && idx < len(classes)-1; size <<= 1 {
+		idx++
+	}
+	select {
+	case classes[idx] <- b[:0]:
+	default:
+	}
+}

@@ -1,0 +1,90 @@
+package pool
+
+import (
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 4096, 4097, maxSize, maxSize + 1} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d): len %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d): cap %d < %d", n, cap(b), n)
+		}
+		Put(b)
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	b := Get(100)
+	b = append(b, make([]byte, 100)...)
+	Put(b)
+	b2 := Get(100)
+	if cap(b2) < 100 || len(b2) != 0 {
+		t.Fatalf("recycled buffer: len %d cap %d", len(b2), cap(b2))
+	}
+}
+
+func TestPutSubsliceRefilesByCap(t *testing.T) {
+	// Drain the class a 128-cap subslice would land in so the next Get is
+	// deterministic.
+	for {
+		select {
+		case <-classes[1]:
+			continue
+		default:
+		}
+		break
+	}
+	b := Get(256)
+	b = b[:256]
+	Put(b[100:]) // cap 156 → files under the 128 class
+	got := <-classes[1]
+	if cap(got) < 128 {
+		t.Fatalf("subslice filed under wrong class: cap %d", cap(got))
+	}
+}
+
+func TestPutDropsOversizeBuffers(t *testing.T) {
+	// A buffer beyond the largest class was a plain allocation from Get;
+	// parking it would pin multi-MiB arrays in the top class forever.
+	Put(make([]byte, 0, maxSize+1))
+	top := classes[len(classes)-1]
+	for {
+		select {
+		case b := <-top:
+			if cap(b) > maxSize {
+				t.Fatalf("oversize buffer (cap %d) parked in top class", cap(b))
+			}
+			continue
+		default:
+		}
+		break
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{maxSize, maxShift - minShift}, {maxSize + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Fatalf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetPutDoesNotAllocateWhenWarm(t *testing.T) {
+	// Warm the class.
+	Put(make([]byte, 0, 4096))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := Get(4096)
+		Put(b)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Get/Put allocates %.1f times per op", allocs)
+	}
+}

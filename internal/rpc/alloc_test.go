@@ -1,0 +1,79 @@
+package rpc
+
+import (
+	"testing"
+
+	"repro/internal/threadcache"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestSteadyStateCallAllocBudget gates the whole-path allocation budget of
+// one rpc round trip: client encode → batcher → mux → inproc transport →
+// server decode → thread-cache dispatch → response batcher → client decode.
+// The seed path spent ~29 allocations per op here; the pooled path holds a
+// single-digit budget, and this test keeps it that way — a future PR that
+// quietly re-introduces per-op allocation on the hot path fails here
+// instead of eroding E13. testing.AllocsPerRun counts mallocs process-wide,
+// so the server side of the connection is inside the budget too.
+func TestSteadyStateCallAllocBudget(t *testing.T) {
+	ip := transport.NewInProc()
+	l, err := ip.Listen("srv/rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tc := threadcache.New(threadcache.Config{})
+	defer tc.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mux := transport.NewMux(conn, 1<<20)
+			go mux.Run()
+			go func() {
+				for {
+					ch, err := mux.Accept()
+					if err != nil {
+						return
+					}
+					go Serve(ch, echoBenchHandler, tc.SubmitArg, Policy{})
+				}
+			}()
+		}
+	}()
+	conn, err := ip.Dial("srv/rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewMux(conn, 1<<20)
+	go mux.Run()
+	defer mux.Close()
+	// Heartbeats off: the probe ticker would add background allocations
+	// unrelated to the per-call budget.
+	c := NewConnResilient(mux.Channel(1), Policy{}, Resilience{})
+	defer c.Close()
+
+	// Warm the path: buffer pools, call pool, dispatch-task pool, cached
+	// server thread, goroutine stacks.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := &wire.Request{Op: wire.OpPing}
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := c.Call(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: the steady state measures ~6 allocs/op (response struct and
+	// friends); 12 leaves room for scheduler noise while still tripping on
+	// any real regression (the pre-pooling path was ~29).
+	if allocs > 12 {
+		t.Fatalf("steady-state call allocates %.1f/op, budget 12 (seed path was ~29)", allocs)
+	}
+}

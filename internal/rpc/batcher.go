@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/pool"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -24,11 +26,22 @@ import (
 // reading stalls its producers (callers, handler threads) instead of
 // growing server memory without limit, the same backpressure the old
 // synchronous one-request-per-channel loop enforced.
+//
+// The steady state allocates nothing: entry Msg bytes arrive in pooled
+// buffers owned by the batcher (recycled after their frame ships), the
+// frame itself is encoded into a pooled buffer with mux header space
+// reserved up front (stamped in place when the conn is a
+// transport.ReservedSender, so the frame is never copied), and both the
+// queue array and the sender's drain slice are reused across frames.
 type batcher struct {
-	kind  wire.BatchKind
-	pol   Policy
-	send  func([]byte) error // transports one encoded frame
-	onErr func(error)        // called once when send fails
+	kind wire.BatchKind
+	pol  Policy
+	conn frameSender // transports one encoded frame
+	// reserved is conn as a ReservedSender when it is one (a mux channel):
+	// frames are then encoded behind reserved header space and stamped in
+	// place instead of re-framed.
+	reserved transport.ReservedSender
+	onErr    func(error) // called once when send fails
 	// preSend, when set, observes each frame's entries immediately before
 	// the transport send. The Conn uses it to mark calls as
 	// handed-to-the-wire: marking before the send means a send that fails
@@ -46,8 +59,14 @@ type batcher struct {
 	wake chan struct{} // capacity 1: "queue may be non-empty"
 }
 
-func newBatcher(kind wire.BatchKind, pol Policy, send func([]byte) error, onErr func(error)) *batcher {
-	b := &batcher{kind: kind, pol: pol, send: send, onErr: onErr, wake: make(chan struct{}, 1)}
+// frameSender is the slice of transport.Conn the batcher drives.
+type frameSender interface {
+	Send(msg []byte) error
+}
+
+func newBatcher(kind wire.BatchKind, pol Policy, conn frameSender, onErr func(error)) *batcher {
+	b := &batcher{kind: kind, pol: pol, conn: conn, onErr: onErr, wake: make(chan struct{}, 1)}
+	b.reserved, _ = conn.(transport.ReservedSender)
 	b.unblocked = sync.NewCond(&b.mu)
 	go b.sender()
 	return b
@@ -58,7 +77,8 @@ func newBatcher(kind wire.BatchKind, pol Policy, send func([]byte) error, onErr 
 func (b *batcher) highWater() int { return 4 * b.pol.MaxCount }
 
 // add queues one entry and nudges the sender, blocking while the queue is
-// over the high-water mark.
+// over the high-water mark. Ownership of e.Msg's buffer passes to the
+// batcher, which recycles it once the entry's frame has shipped.
 func (b *batcher) add(e wire.BatchEntry) {
 	b.mu.Lock()
 	for !b.closed && len(b.queue) >= b.highWater() {
@@ -117,8 +137,11 @@ func (b *batcher) signal() {
 }
 
 // sender drains the queue into frames, one Policy-capped frame per send,
-// for as long as entries remain; then it blocks for the next wake-up.
+// for as long as entries remain; then it blocks for the next wake-up. The
+// drain slice and frame buffer are reused across iterations; entry Msg
+// buffers recycle after each send.
 func (b *batcher) sender() {
+	var batch []wire.BatchEntry
 	for range b.wake { // never closed; exit is via the closed flag
 		for {
 			b.mu.Lock()
@@ -131,16 +154,18 @@ func (b *batcher) sender() {
 				b.mu.Unlock()
 				break
 			}
-			batch := b.takeLocked()
+			batch = b.takeLocked(batch[:0])
 			b.mu.Unlock()
 			if b.preSend != nil {
 				b.preSend(batch)
 			}
-			err := b.send(wire.EncodeBatch(b.kind, batch))
-			// The backing array is shared with the queue; zero the sent
-			// entries so their payloads are collectable while later
-			// entries keep the array alive.
+			err := b.sendFrame(batch)
+			// Recycle each entry's message buffer and drop the references
+			// so payloads aren't pinned until the next drain.
 			for i := range batch {
+				if m := batch[i].Msg; m != nil {
+					pool.Put(m)
+				}
 				batch[i] = wire.BatchEntry{}
 			}
 			if err != nil {
@@ -154,10 +179,35 @@ func (b *batcher) sender() {
 	}
 }
 
-// takeLocked removes up to MaxCount entries / ~MaxBytes encoded bytes
-// (always at least one entry) from the queue head, without copying the
-// remainder.
-func (b *batcher) takeLocked() []wire.BatchEntry {
+// sendFrame encodes one frame into a pooled buffer and ships it. On a
+// ReservedSender the mux header is stamped into reserved space at the front
+// of the same buffer — no reframe allocation, no copy.
+func (b *batcher) sendFrame(batch []wire.BatchEntry) error {
+	msgBytes := 0
+	for i := range batch {
+		msgBytes += len(batch[i].Msg)
+	}
+	reserve := 0
+	if b.reserved != nil {
+		reserve = transport.MuxHeaderSpace
+	}
+	buf := pool.Get(reserve + wire.BatchOverhead(len(batch), msgBytes))
+	buf = buf[:reserve]
+	frame := wire.AppendBatch(buf, b.kind, batch)
+	var err error
+	if b.reserved != nil {
+		err = b.reserved.SendReserved(frame)
+	} else {
+		err = b.conn.Send(frame)
+	}
+	pool.Put(frame)
+	return err
+}
+
+// takeLocked copies up to MaxCount entries / ~MaxBytes encoded bytes
+// (always at least one entry) from the queue head into dst, compacting the
+// queue in place so its backing array is reused forever.
+func (b *batcher) takeLocked(dst []wire.BatchEntry) []wire.BatchEntry {
 	n, size := 0, 0
 	for n < len(b.queue) && n < b.pol.MaxCount {
 		size += len(b.queue[n].Msg) + 12 // ~ per-entry framing overhead
@@ -166,14 +216,14 @@ func (b *batcher) takeLocked() []wire.BatchEntry {
 			break
 		}
 	}
-	batch := b.queue[:n:n]
-	if n == len(b.queue) {
-		b.queue = nil
-	} else {
-		b.queue = b.queue[n:]
+	dst = append(dst, b.queue[:n]...)
+	rest := copy(b.queue, b.queue[n:])
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = wire.BatchEntry{}
 	}
+	b.queue = b.queue[:rest]
 	b.unblocked.Broadcast()
-	return batch
+	return dst
 }
 
 // close drops queued entries and retires the sender; subsequent adds no-op.

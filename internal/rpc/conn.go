@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pool"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -39,10 +40,23 @@ type Conn struct {
 
 // call is one in-flight request: its parked response channel and whether
 // its request frame reached the transport (the retry-safety distinction
-// LinkError carries).
+// LinkError carries). Calls recycle through a pool — but only off the clean
+// completion path, where the caller has taken the response and no late send
+// into rc can ever happen; canceled and link-failed calls are dropped for
+// the GC rather than risk a stale response crossing into a reused call.
 type call struct {
 	rc   chan *wire.Response
 	sent atomic.Bool
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &call{rc: make(chan *wire.Response, 1)}
+}}
+
+func getCall() *call {
+	ca := callPool.Get().(*call)
+	ca.sent.Store(false)
+	return ca
 }
 
 // NewConn starts an RPC connection over ch (typically one transport.Mux
@@ -72,7 +86,7 @@ func NewConnResilient(ch transport.Conn, pol Policy, res Resilience) *Conn {
 	now := time.Now().UnixNano()
 	c.lastSent.Store(now)
 	c.lastRecv.Store(now)
-	c.out = newBatcher(wire.BatchRequest, c.pol, ch.Send, c.fail)
+	c.out = newBatcher(wire.BatchRequest, c.pol, ch, c.fail)
 	c.out.preSend = c.markSent
 	go c.recvLoop()
 	if c.hb > 0 {
@@ -102,12 +116,18 @@ func (c *Conn) markSent(entries []wire.BatchEntry) {
 // the request, and Call returns ErrCanceled without waiting for it. If the
 // link dies, Call fails fast with a *LinkError (errors.Is ErrLinkDown).
 func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
-	msg := wire.EncodeRequest(q)
-	ca := &call{rc: make(chan *wire.Response, 1)}
+	// Encode into a pooled buffer; the batcher owns it from add() on and
+	// recycles it once the frame carrying it has shipped. RequestOverhead
+	// bounds the whole message (keys and strings included), so the append
+	// never outgrows the buffer.
+	msg := wire.AppendRequest(pool.Get(wire.RequestOverhead(q)), q)
+	ca := getCall()
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.callErr(c.err, false)
 		c.mu.Unlock()
+		pool.Put(msg)
+		callPool.Put(ca)
 		return nil, err
 	}
 	c.nextID++
@@ -122,6 +142,7 @@ func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 
 	select {
 	case resp := <-ca.rc:
+		callPool.Put(ca)
 		return resp, nil
 	case <-cancel:
 		c.mu.Lock()
@@ -157,8 +178,14 @@ func (c *Conn) callErr(cause error, sent bool) error {
 	return &LinkError{Sent: sent, Cause: cause}
 }
 
-// recvLoop matches batched responses back to pending calls.
+// recvLoop matches batched responses back to pending calls. Each received
+// frame lives in a pooled buffer the decoded responses alias; payloads that
+// leave this loop (handed to callers, who own them indefinitely) take their
+// Retain copy here — payload bytes are copied exactly once on the client,
+// and value-less responses (put/ping acknowledgements) not at all — and the
+// frame recycles at the bottom of each iteration.
 func (c *Conn) recvLoop() {
+	var entries []wire.BatchEntry
 	for {
 		buf, err := c.ch.Recv()
 		if err != nil {
@@ -170,16 +197,18 @@ func (c *Conn) recvLoop() {
 			c.fail(fmt.Errorf("rpc: peer sent a non-batch frame"))
 			return
 		}
-		kind, entries, err := wire.DecodeBatch(buf)
+		kind, es, err := wire.DecodeBatchInto(entries[:0], buf)
 		if err != nil {
 			c.fail(fmt.Errorf("rpc: bad batch: %w", err))
 			return
 		}
+		entries = es
 		if kind != wire.BatchResponse {
 			c.fail(fmt.Errorf("rpc: peer sent %v, want %v", kind, wire.BatchResponse))
 			return
 		}
-		for _, e := range entries {
+		for i := range entries {
+			e := &entries[i]
 			if e.Heartbeat {
 				// The echo's whole job was advancing lastRecv.
 				continue
@@ -189,6 +218,7 @@ func (c *Conn) recvLoop() {
 				c.fail(fmt.Errorf("rpc: bad response in batch: %w", err))
 				return
 			}
+			resp.Retain()
 			c.mu.Lock()
 			ca, ok := c.pending[e.ID]
 			if ok {
@@ -199,7 +229,9 @@ func (c *Conn) recvLoop() {
 				ca.rc <- resp
 			}
 			// Responses to unknown ids are replies to canceled calls; drop.
+			*e = wire.BatchEntry{}
 		}
+		pool.Put(buf)
 	}
 }
 

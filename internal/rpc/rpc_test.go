@@ -429,9 +429,9 @@ func TestConnFailsPendingOnTeardown(t *testing.T) {
 
 func TestSubmitThroughThreadCache(t *testing.T) {
 	var submitted atomic.Int64
-	submit := func(task func()) error {
+	submit := func(fn func(any), arg any) error {
 		submitted.Add(1)
-		go task()
+		go fn(arg)
 		return nil
 	}
 	c := pipe(t, echoHandler, submit, Policy{})

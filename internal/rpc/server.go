@@ -3,20 +3,28 @@ package rpc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/pool"
+	"repro/internal/symbol"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // Handler executes one request. cancel fires when the client abandons the
-// call or the connection dies; blocking handlers must honour it.
+// call or the connection dies; blocking handlers must honour it. The
+// request's Payload aliases the connection's read buffer for the duration
+// of the call: handlers that keep the bytes past their return (storing a
+// memo, caching a program image) must copy them — the folder store's own
+// deposit copy is exactly that Retain.
 type Handler func(q *wire.Request, cancel <-chan struct{}) *wire.Response
 
-// SubmitFunc runs a task concurrently — typically threadcache.Pool.Submit
-// or folder.Server.Submit, so batched requests land on the server's thread
-// cache ("each request to a server will cause a thread to be created").
-// A nil SubmitFunc runs each request on a plain goroutine.
-type SubmitFunc func(task func()) error
+// SubmitFunc runs fn(arg) concurrently — typically threadcache.Pool.SubmitArg
+// or folder.Server.SubmitArg, so batched requests land on the server's
+// thread cache ("each request to a server will cause a thread to be
+// created") without allocating a closure per request. A nil SubmitFunc runs
+// each request on a plain goroutine.
+type SubmitFunc func(fn func(any), arg any) error
 
 // ServerChannel is the connection Serve drives: a transport.Conn with a
 // liveness signal (satisfied by *transport.Channel).
@@ -31,6 +39,12 @@ type ServerChannel interface {
 // coalesce into batched frames in completion order and a blocked request
 // never delays its batch-mates. Single frames are answered synchronously
 // in arrival order, preserving the pre-batching protocol for old peers.
+//
+// Buffer ownership: each received frame arrives in a pooled buffer that
+// every request decoded from it aliases. The frame is reference-counted
+// through dispatch and recycled when the last request of the batch
+// completes — a batch holding one long-blocking folder wait pins at most
+// one frame, never a copy per request.
 func Serve(ch ServerChannel, h Handler, submit SubmitFunc, pol Policy) error {
 	s := &server{
 		ch:       ch,
@@ -38,8 +52,9 @@ func Serve(ch ServerChannel, h Handler, submit SubmitFunc, pol Policy) error {
 		submit:   submit,
 		inflight: make(map[uint64]chan struct{}),
 	}
-	s.out = newBatcher(wire.BatchResponse, pol.withDefaults(), ch.Send, func(error) { _ = ch.Close() })
+	s.out = newBatcher(wire.BatchResponse, pol.withDefaults(), ch, func(error) { _ = ch.Close() })
 	defer s.shutdown()
+	var entries []wire.BatchEntry
 	for {
 		buf, err := ch.Recv()
 		if err != nil {
@@ -51,16 +66,47 @@ func Serve(ch ServerChannel, h Handler, submit SubmitFunc, pol Policy) error {
 			}
 			continue
 		}
-		kind, entries, err := wire.DecodeBatch(buf)
+		kind, es, err := wire.DecodeBatchInto(entries[:0], buf)
 		if err != nil {
 			return fmt.Errorf("rpc: bad batch from %s: %w", ch.RemoteAddr(), err)
 		}
+		entries = es
 		if kind != wire.BatchRequest {
 			return fmt.Errorf("rpc: %v from %s, want %v", kind, ch.RemoteAddr(), wire.BatchRequest)
 		}
-		for _, e := range entries {
-			s.dispatch(e)
+		// The frame starts with one reference held by this loop, gains one
+		// per dispatched request, and recycles when the count drains.
+		fb := newFrameBuf(buf)
+		for i := range entries {
+			s.dispatch(entries[i], fb)
+			entries[i] = wire.BatchEntry{}
 		}
+		fb.release()
+	}
+}
+
+// frameBuf reference-counts one received frame's pooled buffer.
+type frameBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func newFrameBuf(buf []byte) *frameBuf {
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.buf = buf
+	fb.refs.Store(1)
+	return fb
+}
+
+func (fb *frameBuf) retain() { fb.refs.Add(1) }
+
+func (fb *frameBuf) release() {
+	if fb.refs.Add(-1) == 0 {
+		pool.Put(fb.buf)
+		fb.buf = nil
+		frameBufPool.Put(fb)
 	}
 }
 
@@ -87,14 +133,75 @@ func (s *server) serveSingle(buf []byte) error {
 	} else {
 		resp = s.h(q, s.ch.Done())
 	}
-	return s.ch.Send(wire.EncodeResponse(resp))
+	msg := wire.AppendResponse(pool.Get(wire.ResponseOverhead(resp)), resp)
+	err = s.ch.Send(msg)
+	pool.Put(msg)
+	pool.Put(buf)
+	return err
+}
+
+// dispatchTask is one batched request in flight: the pooled argument struct
+// handed to SubmitFunc, so dispatch allocates neither a closure nor a fresh
+// request per entry. The cancel channel is recycled with the task whenever
+// the request completed without being canceled (a canceled request's
+// channel is closed and must not be reused).
+type dispatchTask struct {
+	s  *server
+	fb *frameBuf
+	id uint64
+	q  wire.Request
+	cc chan struct{}
+}
+
+var dispatchTaskPool = sync.Pool{New: func() any {
+	return &dispatchTask{cc: make(chan struct{})}
+}}
+
+// recycleTask resets t and returns it to the pool. The reset keeps the
+// request's key-extension and key-list capacity — exactly what
+// DecodeRequestInto's reuse branches refill — while dropping every
+// reference into the (possibly already released) frame, so a parked task
+// never pins a recycled buffer and never dangles aliased bytes. Only call
+// it when t.cc is known unclosed.
+func recycleTask(t *dispatchTask) {
+	t.s, t.fb = nil, nil
+	t.q = wire.Request{
+		Key:  symbol.Key{X: t.q.Key.X[:0]},
+		Key2: symbol.Key{X: t.q.Key2.X[:0]},
+		Keys: t.q.Keys[:0],
+	}
+	dispatchTaskPool.Put(t)
+}
+
+// runDispatch executes one batched request: handle, respond, release the
+// frame, recycle the task. Static function — its any argument is the pooled
+// *dispatchTask, so submission costs no allocation.
+func runDispatch(a any) {
+	t := a.(*dispatchTask)
+	s := t.s
+	resp := s.h(&t.q, t.cc)
+	s.mu.Lock()
+	_, owned := s.inflight[t.id]
+	if owned {
+		delete(s.inflight, t.id)
+	}
+	s.mu.Unlock()
+	s.respond(t.id, resp)
+	t.fb.release()
+	// owned means no cancel (or shutdown) removed the id first, so t.cc was
+	// never closed and the whole task can recycle. Otherwise the channel is
+	// (or is about to be) closed; drop the task for the GC.
+	if owned {
+		recycleTask(t)
+	}
 }
 
 // dispatch routes one batch entry: heartbeats echo straight back through
 // the response batcher (keeping both directions of the link visibly alive);
 // cancels close the target request's cancel channel; requests run
-// concurrently and respond through the batcher.
-func (s *server) dispatch(e wire.BatchEntry) {
+// concurrently and respond through the batcher, holding a reference on the
+// frame buffer their decoded payload aliases.
+func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 	if e.Heartbeat {
 		// Control enqueue: the read pump must never park behind a response
 		// queue wedged by a non-draining peer, and the echo must not be
@@ -115,52 +222,55 @@ func (s *server) dispatch(e wire.BatchEntry) {
 		}
 		return
 	}
-	q, err := wire.DecodeRequest(e.Msg)
-	if err != nil {
+	t := dispatchTaskPool.Get().(*dispatchTask)
+	if err := wire.DecodeRequestInto(&t.q, e.Msg); err != nil {
+		recycleTask(t)
 		s.respond(e.ID, wire.Errf("bad request: %v", err))
 		return
 	}
 	// Re-attach the batch-entry dedup token; the request codec does not
 	// carry it.
-	q.Token = e.Token
-	cc := make(chan struct{})
+	t.q.Token = e.Token
+	t.s, t.id = s, e.ID
 	s.mu.Lock()
 	if s.down {
 		s.mu.Unlock()
+		recycleTask(t)
 		return
 	}
 	if _, dup := s.inflight[e.ID]; dup {
 		// A buggy or hostile peer reused a live id; honouring it would
 		// orphan the first request's cancel channel.
 		s.mu.Unlock()
+		recycleTask(t)
 		s.respond(e.ID, wire.Errf("duplicate request id %d", e.ID))
 		return
 	}
-	s.inflight[e.ID] = cc
+	s.inflight[e.ID] = t.cc
 	s.mu.Unlock()
 
-	task := func() {
-		resp := s.h(q, cc)
-		s.mu.Lock()
-		delete(s.inflight, e.ID)
-		s.mu.Unlock()
-		s.respond(e.ID, resp)
-	}
+	fb.retain()
+	t.fb = fb
 	if s.submit == nil {
-		go task()
+		go runDispatch(t)
 		return
 	}
-	if err := s.submit(task); err != nil {
+	if err := s.submit(runDispatch, t); err != nil {
 		s.mu.Lock()
 		delete(s.inflight, e.ID)
 		s.mu.Unlock()
+		fb.release()
 		s.respond(e.ID, wire.Errf("server shutting down"))
 	}
 }
 
-// respond queues one response for batched delivery.
+// respond queues one response for batched delivery, encoded into a pooled
+// buffer the batcher recycles once the frame ships. ResponseOverhead bounds
+// the whole message (key and error string included), so the append never
+// outgrows the buffer.
 func (s *server) respond(id uint64, resp *wire.Response) {
-	s.out.add(wire.BatchEntry{ID: id, Msg: wire.EncodeResponse(resp)})
+	msg := wire.AppendResponse(pool.Get(wire.ResponseOverhead(resp)), resp)
+	s.out.add(wire.BatchEntry{ID: id, Msg: msg})
 }
 
 // shutdown cancels every in-flight request so blocked handlers unwind, and

@@ -52,12 +52,29 @@ type Stats struct {
 // ErrClosed reports Submit on a closed pool.
 var ErrClosed = errors.New("threadcache: pool closed")
 
+// Task is one unit of work: a function plus its argument. Splitting the two
+// lets steady-state callers submit a static function with a pooled argument
+// struct instead of allocating a fresh closure per request — the rpc server
+// dispatches every batched request this way. A zero Task (nil Fn) is the
+// sentinel a closed worker channel yields and is never run.
+type Task struct {
+	Fn  func(any)
+	Arg any
+}
+
+func (t Task) run() { t.Fn(t.Arg) }
+
+// runFunc adapts a plain func() to the Task shape. Converting a func value
+// into an interface does not allocate (func values are pointer-shaped), so
+// Submit stays a single-word wrap of SubmitTask.
+func runFunc(a any) { a.(func())() }
+
 // Pool is a cache of worker goroutines.
 type Pool struct {
 	cfg Config
 
 	mu     sync.Mutex
-	idle   []chan func() // stack: most recently parked worker first
+	idle   []chan Task // stack: most recently parked worker first
 	closed bool
 	live   sync.WaitGroup
 
@@ -79,6 +96,18 @@ func New(cfg Config) *Pool {
 
 // Submit runs task on a cached or fresh worker. It never blocks on the task.
 func (p *Pool) Submit(task func()) error {
+	return p.SubmitTask(Task{Fn: runFunc, Arg: task})
+}
+
+// SubmitArg runs fn(arg) on a cached or fresh worker — the allocation-free
+// submission path: fn is typically a static function and arg a pooled
+// struct, so nothing about the handoff itself hits the heap.
+func (p *Pool) SubmitArg(fn func(any), arg any) error {
+	return p.SubmitTask(Task{Fn: fn, Arg: arg})
+}
+
+// SubmitTask runs t on a cached or fresh worker. It never blocks on the task.
+func (p *Pool) SubmitTask(t Task) error {
 	if p.cfg.Disable {
 		p.mu.Lock()
 		if p.closed {
@@ -90,7 +119,7 @@ func (p *Pool) Submit(task func()) error {
 		p.spawned.Add(1)
 		go func() {
 			defer p.live.Done()
-			task()
+			t.run()
 		}()
 		return nil
 	}
@@ -105,24 +134,25 @@ func (p *Pool) Submit(task func()) error {
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
 		p.reused.Add(1)
-		w <- task
+		w <- t
 		return nil
 	}
 	p.live.Add(1)
 	p.mu.Unlock()
 	p.spawned.Add(1)
-	go p.worker(task)
+	go p.worker(t)
 	return nil
 }
 
 // worker runs its first task, then parks itself waiting for reuse until the
-// idle timer fires.
-func (p *Pool) worker(first func()) {
+// idle timer fires. One handoff channel serves the worker's whole lifetime —
+// parking is free of allocations until the idle timer arms.
+func (p *Pool) worker(first Task) {
 	defer p.live.Done()
 	task := first
+	ch := make(chan Task)
 	for {
-		task()
-		ch := make(chan func())
+		task.run()
 		p.mu.Lock()
 		if p.closed || len(p.idle) >= p.cfg.MaxIdle {
 			p.mu.Unlock()
@@ -136,7 +166,7 @@ func (p *Pool) worker(first func()) {
 		select {
 		case task = <-ch:
 			timer.Stop()
-			if task == nil { // pool closed while parked
+			if task.Fn == nil { // pool closed while parked
 				p.retired.Add(1)
 				return
 			}
@@ -159,7 +189,7 @@ func (p *Pool) worker(first func()) {
 				return
 			}
 			task = <-ch // a Submit won the race; serve it
-			if task == nil {
+			if task.Fn == nil {
 				p.retired.Add(1)
 				return
 			}

@@ -160,3 +160,40 @@ func TestFlakyDelay(t *testing.T) {
 		t.Fatalf("delivery took %v, want ≥ %v", elapsed, d)
 	}
 }
+
+// sinkConn counts sends and records the identity of the last slice it was
+// handed, so tests can prove a wrapper passes buffers through untouched.
+type sinkConn struct {
+	sends int
+	last  []byte
+}
+
+func (c *sinkConn) Send(msg []byte) error { c.sends++; c.last = msg; return nil }
+func (c *sinkConn) Recv() ([]byte, error) { select {} }
+func (c *sinkConn) Close() error          { return nil }
+func (c *sinkConn) LocalAddr() string     { return "a" }
+func (c *sinkConn) RemoteAddr() string    { return "b" }
+
+// TestFlakySendAddsNoCopy audits the hot-path claim that the fault-injection
+// wrapper is free: on a healthy link, flakyConn.Send must hand the inner
+// conn the very same slice (no envelope, no copy) and allocate nothing.
+func TestFlakySendAddsNoCopy(t *testing.T) {
+	f := NewFlaky(NewInProc())
+	inner := &sinkConn{}
+	fc := f.wrap(inner, "a", "b")
+	msg := []byte("payload bytes")
+	if err := fc.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.last) != len(msg) || &inner.last[0] != &msg[0] {
+		t.Fatal("flaky wrapper copied or re-framed the message")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := fc.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("healthy flaky Send allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"sync"
+
+	"repro/internal/pool"
 )
 
 // InProc is a process-local transport: addresses live in a private namespace
@@ -143,12 +145,15 @@ func (c *inprocConn) Send(msg []byte) error {
 	default:
 	}
 	// Copy: the caller may reuse its buffer, and a real network would copy.
-	buf := make([]byte, len(msg))
-	copy(buf, msg)
+	// The copy lands in a pooled buffer — this is the handoff copy of the
+	// send path, and ownership transfers to the receiver, which recycles it.
+	buf := append(pool.Get(len(msg)), msg...)
 	select {
 	case <-c.closed:
+		pool.Put(buf)
 		return ErrClosed
 	case <-c.peerClosed:
+		pool.Put(buf)
 		return ErrClosed
 	case c.out <- buf:
 		return nil

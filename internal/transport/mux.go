@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/pool"
 )
 
 // Mux is the paper's derived transport layer (§3.1.1): it multiplexes many
@@ -36,15 +38,38 @@ const (
 	flagClose = 1 << 1
 )
 
+// MuxHeaderSpace is the worst-case size of a mux packet header (two uvarints
+// plus the flag byte). Callers using SendReserved leave this many bytes of
+// scratch at the front of their buffer; the channel stamps its header into
+// that space and ships header+payload as one slice — no second allocation,
+// no frame copy.
+const MuxHeaderSpace = 2*binary.MaxVarintLen64 + 1
+
+// ReservedSender is satisfied by conns able to stamp their framing into
+// caller-reserved header space (satisfied by *Channel). The rpc batcher uses
+// it to make the encode→wire path copy-free.
+type ReservedSender interface {
+	// SendReserved transmits buf[MuxHeaderSpace:] as one message;
+	// buf[:MuxHeaderSpace] is scratch the sender may overwrite. The caller
+	// keeps ownership of buf once SendReserved returns.
+	SendReserved(buf []byte) error
+}
+
 // ErrMuxClosed reports use of a closed Mux or Channel.
 var ErrMuxClosed = errors.New("transport: mux closed")
+
+// DefaultMTU is the fragment payload the rpc stack muxes with: comfortably
+// above a full default batch frame (rpc.DefaultMaxBytes plus framing), so
+// the common frame ships as a single packet on the zero-copy SendReserved
+// path; only outsized memos fragment.
+const DefaultMTU = 128 << 10
 
 // NewMux wraps conn with virtual connections. mtu is the maximum fragment
 // payload; messages larger than mtu are fragmented. Start the read pump with
 // Run (usually in a goroutine).
 func NewMux(conn Conn, mtu int) *Mux {
 	if mtu <= 0 {
-		mtu = 4096
+		mtu = DefaultMTU
 	}
 	return &Mux{
 		conn:     conn,
@@ -153,6 +178,14 @@ func (m *Mux) Run() error {
 
 		p := assembling[chID]
 		if p == nil {
+			if flags&flagMore == 0 {
+				// Fast path: the whole message arrived in one packet.
+				// Deliver the payload aliased into the received buffer —
+				// ownership of pkt transfers to the channel's consumer (the
+				// final consumer may pool.Put it).
+				ch.deliver(payload)
+				continue
+			}
 			p = &pendingMsg{id: msgID}
 			assembling[chID] = p
 		}
@@ -160,7 +193,12 @@ func (m *Mux) Run() error {
 			m.teardown(fmt.Errorf("transport: mux: interleaved fragments on channel %d", chID))
 			return m.err
 		}
+		if p.buf == nil {
+			p.buf = pool.Get(2 * len(payload))
+		}
 		p.buf = append(p.buf, payload...)
+		// The fragment is copied out; its packet buffer can recycle now.
+		pool.Put(pkt)
 		if flags&flagMore == 0 {
 			msg := p.buf
 			delete(assembling, chID)
@@ -200,16 +238,27 @@ func (m *Mux) Close() error {
 	return nil
 }
 
-// sendPacket writes one framed packet to the shared connection.
+// sendPacket writes one framed packet to the shared connection. The packet
+// is assembled in a pooled buffer (header + payload copy) and recycled once
+// the underlying Send returns — Conn.Send must not retain its argument.
 func (m *Mux) sendPacket(chID, msgID uint64, flags byte, payload []byte) error {
-	hdr := make([]byte, 0, 2*binary.MaxVarintLen64+1+len(payload))
-	hdr = binary.AppendUvarint(hdr, chID)
-	hdr = binary.AppendUvarint(hdr, msgID)
-	hdr = append(hdr, flags)
-	hdr = append(hdr, payload...)
+	buf := pool.Get(MuxHeaderSpace + len(payload))
+	buf = binary.AppendUvarint(buf, chID)
+	buf = binary.AppendUvarint(buf, msgID)
+	buf = append(buf, flags)
+	buf = append(buf, payload...)
+	m.sendMu.Lock()
+	err := m.conn.Send(buf)
+	m.sendMu.Unlock()
+	pool.Put(buf)
+	return err
+}
+
+// sendRaw writes one already-framed packet to the shared connection.
+func (m *Mux) sendRaw(pkt []byte) error {
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
-	return m.conn.Send(hdr)
+	return m.conn.Send(pkt)
 }
 
 // Channel is one virtual connection over a Mux. It satisfies Conn.
@@ -253,6 +302,35 @@ func (c *Channel) Send(msg []byte) error {
 		}
 	}
 	return nil
+}
+
+// SendReserved transmits buf[MuxHeaderSpace:] as one message, stamping the
+// packet header into the reserved space when the message fits in one
+// fragment — the same bytes reach the wire as Send would produce, without
+// allocating or copying the frame. Larger messages fall back to the
+// fragmenting path. The caller keeps ownership of buf after return.
+func (c *Channel) SendReserved(buf []byte) error {
+	msg := buf[MuxHeaderSpace:]
+	if len(msg) == 0 || len(msg) > c.mux.mtu {
+		return c.Send(msg)
+	}
+	select {
+	case <-c.done:
+		return ErrMuxClosed
+	default:
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	id := c.nextID
+	c.nextID++
+	var hdr [MuxHeaderSpace]byte
+	n := binary.PutUvarint(hdr[:], c.id)
+	n += binary.PutUvarint(hdr[n:], id)
+	hdr[n] = 0 // flags: single fragment
+	n++
+	start := MuxHeaderSpace - n
+	copy(buf[start:], hdr[:n])
+	return c.mux.sendRaw(buf[start:])
 }
 
 // Recv blocks for the next complete message.

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/pool"
 )
 
 // preciseSleep waits d with sub-millisecond accuracy. The kernel timer wheel
@@ -218,13 +220,19 @@ func (l *simListener) Accept() (Conn, error) {
 }
 
 // envelope prefix: the dialer's host name, so the server side can model
-// return-path delay. Format: uvarint length + host + payload.
-func packEnvelope(host string, msg []byte) []byte {
-	buf := make([]byte, 0, len(host)+len(msg)+2)
+// return-path delay. Format: length byte + host + payload.
+//
+// sendEnveloped builds the envelope in a pooled buffer and recycles it the
+// moment the inner Send returns (the inproc substrate's handoff copy is
+// synchronous), so stamping the host adds no per-message garbage.
+func sendEnveloped(inner Conn, host string, msg []byte) error {
+	buf := pool.Get(1 + len(host) + len(msg))
 	buf = append(buf, byte(len(host)))
 	buf = append(buf, host...)
 	buf = append(buf, msg...)
-	return buf
+	err := inner.Send(buf)
+	pool.Put(buf)
+	return err
 }
 
 func unpackEnvelope(buf []byte) (host string, msg []byte) {
@@ -249,7 +257,7 @@ type simConn struct {
 func (c *simConn) Send(msg []byte) error {
 	preciseSleep(c.sim.model.Delay(c.localHost, c.remoteHost, len(msg)))
 	c.sim.model.Record(c.localHost, c.remoteHost, len(msg))
-	return c.Conn.Send(packEnvelope(c.localHost, msg))
+	return sendEnveloped(c.Conn, c.localHost, msg)
 }
 
 func (c *simConn) Recv() ([]byte, error) {
@@ -296,7 +304,7 @@ func (c *simServerConn) Send(msg []byte) error {
 		preciseSleep(c.sim.model.Delay(c.localHost, peer, len(msg)))
 		c.sim.model.Record(c.localHost, peer, len(msg))
 	}
-	return c.Conn.Send(packEnvelope(c.localHost, msg))
+	return sendEnveloped(c.Conn, c.localHost, msg)
 }
 
 func (c *simServerConn) LocalAddr() string { return c.localHost }

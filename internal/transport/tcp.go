@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/pool"
 )
 
 // TCP is the real-network transport: length-prefixed message framing over
@@ -121,8 +123,13 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, ErrTooLarge
 	}
-	msg := make([]byte, n)
+	// Pooled, not a per-conn scratch buffer: the mux read pump delivers
+	// received messages (aliased) to channels consumed asynchronously, so
+	// the buffer's ownership must transfer out of the reader — the final
+	// consumer recycles it with pool.Put.
+	msg := pool.Get(int(n))[:n]
 	if err := c.readFullIdle(msg); err != nil {
+		pool.Put(msg)
 		return nil, c.recvErr(err)
 	}
 	return msg, nil

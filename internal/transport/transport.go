@@ -39,9 +39,14 @@ const MaxFrame = 16 << 20
 
 // Conn is a bidirectional message connection.
 type Conn interface {
-	// Send transmits one message. Safe for concurrent use.
+	// Send transmits one message. Safe for concurrent use. Implementations
+	// must not retain msg after returning: senders on the hot path recycle
+	// their buffers (internal/pool) the moment Send returns.
 	Send(msg []byte) error
 	// Recv blocks for the next message. Safe for one concurrent reader.
+	// Ownership of the returned buffer transfers to the caller; the final
+	// consumer may recycle it with pool.Put (buffers originate from
+	// internal/pool on every built-in transport).
 	Recv() ([]byte, error)
 	// Close releases the connection; pending and future Recv calls fail
 	// with ErrClosed.

@@ -97,13 +97,13 @@ func IsBatchFrame(buf []byte) bool {
 	return len(buf) > 0 && buf[0] == batchMagic
 }
 
-// EncodeBatch serializes a batch frame.
-func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
-	size := 16
-	for _, e := range entries {
-		size += len(e.Msg) + 12
-	}
-	w := &writer{buf: make([]byte, 0, size)}
+// AppendBatch serializes a batch frame onto dst (which is returned, possibly
+// reallocated) — the encode-in-place variant: the rpc batcher appends into a
+// pooled buffer with the mux channel header's worst-case space reserved up
+// front, so the frame never moves again between encoder and wire. The bytes
+// appended are identical to EncodeBatch's output.
+func AppendBatch(dst []byte, kind BatchKind, entries []BatchEntry) []byte {
+	w := writer{buf: dst}
 	w.byte(batchMagic)
 	w.byte(BatchVersion)
 	w.byte(byte(kind))
@@ -129,9 +129,34 @@ func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
 	return w.buf
 }
 
+// BatchOverhead conservatively bounds the encoded size of a batch frame
+// carrying entries whose Msg bytes total msgBytes: frame header plus
+// worst-case per-entry framing (id, flags, token, length).
+func BatchOverhead(entries, msgBytes int) int {
+	return 16 + msgBytes + entries*(2*10+1+10)
+}
+
+// EncodeBatch serializes a batch frame into a fresh buffer.
+func EncodeBatch(kind BatchKind, entries []BatchEntry) []byte {
+	size := 16
+	for _, e := range entries {
+		size += len(e.Msg) + 12
+	}
+	return AppendBatch(make([]byte, 0, size), kind, entries)
+}
+
 // DecodeBatch parses a batch frame. Entry messages are returned still
-// encoded; callers decode them per kind (DecodeRequest / DecodeResponse).
+// encoded and ALIAS buf; callers decode them per kind (DecodeRequest /
+// DecodeResponse).
 func DecodeBatch(buf []byte) (BatchKind, []BatchEntry, error) {
+	return DecodeBatchInto(nil, buf)
+}
+
+// DecodeBatchInto parses a batch frame, appending entries onto dst (which
+// may be a reused scratch slice, typically dst[:0] of the previous frame's)
+// — the steady-state read path decodes every frame into the same entry
+// storage. Entry Msg bytes ALIAS buf.
+func DecodeBatchInto(dst []BatchEntry, buf []byte) (BatchKind, []BatchEntry, error) {
 	r := &reader{buf: buf}
 	if r.byte() != batchMagic {
 		return 0, nil, fmt.Errorf("wire: not a batch frame")
@@ -152,7 +177,12 @@ func DecodeBatch(buf []byte) (BatchKind, []BatchEntry, error) {
 	if n > uint64(len(buf))/3 {
 		return 0, nil, ErrTruncated
 	}
-	entries := make([]BatchEntry, 0, n)
+	entries := dst
+	if uint64(cap(entries)-len(entries)) < n {
+		grown := make([]BatchEntry, len(entries), uint64(len(entries))+n)
+		copy(grown, entries)
+		entries = grown
+	}
 	for i := uint64(0); i < n; i++ {
 		var e BatchEntry
 		e.ID = r.u64()

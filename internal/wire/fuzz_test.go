@@ -58,6 +58,90 @@ func FuzzDecodeRequest(f *testing.F) {
 	})
 }
 
+// FuzzAppendEncoders checks the encode-in-place variants against the
+// allocating encoders on every decodable input: AppendRequest/AppendResponse/
+// AppendBatch must produce byte-identical output after any prefix, so a
+// buffer with transport header space reserved up front carries exactly the
+// frame the wire format promises.
+func FuzzAppendEncoders(f *testing.F) {
+	for _, q := range seedRequests() {
+		f.Add(EncodeRequest(q))
+	}
+	for _, p := range seedResponses() {
+		f.Add(EncodeResponse(p))
+	}
+	f.Add(EncodeBatch(BatchRequest, []BatchEntry{{ID: 1, Token: 7, Msg: EncodeRequest(&Request{Op: OpPing})}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prefix := []byte("0123456789abcdefghijk") // ~MuxHeaderSpace of reserved scratch
+		if q, err := DecodeRequest(data); err == nil {
+			want := EncodeRequest(q)
+			got := AppendRequest(append([]byte(nil), prefix...), q)
+			if !bytes.Equal(got[len(prefix):], want) || !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("AppendRequest diverged from EncodeRequest")
+			}
+			if len(want) > RequestOverhead(q) {
+				t.Fatalf("RequestOverhead underestimates: encoded %d > bound %d", len(want), RequestOverhead(q))
+			}
+		}
+		if p, err := DecodeResponse(data); err == nil {
+			want := EncodeResponse(p)
+			got := AppendResponse(append([]byte(nil), prefix...), p)
+			if !bytes.Equal(got[len(prefix):], want) || !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("AppendResponse diverged from EncodeResponse")
+			}
+			if len(want) > ResponseOverhead(p) {
+				t.Fatalf("ResponseOverhead underestimates: encoded %d > bound %d", len(want), ResponseOverhead(p))
+			}
+		}
+		if kind, entries, err := DecodeBatch(data); err == nil {
+			want := EncodeBatch(kind, entries)
+			got := AppendBatch(append([]byte(nil), prefix...), kind, entries)
+			if !bytes.Equal(got[len(prefix):], want) || !bytes.Equal(got[:len(prefix)], prefix) {
+				t.Fatalf("AppendBatch diverged from EncodeBatch")
+			}
+		}
+	})
+}
+
+// FuzzAliasRetain pins the zero-copy decode ownership contract on hostile
+// input: decoded payloads alias the read buffer, and Retain must fully
+// detach them — after Retain, mutating every byte of the backing buffer
+// must not change the retained payload, and the retained message must still
+// re-encode canonically.
+func FuzzAliasRetain(f *testing.F) {
+	for _, q := range seedRequests() {
+		f.Add(EncodeRequest(q))
+	}
+	for _, p := range seedResponses() {
+		f.Add(EncodeResponse(p))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if q, err := DecodeRequest(data); err == nil {
+			snap := string(q.Payload)
+			q.Retain()
+			for i := range data {
+				data[i] ^= 0xFF
+			}
+			if string(q.Payload) != snap {
+				t.Fatalf("request payload changed after Retain: %q != %q", q.Payload, snap)
+			}
+			for i := range data {
+				data[i] ^= 0xFF
+			}
+		}
+		if p, err := DecodeResponse(data); err == nil {
+			snap := string(p.Payload)
+			p.Retain()
+			for i := range data {
+				data[i] ^= 0xFF
+			}
+			if string(p.Payload) != snap {
+				t.Fatalf("response payload changed after Retain: %q != %q", p.Payload, snap)
+			}
+		}
+	})
+}
+
 func FuzzDecodeResponse(f *testing.F) {
 	for _, p := range seedResponses() {
 		f.Add(EncodeResponse(p))

@@ -196,6 +196,9 @@ func (r *reader) str() string {
 	return s
 }
 
+// bytes returns the next length-prefixed byte field ALIASED into the read
+// buffer — no copy. Decoded messages therefore borrow their input: a caller
+// that retains the payload past the buffer's life must Retain() it first.
 func (r *reader) bytes() []byte {
 	n := r.u64()
 	if r.err != nil {
@@ -208,35 +211,55 @@ func (r *reader) bytes() []byte {
 	if n == 0 {
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, r.buf[r.pos:r.pos+int(n)])
+	b := r.buf[r.pos : r.pos+int(n) : r.pos+int(n)]
 	r.pos += int(n)
 	return b
 }
 
 func (r *reader) key() symbol.Key {
-	s := r.u64()
-	n := r.u64()
-	if r.err != nil {
-		return symbol.Key{}
-	}
-	if n > uint64(len(r.buf)-r.pos) { // each element ≥ 1 byte
-		r.err = ErrTruncated
-		return symbol.Key{}
-	}
-	k := symbol.Key{S: symbol.Symbol(s)}
-	if n > 0 {
-		k.X = make([]uint32, n)
-		for i := range k.X {
-			k.X[i] = uint32(r.u64())
-		}
-	}
+	var k symbol.Key
+	r.keyInto(&k)
 	return k
 }
 
-// EncodeRequest serializes a request.
-func EncodeRequest(q *Request) []byte {
-	w := &writer{buf: make([]byte, 0, 64+len(q.Payload))}
+// keyInto decodes a key in place, reusing k's extension-slot capacity — the
+// decode path of a pooled Request re-decodes into the same Key storage.
+func (r *reader) keyInto(k *symbol.Key) {
+	s := r.u64()
+	n := r.u64()
+	if r.err != nil {
+		*k = symbol.Key{}
+		return
+	}
+	if n > uint64(len(r.buf)-r.pos) { // each element ≥ 1 byte
+		r.err = ErrTruncated
+		*k = symbol.Key{}
+		return
+	}
+	k.S = symbol.Symbol(s)
+	if n == 0 {
+		// Keep the extension array (empty) so a pooled request's key
+		// capacity survives keyless decodes; a fresh key stays nil.
+		k.X = k.X[:0]
+		return
+	}
+	if uint64(cap(k.X)) >= n {
+		k.X = k.X[:n]
+	} else {
+		k.X = make([]uint32, n)
+	}
+	for i := range k.X {
+		k.X[i] = uint32(r.u64())
+	}
+}
+
+// AppendRequest serializes a request onto dst (which is returned, possibly
+// reallocated) — the encode-in-place variant: the hot path appends into a
+// pooled buffer, often with transport header space already reserved at the
+// front, so one buffer carries the message from encoder to wire. The bytes
+// appended are identical to EncodeRequest's output.
+func AppendRequest(dst []byte, q *Request) []byte {
+	w := writer{buf: dst}
 	w.byte(byte(q.Op))
 	w.str(q.App)
 	w.u64(uint64(q.FolderID))
@@ -254,45 +277,126 @@ func EncodeRequest(q *Request) []byte {
 	return w.buf
 }
 
-// DecodeRequest parses a request.
+// RequestOverhead conservatively bounds the encoded size of q — the
+// AppendRequest output never exceeds it. Hot-path callers size their
+// pooled buffers with it so multi-key requests (alt_take, watch) don't
+// outgrow the buffer and reallocate mid-encode.
+func RequestOverhead(q *Request) int {
+	n := 1 + // op
+		4*binary.MaxVarintLen64 + // folder id, hops, key count, payload len
+		len(q.App) + len(q.ADF) + len(q.Dir) + len(q.TargetHost) +
+		4*binary.MaxVarintLen64 + // the four string length prefixes
+		len(q.Payload)
+	n += keyOverhead(q.Key) + keyOverhead(q.Key2)
+	for i := range q.Keys {
+		n += keyOverhead(q.Keys[i])
+	}
+	return n
+}
+
+func keyOverhead(k symbol.Key) int {
+	return (2 + len(k.X)) * binary.MaxVarintLen64
+}
+
+// EncodeRequest serializes a request into a fresh buffer.
+func EncodeRequest(q *Request) []byte {
+	return AppendRequest(make([]byte, 0, RequestOverhead(q)), q)
+}
+
+// DecodeRequest parses a request. The returned request's Payload ALIASES
+// buf; callers that retain it past buf's lifetime must Retain() first.
 func DecodeRequest(buf []byte) (*Request, error) {
-	r := &reader{buf: buf}
 	q := &Request{}
+	if err := DecodeRequestInto(q, buf); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// DecodeRequestInto parses a request into q, reusing q's Keys and key
+// extension-slot capacity — the pooled-request decode path. Every field of
+// q is overwritten (Token is zeroed: it travels as a batch-entry extension,
+// not in this codec). q.Payload ALIASES buf.
+func DecodeRequestInto(q *Request, buf []byte) error {
+	r := &reader{buf: buf}
 	q.Op = Op(r.byte())
 	q.App = r.str()
 	q.FolderID = int(r.u64())
 	q.Hops = int(r.u64())
-	q.Key = r.key()
-	q.Key2 = r.key()
+	r.keyInto(&q.Key)
+	r.keyInto(&q.Key2)
 	nk := r.u64()
 	if r.err == nil && nk > uint64(len(buf)) {
 		r.err = ErrTruncated
 	}
+	// Reuse the Keys array (and, via keyInto, each key's extension array):
+	// a pooled request keeps its capacity across keyless decodes rather
+	// than re-allocating on the next multi-key one. Fresh requests stay
+	// nil-keyed either way.
+	q.Keys = q.Keys[:0]
 	if r.err == nil && nk > 0 {
-		q.Keys = make([]symbol.Key, nk)
+		if uint64(cap(q.Keys)) >= nk {
+			q.Keys = q.Keys[:nk]
+		} else {
+			q.Keys = make([]symbol.Key, nk)
+		}
 		for i := range q.Keys {
-			q.Keys[i] = r.key()
+			r.keyInto(&q.Keys[i])
 		}
 	}
 	q.Payload = r.bytes()
 	q.ADF = r.str()
 	q.Dir = r.str()
 	q.TargetHost = r.str()
+	q.Token = 0
 	if r.err != nil {
-		return nil, r.err
+		return r.err
 	}
 	if r.pos != len(buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes in request", len(buf)-r.pos)
+		return fmt.Errorf("wire: %d trailing bytes in request", len(buf)-r.pos)
 	}
 	if q.Op == OpInvalid || q.Op > OpFetch {
-		return nil, fmt.Errorf("wire: invalid op %d", q.Op)
+		return fmt.Errorf("wire: invalid op %d", q.Op)
 	}
-	return q, nil
+	return nil
 }
 
-// EncodeResponse serializes a response.
-func EncodeResponse(p *Response) []byte {
-	w := &writer{buf: make([]byte, 0, 32+len(p.Payload))}
+// Retain replaces q's aliased payload with a private copy, detaching it from
+// the decode buffer. Call it exactly where keeping the bytes IS the
+// semantics (a folder storing a memo, a result handed to the application);
+// everywhere else the alias is the point.
+func (q *Request) Retain() {
+	q.Payload = cloneBytes(q.Payload)
+}
+
+// Retain replaces p's aliased payload with a private copy (see
+// (*Request).Retain).
+func (p *Response) Retain() {
+	p.Payload = cloneBytes(p.Payload)
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// ResponseOverhead conservatively bounds the encoded size of p — the
+// AppendResponse output never exceeds it (the response-side mirror of
+// RequestOverhead).
+func ResponseOverhead(p *Response) int {
+	return 1 + // status
+		2*binary.MaxVarintLen64 + // payload and err length prefixes
+		len(p.Payload) + len(p.Err) +
+		keyOverhead(p.Key)
+}
+
+// AppendResponse serializes a response onto dst (see AppendRequest).
+func AppendResponse(dst []byte, p *Response) []byte {
+	w := writer{buf: dst}
 	w.byte(byte(p.Status))
 	w.key(p.Key)
 	w.bytes(p.Payload)
@@ -300,7 +404,13 @@ func EncodeResponse(p *Response) []byte {
 	return w.buf
 }
 
-// DecodeResponse parses a response.
+// EncodeResponse serializes a response into a fresh buffer.
+func EncodeResponse(p *Response) []byte {
+	return AppendResponse(make([]byte, 0, 32+len(p.Payload)), p)
+}
+
+// DecodeResponse parses a response. The returned response's Payload ALIASES
+// buf; callers that retain it past buf's lifetime must Retain() first.
 func DecodeResponse(buf []byte) (*Response, error) {
 	r := &reader{buf: buf}
 	p := &Response{}
@@ -320,8 +430,14 @@ func DecodeResponse(buf []byte) (*Response, error) {
 	return p, nil
 }
 
-// OK is the canonical success response for value-less operations.
-func OK() *Response { return &Response{Status: StatusOK} }
+// okResponse is the shared success response for value-less operations. It is
+// handed out by OK() on every put/ping acknowledgement; treat responses as
+// immutable after construction.
+var okResponse = &Response{Status: StatusOK}
+
+// OK is the canonical success response for value-less operations. The
+// returned response is shared — do not mutate it.
+func OK() *Response { return okResponse }
 
 // Errf builds an error response.
 func Errf(format string, args ...any) *Response {
