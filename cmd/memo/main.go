@@ -133,9 +133,12 @@ func demoJobJar(c *cluster.Cluster, f *adf.File) error {
 			n, _ := transferable.AsInt(v)
 			sum += n
 		}
-		// Poison one per non-boss process.
+		// Poison one per non-boss process. A lost poison pill hangs that
+		// worker forever, so the error must surface.
 		for i := 0; i < len(f.Processes)-1; i++ {
-			m.Put(jobs, transferable.Int64(-1))
+			if err := m.Put(jobs, transferable.Int64(-1)); err != nil {
+				return err
+			}
 		}
 		fmt.Printf("boss: %d tasks done, checksum %d\n", tasks, sum)
 		return nil

@@ -1,0 +1,409 @@
+// Package aliascheck enforces the zero-copy decode contract: values
+// produced by the aliasing decoders (//memolint:aliases-buffer — the
+// wire.Decode* family) point into the connection's read buffer, which is
+// recycled when the dispatch scope ends. Letting such a value outlive that
+// scope — storing it into a struct field, a map, a global, sending it on a
+// channel, capturing it in a spawned goroutine or closure, or returning it
+// — without an intervening Retain() is silent data corruption: the buffer
+// is reused and the "stored" bytes mutate under the reader. No race, so
+// -race never sees it.
+//
+// The analyzer tracks both decoder results and *Into destinations (the
+// pointer/slice arguments), follows local rebinding, and accepts a
+// Retain() call on the tracked value (on any path between decode and
+// escape) as the fix. Functions that deliberately hand an aliased value to
+// their caller should themselves be marked //memolint:aliases-buffer so the
+// obligation propagates to their callers instead of being reported.
+package aliascheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// New returns the aliascheck analyzer.
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "aliascheck",
+		Doc:  "aliasing decoder outputs must not outlive the dispatch scope without Retain",
+	}
+	a.Run = run
+	return a
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type family struct {
+	src     *ast.CallExpr
+	members analysis.PathSet
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	g := analysis.BuildCFG(fd.Body)
+	idx := analysis.NodeIndex(g)
+
+	// A function marked aliases-buffer is allowed to return tracked values:
+	// its own callers inherit the obligation.
+	selfAliases := pass.Markers.Has(info.Defs[fd.Name], analysis.MarkAliases)
+
+	var sources []*ast.CallExpr
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok && pass.Markers.CallHas(info, c, analysis.MarkAliases) {
+			sources = append(sources, c)
+		}
+		return true
+	})
+
+	for _, src := range sources {
+		defNode := idx[src]
+		if defNode == nil {
+			continue
+		}
+		fam := &family{src: src}
+		seedMembers(pass, src, fam)
+		propagateMembers(pass, fd, fam)
+		if len(fam.members) == 0 {
+			continue
+		}
+		checkFamily(pass, fd, g, defNode, fam, selfAliases)
+	}
+}
+
+// seedMembers roots the family at the decode destinations: pointer and
+// slice arguments of the call (the *Into destinations alias the buffer).
+// Raw []byte arguments are the SOURCE buffer, not a decoded view — its
+// lifetime is poolcheck's business — so they stay out of the family.
+func seedMembers(pass *analysis.Pass, src *ast.CallExpr, fam *family) {
+	info := pass.Info
+	for _, arg := range src.Args {
+		t := info.Types[arg].Type
+		if !aliasish(t) || isByteSlice(t) {
+			continue
+		}
+		if p, ok := analysis.PathOf(info, arg); ok {
+			fam.members.Add(p)
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// errType is the predeclared error interface: decode results of this exact
+// type are verdicts, not aliases, and must not join the family (else a bare
+// `return err` would be flagged as leaking the buffer).
+var errType = types.Universe.Lookup("error").Type()
+
+// aliasish reports whether a value of type t can carry an alias into the
+// read buffer: pointers, slices, and structs/arrays containing them.
+// Plain scalars (BatchKind, error counts) and the error interface cannot.
+func aliasish(t types.Type) bool {
+	if t == nil || types.Identical(t, errType) {
+		return false
+	}
+	seen := make(map[types.Type]bool)
+	var rec func(types.Type) bool
+	rec = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+			return true
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if rec(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return false
+	}
+	return rec(t)
+}
+
+// carrier reports whether expr carries the family: the decode call itself,
+// a covered path, or a slice/paren/address of a carrier.
+func carrier(pass *analysis.Pass, fam *family, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	e := ast.Unparen(expr)
+	if e == fam.src {
+		return true
+	}
+	if pass.Info.Types[e].IsValue() {
+		if fam.members.CoversExpr(pass.Info, e) {
+			return true
+		}
+	}
+	switch v := e.(type) {
+	case *ast.SliceExpr:
+		return carrier(pass, fam, v.X)
+	case *ast.UnaryExpr:
+		if v.Op.String() == "&" {
+			return carrier(pass, fam, v.X)
+		}
+	}
+	return false
+}
+
+// propagateMembers: variables bound to carrier expressions join the family
+// (result vars of the decode call, rebindings like entries = es, pointers
+// like e := &entries[i]).
+func propagateMembers(pass *analysis.Pass, fd *ast.FuncDecl, fam *family) {
+	info := pass.Info
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			s, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// tuple binding from the decode call: every aliasish LHS joins
+			if len(s.Rhs) == 1 && ast.Unparen(s.Rhs[0]) == fam.src {
+				for _, lhs := range s.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					v := analysis.ObjVar(info, id)
+					if v == nil || !aliasish(v.Type()) {
+						continue
+					}
+					if !fam.members.HasRoot(v) {
+						fam.members.Add(analysis.Path{Root: v})
+						changed = true
+					}
+				}
+				return true
+			}
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if !carrier(pass, fam, rhs) {
+					continue
+				}
+				id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v := analysis.ObjVar(info, id); v != nil && !fam.members.HasRoot(v) {
+					fam.members.Add(analysis.Path{Root: v})
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// escape classifies one CFG node: does it leak a tracked value out of the
+// dispatch scope?
+func escapeAt(pass *analysis.Pass, fam *family, n *analysis.Node, selfAliases bool) (ast.Node, string) {
+	info := pass.Info
+	var at ast.Node
+	what := ""
+	note := func(n ast.Node, w string) {
+		if at == nil {
+			at, what = n, w
+		}
+	}
+	for _, e := range n.Exprs() {
+		ast.Inspect(e, func(x ast.Node) bool {
+			if at != nil {
+				return false
+			}
+			switch s := x.(type) {
+			case *ast.ReturnStmt:
+				if selfAliases {
+					return true
+				}
+				for _, r := range s.Results {
+					if carrier(pass, fam, r) {
+						note(s, "returned to the caller")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					l := ast.Unparen(lhs)
+					if _, isIdent := l.(*ast.Ident); isIdent {
+						continue // local rebinding: tracked by propagation
+					}
+					// Storing INTO the aliased value is fine; storing the
+					// aliased value into non-local storage is the bug.
+					if i < len(s.Rhs) && carrierDeep(pass, fam, s.Rhs[i]) {
+						note(s, "stored into "+lhsKind(l))
+					}
+				}
+			case *ast.SendStmt:
+				if carrierDeep(pass, fam, s.Value) {
+					note(s, "sent on a channel")
+				}
+			case *ast.GoStmt:
+				if analysis.ContainsMember(info, fam.members, s.Call) != nil {
+					note(s, "captured by a spawned goroutine")
+				}
+			case *ast.DeferStmt:
+				if analysis.ContainsMember(info, fam.members, s.Call) != nil {
+					note(s, "captured by a deferred call")
+				}
+			case *ast.FuncLit:
+				if analysis.ContainsMember(info, fam.members, s.Body) != nil {
+					note(s, "captured by a closure")
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return at, what
+}
+
+func lhsKind(l ast.Expr) string {
+	switch l.(type) {
+	case *ast.SelectorExpr:
+		return "a struct field or package variable"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.StarExpr:
+		return "pointed-to storage"
+	}
+	return "non-local storage"
+}
+
+// carrierDeep is carrier plus composite literals built around a carrier —
+// wrapping an aliased payload in a struct and storing that struct escapes
+// the alias just the same. Selector paths are atomic: storing the sibling
+// field t.cc does not leak t.q, so an uncovered selector's base is not
+// re-tested on the way down.
+func carrierDeep(pass *analysis.Pass, fam *family, e ast.Expr) bool {
+	if carrier(pass, fam, e) {
+		return true
+	}
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // handled as closure capture
+		}
+		ex, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if carrier(pass, fam, ex) {
+			found = true
+			return false
+		}
+		if _, isSel := ex.(*ast.SelectorExpr); isSel {
+			if _, resolved := analysis.PathOf(pass.Info, ex); resolved {
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// retains reports whether node n calls Retain() (or a method marked
+// aliases-buffer-clearing by the "Retain" name convention) on a tracked
+// value, detaching the family from the read buffer.
+func retains(pass *analysis.Pass, fam *family, n *analysis.Node) bool {
+	info := pass.Info
+	found := false
+	for _, e := range n.Exprs() {
+		analysis.EachCall(e, func(c *ast.CallExpr) {
+			if found {
+				return
+			}
+			sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Retain" {
+				return
+			}
+			if p, ok := analysis.PathOf(info, sel.X); ok && (fam.members.Covers(p) || coversAny(p, fam.members)) {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+func coversAny(p analysis.Path, set analysis.PathSet) bool {
+	for _, m := range set {
+		if p.Covers(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFamily(pass *analysis.Pass, fd *ast.FuncDecl, g *analysis.Graph, defNode *analysis.Node, fam *family, selfAliases bool) {
+	info := pass.Info
+	name := "decoded value"
+	if obj := analysis.Callee(info, fam.src); obj != nil {
+		name = "result of " + analysis.FuncName(obj)
+	}
+
+	// Walk forward from the decode. Retain cleanses the branch; rebinding
+	// every root kills the family; an escape before either is the bug.
+	// The def node itself may escape too (e.g. a field store of the call).
+	reported := make(map[ast.Node]bool)
+	check := func(n *analysis.Node) bool {
+		if at, what := escapeAt(pass, fam, n, selfAliases); at != nil && !reported[at] {
+			reported[at] = true
+			pass.Reportf(at.Pos(), "%s aliases the read buffer but is %s without Retain — the buffer recycles when dispatch ends", name, what)
+			return false
+		}
+		return true
+	}
+	check(defNode)
+	g.Forward(defNode, func(n *analysis.Node) bool {
+		if retains(pass, fam, n) {
+			return false // detached: this branch is safe
+		}
+		if !check(n) {
+			return false // one report per escape site; stop the cascade
+		}
+		// rebinding the decode destinations to fresh values ends tracking
+		rebound := 0
+		roots := make(map[*types.Var]bool)
+		for _, m := range fam.members {
+			roots[m.Root] = true
+		}
+		for _, as := range analysis.NodeAssigns(info, n) {
+			if roots[as.LHSVar] && !carrier(pass, fam, as.RHS) && as.RHS != nil {
+				rebound++
+			}
+		}
+		if rebound > 0 && rebound >= len(roots) {
+			return false
+		}
+		return true
+	})
+}

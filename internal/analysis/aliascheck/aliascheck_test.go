@@ -1,0 +1,31 @@
+package aliascheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/aliascheck"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAliascheck(t *testing.T) {
+	analysistest.Run(t, "testdata", aliascheck.New(), "a")
+}
+
+// TestIgnore proves the suppression silences exactly the annotated
+// diagnostic and nothing else.
+func TestIgnore(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", aliascheck.New(), "ignore")
+	var suppressed []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("got %d suppressed diagnostics, want exactly 1: %v", len(suppressed), suppressed)
+	}
+	if want := "sink is drained before dispatch returns"; suppressed[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", suppressed[0].Reason, want)
+	}
+}

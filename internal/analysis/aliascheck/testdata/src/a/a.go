@@ -1,0 +1,132 @@
+// Package a exercises aliascheck: decoded views alias the read buffer and
+// must not outlive the dispatch scope without Retain.
+package a
+
+import "wire"
+
+type cache struct{ last wire.Request }
+
+func use(wire.Request)    {}
+func handle(wire.Request) {}
+
+// StoreNoRetain parks a decoded view in a long-lived struct: the buffer
+// recycles and the "stored" request mutates under the reader.
+func StoreNoRetain(c *cache, buf []byte) {
+	q, err := wire.DecodeRequest(buf)
+	if err != nil {
+		return
+	}
+	c.last = q // want `stored into a struct field`
+}
+
+// StoreWithRetain copies first; storing the copy is fine.
+func StoreWithRetain(c *cache, buf []byte) {
+	q, err := wire.DecodeRequest(buf)
+	if err != nil {
+		return
+	}
+	q.Retain()
+	c.last = q
+}
+
+// SendNoRetain pushes the aliased view across a channel to a consumer that
+// will read it after the buffer recycles.
+func SendNoRetain(ch chan wire.Request, buf []byte) {
+	q, _ := wire.DecodeRequest(buf)
+	ch <- q // want `sent on a channel`
+}
+
+// SendRetained is the recvLoop pattern: Retain, then hand off.
+func SendRetained(ch chan wire.Request, buf []byte) {
+	q, _ := wire.DecodeRequest(buf)
+	q.Retain()
+	ch <- q
+}
+
+// GoCapture leaks the view into a goroutine that outlives dispatch. The
+// *Into destination is tracked just like a result.
+func GoCapture(buf []byte) {
+	var q wire.Request
+	if err := wire.DecodeRequestInto(&q, buf); err != nil {
+		return
+	}
+	go handle(q) // want `captured by a spawned goroutine`
+}
+
+// ClosureCapture stores a closure over the view; whoever calls it later
+// reads recycled bytes.
+func ClosureCapture(buf []byte) func() {
+	q, _ := wire.DecodeRequest(buf)
+	return func() { use(q) } // want `captured by a closure`
+}
+
+// ReturnAlias hands the view to an unannotated caller.
+func ReturnAlias(buf []byte) wire.Request {
+	q, _ := wire.DecodeRequest(buf)
+	return q // want `returned to the caller`
+}
+
+// DecodeHeader legitimately returns an aliased view: the marker moves the
+// obligation to ITS callers instead of reporting here.
+//
+//memolint:aliases-buffer
+func DecodeHeader(buf []byte) wire.Request {
+	q, _ := wire.DecodeRequest(buf)
+	return q
+}
+
+// ReturnRetained copies before returning.
+func ReturnRetained(buf []byte) wire.Request {
+	q, _ := wire.DecodeRequest(buf)
+	q.Retain()
+	return q
+}
+
+// RebindKills: once every decode destination is rebound to a fresh value,
+// the family is dead and later escapes are fine.
+func RebindKills(buf []byte) wire.Request {
+	q, _ := wire.DecodeRequest(buf)
+	use(q)
+	q = wire.Request{}
+	return q
+}
+
+// BatchLoop is the recvLoop shape: per-entry views are used within the
+// iteration, the destination slice is reused, nothing escapes.
+func BatchLoop(buf []byte) int {
+	var entries []wire.Entry
+	n := 0
+	for i := 0; i < 3; i++ {
+		entries = wire.DecodeBatchInto(entries[:0], buf)
+		for j := range entries {
+			n += len(entries[j].Msg)
+		}
+	}
+	return n
+}
+
+// BatchEscape stores an entry's aliased payload past the loop.
+func BatchEscape(sink *[][]byte, buf []byte) {
+	entries := wire.DecodeBatchInto(nil, buf)
+	for i := range entries {
+		(*sink) = append(*sink, entries[i].Msg) // want `stored into`
+	}
+}
+
+// task mirrors the server's dispatchTask: the decode destination q lives
+// next to unrelated fields on the same struct.
+type task struct {
+	q  wire.Request
+	cc chan struct{}
+}
+
+// SiblingField stores a sibling field of the decode destination. t.cc is
+// disjoint storage from t.q — publishing it leaks nothing aliased — so this
+// must stay clean even though both paths share the root t.
+func SiblingField(m map[uint64]chan struct{}, buf []byte) {
+	t := &task{cc: make(chan struct{})}
+	if err := wire.DecodeRequestInto(&t.q, buf); err != nil {
+		return
+	}
+	m[7] = t.cc
+}

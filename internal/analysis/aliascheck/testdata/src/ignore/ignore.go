@@ -1,0 +1,19 @@
+// Package ignore proves //memolint:ignore silences exactly the annotated
+// aliascheck diagnostic: two identical escapes, one suppressed with a
+// written reason, one still reported.
+package ignore
+
+import "wire"
+
+type sink struct{ last wire.Request }
+
+func Suppressed(s *sink, buf []byte) {
+	q, _ := wire.DecodeRequest(buf)
+	//memolint:ignore aliascheck sink is drained before dispatch returns
+	s.last = q
+}
+
+func NotSuppressed(s *sink, buf []byte) {
+	q, _ := wire.DecodeRequest(buf)
+	s.last = q // want `stored into a struct field`
+}

@@ -1,0 +1,38 @@
+// Package wire stubs the aliasing decoder surface of repro/internal/wire:
+// decode results point into the caller's read buffer until Retain copies
+// them out.
+package wire
+
+// Request is a decoded request view; Key and Value alias the read buffer.
+type Request struct {
+	Key   []byte
+	Value []byte
+}
+
+// Retain copies the aliased fields into fresh storage.
+func (r *Request) Retain() {
+	r.Key = append([]byte(nil), r.Key...)
+	r.Value = append([]byte(nil), r.Value...)
+}
+
+// Entry is one batch entry; Msg aliases the read buffer.
+type Entry struct {
+	ID  uint64
+	Msg []byte
+}
+
+//memolint:aliases-buffer
+func DecodeRequest(buf []byte) (Request, error) {
+	return Request{Key: buf}, nil
+}
+
+//memolint:aliases-buffer
+func DecodeRequestInto(dst *Request, buf []byte) error {
+	dst.Key = buf
+	return nil
+}
+
+//memolint:aliases-buffer
+func DecodeBatchInto(dst []Entry, buf []byte) []Entry {
+	return append(dst, Entry{Msg: buf})
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Node is one control-flow-graph node. Simple statements map to one node
+// each; compound statements (if/for/switch/select) contribute a header node
+// covering only their init/cond/tag expressions, with bodies built as
+// successor nodes. Synthetic nodes (entry, exit, joins) carry a nil Stmt.
+type Node struct {
+	Stmt   ast.Stmt
+	Header bool // Stmt is compound; only its header expressions belong here
+	Succs  []*Node
+	Preds  []*Node
+}
+
+// Graph is the CFG of one function body. Deferred calls run at every exit:
+// analyses treat g.Defers as statements executed on each path to Exit.
+type Graph struct {
+	Entry, Exit *Node
+	Nodes       []*Node
+	Defers      []*ast.CallExpr
+}
+
+// Exprs returns the AST nodes an analysis should inspect for n: the whole
+// statement for simple nodes, only the header expressions for compound
+// ones (their bodies are separate nodes).
+func (n *Node) Exprs() []ast.Node {
+	if n.Stmt == nil {
+		return nil
+	}
+	if !n.Header {
+		return []ast.Node{n.Stmt}
+	}
+	var out []ast.Node
+	add := func(xs ...ast.Node) {
+		for _, x := range xs {
+			switch v := x.(type) {
+			case nil:
+			case ast.Stmt:
+				if v != nil {
+					out = append(out, v)
+				}
+			case ast.Expr:
+				if v != nil {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	switch s := n.Stmt.(type) {
+	case *ast.IfStmt:
+		add(s.Init, s.Cond)
+	case *ast.ForStmt:
+		add(s.Init, s.Cond, s.Post)
+	case *ast.RangeStmt:
+		add(s.Key, s.Value, s.X)
+	case *ast.SwitchStmt:
+		add(s.Init, s.Tag)
+	case *ast.TypeSwitchStmt:
+		add(s.Init, s.Assign)
+	case *ast.SelectStmt:
+		// comm clauses are their own nodes
+	}
+	return out
+}
+
+// BuildCFG constructs the CFG for one function body. The graph is a sound
+// over-approximation for structured control flow; goto conservatively jumps
+// to the function exit.
+func BuildCFG(body *ast.BlockStmt) *Graph {
+	g := &Graph{Entry: &Node{}, Exit: &Node{}}
+	g.Nodes = append(g.Nodes, g.Entry, g.Exit)
+	b := &cfgBuilder{g: g, labels: make(map[string]*loopCtx)}
+	frontier := b.stmtList(body.List, []*Node{g.Entry}, nil)
+	b.link(frontier, g.Exit)
+	return g
+}
+
+// loopCtx is the pair of jump targets a break/continue resolves to.
+type loopCtx struct {
+	breakTo    *Node // synthetic join after the construct
+	continueTo *Node // loop header; nil for switch/select
+}
+
+type cfgBuilder struct {
+	g      *Graph
+	labels map[string]*loopCtx
+	// stack of enclosing breakable constructs; innermost last
+	loops []*loopCtx
+}
+
+func (b *cfgBuilder) newNode(s ast.Stmt, header bool) *Node {
+	n := &Node{Stmt: s, Header: header}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) link(froms []*Node, to *Node) {
+	for _, f := range froms {
+		f.Succs = append(f.Succs, to)
+		to.Preds = append(to.Preds, f)
+	}
+}
+
+// stmtList threads preds through stmts and returns the fall-through
+// frontier. label names the enclosing labeled statement, if any, so a
+// labeled loop registers its jump targets.
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, preds []*Node, _ *string) []*Node {
+	for _, s := range stmts {
+		preds = b.stmt(s, preds, "")
+	}
+	return preds
+}
+
+// terminating reports whether a call expression never returns.
+func terminating(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			full := x.Name + "." + fn.Sel.Name
+			return full == "os.Exit" || full == "runtime.Goexit" ||
+				strings.HasPrefix(full, "log.Fatal") || strings.HasPrefix(full, "log.Panic")
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*Node, label string) []*Node {
+	switch s := s.(type) {
+	case nil:
+		return preds
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, preds, nil)
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, preds, s.Label.Name)
+	case *ast.ReturnStmt:
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		b.link([]*Node{n}, b.g.Exit)
+		return nil
+	case *ast.BranchStmt:
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		var ctx *loopCtx
+		if s.Label != nil {
+			ctx = b.labels[s.Label.Name]
+		} else if len(b.loops) > 0 {
+			switch s.Tok.String() {
+			case "continue":
+				// innermost ctx with a continue target
+				for i := len(b.loops) - 1; i >= 0; i-- {
+					if b.loops[i].continueTo != nil {
+						ctx = b.loops[i]
+						break
+					}
+				}
+			default:
+				ctx = b.loops[len(b.loops)-1]
+			}
+		}
+		switch {
+		case s.Tok.String() == "goto" || ctx == nil:
+			b.link([]*Node{n}, b.g.Exit) // conservative
+		case s.Tok.String() == "continue":
+			b.link([]*Node{n}, ctx.continueTo)
+		default: // break
+			b.link([]*Node{n}, ctx.breakTo)
+		}
+		return nil
+	case *ast.DeferStmt:
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		b.g.Defers = append(b.g.Defers, s.Call)
+		return []*Node{n}
+	case *ast.ExprStmt:
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && terminating(call) {
+			b.link([]*Node{n}, b.g.Exit)
+			return nil
+		}
+		return []*Node{n}
+	case *ast.IfStmt:
+		h := b.newNode(s, true)
+		b.link(preds, h)
+		thenF := b.stmtList(s.Body.List, []*Node{h}, nil)
+		elseF := []*Node{h}
+		if s.Else != nil {
+			elseF = b.stmt(s.Else, []*Node{h}, "")
+		}
+		return append(thenF, elseF...)
+	case *ast.ForStmt:
+		h := b.newNode(s, true)
+		join := &Node{}
+		b.g.Nodes = append(b.g.Nodes, join)
+		b.link(preds, h)
+		ctx := &loopCtx{breakTo: join, continueTo: h}
+		b.pushCtx(ctx, label)
+		bodyF := b.stmtList(s.Body.List, []*Node{h}, nil)
+		b.popCtx(label)
+		b.link(bodyF, h) // loop back
+		if s.Cond != nil {
+			b.link([]*Node{h}, join)
+		}
+		return []*Node{join}
+	case *ast.RangeStmt:
+		h := b.newNode(s, true)
+		join := &Node{}
+		b.g.Nodes = append(b.g.Nodes, join)
+		b.link(preds, h)
+		ctx := &loopCtx{breakTo: join, continueTo: h}
+		b.pushCtx(ctx, label)
+		bodyF := b.stmtList(s.Body.List, []*Node{h}, nil)
+		b.popCtx(label)
+		b.link(bodyF, h)
+		b.link([]*Node{h}, join) // range may be empty
+		return []*Node{join}
+	case *ast.SwitchStmt:
+		return b.switchLike(s, s.Body, preds, label, func(c *ast.CaseClause) []ast.Stmt { return c.Body }, hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, s.Body, preds, label, func(c *ast.CaseClause) []ast.Stmt { return c.Body }, hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		h := b.newNode(s, true)
+		join := &Node{}
+		b.g.Nodes = append(b.g.Nodes, join)
+		b.link(preds, h)
+		ctx := &loopCtx{breakTo: join}
+		b.pushCtx(ctx, label)
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			cpreds := []*Node{h}
+			if comm.Comm != nil {
+				cn := b.newNode(comm.Comm, false)
+				b.link(cpreds, cn)
+				cpreds = []*Node{cn}
+			}
+			f := b.stmtList(comm.Body, cpreds, nil)
+			b.link(f, join)
+		}
+		b.popCtx(label)
+		if len(s.Body.List) == 0 {
+			b.link([]*Node{h}, join)
+		}
+		return []*Node{join}
+	case *ast.GoStmt:
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		return []*Node{n}
+	default:
+		// AssignStmt, DeclStmt, SendStmt, IncDecStmt, EmptyStmt, ...
+		n := b.newNode(s, false)
+		b.link(preds, n)
+		return []*Node{n}
+	}
+}
+
+// switchLike builds switch and type-switch graphs, including fallthrough.
+func (b *cfgBuilder) switchLike(s ast.Stmt, body *ast.BlockStmt, preds []*Node, label string, caseBody func(*ast.CaseClause) []ast.Stmt, hasDefault bool) []*Node {
+	h := b.newNode(s, true)
+	join := &Node{}
+	b.g.Nodes = append(b.g.Nodes, join)
+	b.link(preds, h)
+	ctx := &loopCtx{breakTo: join}
+	b.pushCtx(ctx, label)
+	var fallPreds []*Node // frontier of a case ending in fallthrough
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		stmts := caseBody(cc)
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if bs, ok := stmts[n-1].(*ast.BranchStmt); ok && bs.Tok.String() == "fallthrough" {
+				stmts, fallsThrough = stmts[:n-1], true
+			}
+		}
+		cpreds := append([]*Node{h}, fallPreds...)
+		f := b.stmtList(stmts, cpreds, nil)
+		if fallsThrough {
+			fallPreds = f
+		} else {
+			fallPreds = nil
+			b.link(f, join)
+		}
+	}
+	b.popCtx(label)
+	if !hasDefault {
+		b.link([]*Node{h}, join)
+	}
+	return []*Node{join}
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) pushCtx(ctx *loopCtx, label string) {
+	b.loops = append(b.loops, ctx)
+	if label != "" {
+		b.labels[label] = ctx
+	}
+}
+
+func (b *cfgBuilder) popCtx(label string) {
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		delete(b.labels, label)
+	}
+}
+
+// Forward visits every node reachable from start in breadth-first order
+// (start itself is visited only if a cycle leads back to it). visit
+// returns false to stop exploring past a node.
+func (g *Graph) Forward(start *Node, visit func(*Node) bool) {
+	seen := make(map[*Node]bool)
+	queue := append([]*Node(nil), start.Succs...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if !visit(n) {
+			continue
+		}
+		queue = append(queue, n.Succs...)
+	}
+}

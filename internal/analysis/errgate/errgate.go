@@ -1,0 +1,238 @@
+// Package errgate enforces that errors which gate acknowledgements are
+// actually consulted. Since the durability work, the mutating Store
+// operations (Put, PutDelayed, Get, GetSkip, AltSkip, the takes) and
+// durable.Log.Commit return errors that mean "this operation is NOT
+// durable — do not ack it". Dropping one acknowledges a write the disk
+// never saw; a crash then silently loses an acked memo, defeating the
+// whole exactly-once machinery.
+//
+// Functions whose error results gate acks carry //memolint:must-check-error.
+// At every call, the error result must be consumed:
+//
+//   - a bare call statement discards it            → reported
+//   - binding it to the blank identifier           → reported
+//   - binding it to a variable that is never read
+//     before rebinding or function exit            → reported
+//   - returning it, branching on it, or passing it
+//     on (fmt.Errorf, errors.Join, a channel...)   → fine
+package errgate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// New returns the errgate analyzer.
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "errgate",
+		Doc:  "errors from mutating store ops and durable commits must be checked before acking",
+	}
+	a.Run = run
+	return a
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// errResultIndex returns the index of the trailing error result of the
+// called function, or -1.
+func errResultIndex(info *types.Info, c *ast.CallExpr) int {
+	tv, ok := info.Types[c]
+	if !ok {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType) {
+			return t.Len() - 1
+		}
+	default:
+		if t != nil && types.Identical(t, errType) {
+			return 0
+		}
+	}
+	return -1
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	g := analysis.BuildCFG(fd.Body)
+	idx := analysis.NodeIndex(g)
+
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		c, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(info, c)
+		if callee == nil || !pass.Markers.Has(callee, analysis.MarkMustCheck) {
+			return true
+		}
+		ei := errResultIndex(info, c)
+		if ei < 0 {
+			return true
+		}
+		name := analysis.FuncName(callee)
+		node := idx[c]
+		if node == nil {
+			return true // inside a func literal; its own pass would need one
+		}
+		switch parent := stmtOf(node, c); p := parent.(type) {
+		case *ast.ExprStmt:
+			if ast.Unparen(p.X) == c {
+				pass.Reportf(c.Pos(), "error from %s is discarded: it gates the acknowledgement and must be checked before acking", name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, g, node, p, c, ei, name)
+		case *ast.GoStmt:
+			if ast.Unparen(p.Call) == c {
+				pass.Reportf(c.Pos(), "error from %s is discarded by go statement: it gates the acknowledgement", name)
+			}
+		case *ast.DeferStmt:
+			if ast.Unparen(p.Call) == c {
+				pass.Reportf(c.Pos(), "error from %s is discarded by defer statement: it gates the acknowledgement", name)
+			}
+		}
+		return true
+	})
+}
+
+// stmtOf finds the direct statement context of call c within node n: the
+// ExprStmt/AssignStmt whose immediate expression is c, if any. A call
+// nested inside another expression (return f(), if f() != nil, g(f()))
+// is consumed by construction.
+func stmtOf(n *analysis.Node, c *ast.CallExpr) ast.Stmt {
+	var found ast.Stmt
+	for _, e := range n.Exprs() {
+		ast.Inspect(e, func(x ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch s := x.(type) {
+			case *ast.ExprStmt:
+				if ast.Unparen(s.X) == c {
+					found = s
+					return false
+				}
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					if ast.Unparen(r) == c {
+						found = s
+						return false
+					}
+				}
+			case *ast.GoStmt:
+				if s.Call == c {
+					found = s
+					return false
+				}
+			case *ast.DeferStmt:
+				if s.Call == c {
+					found = s
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found
+}
+
+// checkAssign handles `..., err := f()` / `..., _ = f()`: the error's
+// binding must not be blank, and a named binding must be read on some path
+// before being rebound or falling off the function.
+func checkAssign(pass *analysis.Pass, g *analysis.Graph, node *analysis.Node, s *ast.AssignStmt, c *ast.CallExpr, ei int, name string) {
+	info := pass.Info
+	// Identify the LHS expression bound to the error result.
+	var lhs ast.Expr
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if ei < len(s.Lhs) {
+			lhs = s.Lhs[ei]
+		}
+	} else {
+		for i, r := range s.Rhs {
+			if ast.Unparen(r) == c && i < len(s.Lhs) {
+				lhs = s.Lhs[i]
+			}
+		}
+	}
+	if lhs == nil {
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored into a field/element: consumed (someone reads it)
+	}
+	if id.Name == "_" {
+		pass.Reportf(c.Pos(), "error from %s is assigned to the blank identifier: it gates the acknowledgement and must be checked", name)
+		return
+	}
+	v := analysis.ObjVar(info, id)
+	if v == nil {
+		return
+	}
+	// Read in the same statement (if err := f(); err != nil) or on any
+	// path before rebinding?
+	if readsOutsideAssign(info, node, s, v) {
+		return
+	}
+	read := false
+	g.Forward(node, func(n *analysis.Node) bool {
+		if read {
+			return false
+		}
+		if analysis.ReadsVar(info, n, v) {
+			read = true
+			return false
+		}
+		for _, as := range analysis.NodeAssigns(info, n) {
+			if as.LHSVar == v {
+				return false // rebound before any read on this path
+			}
+		}
+		return true
+	})
+	if !read {
+		pass.Reportf(c.Pos(), "error from %s is assigned to %s but never checked: it gates the acknowledgement", name, id.Name)
+	}
+}
+
+// readsOutsideAssign reports whether node n reads v anywhere outside the
+// binding assignment s itself (e.g. the condition of the if that s inits).
+func readsOutsideAssign(info *types.Info, n *analysis.Node, s *ast.AssignStmt, v *types.Var) bool {
+	read := false
+	for _, e := range n.Exprs() {
+		ast.Inspect(e, func(x ast.Node) bool {
+			if read {
+				return false
+			}
+			if x == s {
+				return false // skip the binding itself
+			}
+			if id, ok := x.(*ast.Ident); ok && info.Uses[id] == v {
+				read = true
+				return false
+			}
+			return true
+		})
+	}
+	return read
+}

@@ -1,0 +1,84 @@
+// Package a exercises errgate: errors from marked calls must be consumed
+// before the caller can ack.
+package a
+
+import (
+	"fmt"
+
+	"store"
+)
+
+func use([]byte) {}
+
+// Discarded drops the error on the floor.
+func Discarded(s *store.Store) {
+	s.Put("k", nil) // want `discarded`
+}
+
+// Blanked explicitly ignores it, which is just as fatal for durability.
+func Blanked(s *store.Store) {
+	_ = s.Put("k", nil) // want `blank identifier`
+}
+
+// BlankedInTuple ignores only the error of a multi-result call.
+func BlankedInTuple(s *store.Store) {
+	v, _ := s.Get("k") // want `blank identifier`
+	use(v)
+}
+
+// AssignedNeverChecked binds the error but never branches on it before
+// overwriting it.
+func AssignedNeverChecked(s *store.Store) error {
+	v, err := s.Get("k") // want `never checked`
+	use(v)
+	err = nil
+	return err
+}
+
+// Checked is the required shape.
+func Checked(s *store.Store) error {
+	v, err := s.Get("k")
+	if err != nil {
+		return err
+	}
+	use(v)
+	return nil
+}
+
+// CheckedInline consumes the error in the if-init condition.
+func CheckedInline(s *store.Store) error {
+	if err := s.Put("k", nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Returned passes the error straight to the caller.
+func Returned(s *store.Store) error {
+	return s.Put("k", nil)
+}
+
+// Wrapped forwards the error through fmt.Errorf.
+func Wrapped(s *store.Store) error {
+	return fmt.Errorf("put: %w", s.Put("k", nil))
+}
+
+// CheckedLater branches on the error after unrelated work; still consumed.
+func CheckedLater(s *store.Store) error {
+	v, err := s.Get("k")
+	use(v)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoDiscarded spawns the call and can never see its error.
+func GoDiscarded(s *store.Store) {
+	go s.Put("k", nil) // want `discarded by go statement`
+}
+
+// DeferDiscarded defers the call; the error evaporates at exit.
+func DeferDiscarded(s *store.Store) {
+	defer s.Put("k", nil) // want `discarded by defer statement`
+}

@@ -1,0 +1,15 @@
+// Package ignore proves //memolint:ignore silences exactly the annotated
+// errgate diagnostic: two identical violations, one suppressed with a
+// written reason, one still reported.
+package ignore
+
+import "store"
+
+func Suppressed(s *store.Store) {
+	//memolint:ignore errgate best-effort warmup write, no ack depends on it
+	s.Put("k", nil)
+}
+
+func NotSuppressed(s *store.Store) {
+	s.Put("k", nil) // want `discarded`
+}

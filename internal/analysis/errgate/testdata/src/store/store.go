@@ -1,0 +1,15 @@
+// Package store stubs the mutating Store surface whose errors gate
+// acknowledgements.
+package store
+
+type Store struct{}
+
+// Put's error means "not durable — do not ack".
+//
+//memolint:must-check-error
+func (s *Store) Put(key string, val []byte) error { return nil }
+
+// Get tombstones the memo; losing the error loses the at-most-once claim.
+//
+//memolint:must-check-error
+func (s *Store) Get(key string) ([]byte, error) { return nil, nil }

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Path identifies a value a function manipulates: a local variable plus a
+// dotted/indexed access suffix, e.g. t + ".q" for t.q, entries + "[]" for
+// entries[i]. Identity is the root *types.Var (stable under shadowing) plus
+// the rendered suffix.
+type Path struct {
+	Root   *types.Var
+	Suffix string
+}
+
+// PathOf resolves expr to a Path rooted at a local or package variable.
+// Slicing and parenthesization are identity; index expressions collapse to
+// "[]" (any element); &x and *x resolve to x's path (the analyzers reason
+// about the underlying storage, not the pointer value).
+func PathOf(info *types.Info, expr ast.Expr) (Path, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return Path{Root: v}, true
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return Path{Root: v}, true
+		}
+	case *ast.SelectorExpr:
+		if p, ok := PathOf(info, e.X); ok {
+			p.Suffix += "." + e.Sel.Name
+			return p, true
+		}
+	case *ast.IndexExpr:
+		if p, ok := PathOf(info, e.X); ok {
+			p.Suffix += "[]"
+			return p, true
+		}
+	case *ast.SliceExpr:
+		return PathOf(info, e.X)
+	case *ast.StarExpr:
+		return PathOf(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return PathOf(info, e.X)
+		}
+	}
+	return Path{}, false
+}
+
+// Covers reports whether two paths with the same root refer to overlapping
+// storage: one suffix is a component-wise prefix of the other ("" covers
+// ".q"; ".q" covers ".q.Key"; ".cc" does not cover ".q").
+func (p Path) Covers(q Path) bool {
+	if p.Root == nil || p.Root != q.Root {
+		return false
+	}
+	a, b := p.Suffix, q.Suffix
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if !strings.HasPrefix(b, a) {
+		return false
+	}
+	return len(a) == len(b) || b[len(a)] == '.' || b[len(a)] == '['
+}
+
+// PathSet is a small set of tracked paths (one "family" of aliases).
+type PathSet []Path
+
+// Covers reports whether any member path overlaps p.
+func (s PathSet) Covers(p Path) bool {
+	for _, m := range s {
+		if m.Covers(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoversExpr reports whether expr resolves to a path a member overlaps.
+func (s PathSet) CoversExpr(info *types.Info, expr ast.Expr) bool {
+	p, ok := PathOf(info, expr)
+	return ok && s.Covers(p)
+}
+
+// HasRoot reports whether any member is rooted at v.
+func (s PathSet) HasRoot(v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	for _, m := range s {
+		if m.Root == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts p if not already present.
+func (s *PathSet) Add(p Path) {
+	for _, m := range *s {
+		if m.Root == p.Root && m.Suffix == p.Suffix {
+			return
+		}
+	}
+	*s = append(*s, p)
+}
+
+// ContainsMember walks n's subtree and returns the first expression covered
+// by the set (a read or carry of a tracked value), or nil. Selector paths
+// are tested atomically: t.cc is a sibling field of t.q — disjoint storage —
+// so its base t must not be re-tested on the way down, even though the bare
+// expression t would overlap t.q.
+func ContainsMember(info *types.Info, set PathSet, n ast.Node) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		e, ok := x.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if set.CoversExpr(info, e) {
+			found = e
+			return false
+		}
+		if _, isSel := e.(*ast.SelectorExpr); isSel {
+			if _, resolved := PathOf(info, e); resolved {
+				return false // uncovered sibling path; don't descend to its base
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// EachCall visits every call expression in n's subtree.
+func EachCall(n ast.Node, f func(*ast.CallExpr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			f(c)
+		}
+		return true
+	})
+}
+
+// NodeIndex maps every statement and expression back to the CFG node whose
+// Exprs contain it, so an analyzer can anchor a traversal at the node
+// holding a particular call.
+func NodeIndex(g *Graph) map[ast.Node]*Node {
+	idx := make(map[ast.Node]*Node)
+	for _, n := range g.Nodes {
+		for _, e := range n.Exprs() {
+			ast.Inspect(e, func(x ast.Node) bool {
+				if x != nil {
+					idx[x] = n
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// AssignInfo is one plain-identifier (re)binding inside a statement.
+// Non-identifier LHS (field stores, index stores) are not included.
+type AssignInfo struct {
+	LHSVar *types.Var
+	LHS    *ast.Ident
+	RHS    ast.Expr // nil when the value comes from a tuple or is absent
+}
+
+// NodeAssigns returns the variables a node's statement (re)binds.
+func NodeAssigns(info *types.Info, n *Node) []AssignInfo {
+	var out []AssignInfo
+	for _, e := range n.Exprs() {
+		collectAssigns(info, e, &out)
+	}
+	return out
+}
+
+func collectAssigns(info *types.Info, root ast.Node, out *[]AssignInfo) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false // separate scope; not this node's bindings
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := ObjVar(info, id)
+				if v == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				*out = append(*out, AssignInfo{LHSVar: v, LHS: id, RHS: rhs})
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						v := ObjVar(info, id)
+						if v == nil {
+							continue
+						}
+						var rhs ast.Expr
+						if len(vs.Values) == len(vs.Names) {
+							rhs = vs.Values[i]
+						}
+						*out = append(*out, AssignInfo{LHSVar: v, LHS: id, RHS: rhs})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ObjVar resolves an identifier to the variable it defines or uses.
+func ObjVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// ReadsVar reports whether n's statement reads v — any use of v's ident
+// that is not a plain assignment target.
+func ReadsVar(info *types.Info, n *Node, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	assignLHS := make(map[*ast.Ident]bool)
+	for _, a := range NodeAssigns(info, n) {
+		assignLHS[a.LHS] = true
+	}
+	read := false
+	for _, e := range n.Exprs() {
+		ast.Inspect(e, func(x ast.Node) bool {
+			if read {
+				return false
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if assignLHS[id] {
+				return true
+			}
+			if info.Uses[id] == v {
+				read = true
+				return false
+			}
+			return true
+		})
+		if read {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncName renders a called object for diagnostics (pkg.Func or Type.Method).
+func FuncName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch tt := t.(type) {
+		case *types.Named:
+			return tt.Obj().Name() + "." + fn.Name()
+		case *types.Interface:
+			return fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed //memolint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int // the line the comment ends on
+	analyzer string
+	reason   string
+	pos      int // token.Pos, for reporting malformed directives
+}
+
+// ignoresIn parses every //memolint:ignore directive in the package.
+func ignoresIn(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, "//memolint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := ignoreDirective{
+					file: pkg.Fset.Position(c.End()).Filename,
+					line: pkg.Fset.Position(c.End()).Line,
+					pos:  int(c.Pos()),
+				}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions marks diagnostics covered by an ignore directive: one
+// naming the diagnostic's analyzer on the same line, or on the line
+// directly above it. The reason is attached to the diagnostic.
+func applySuppressions(pkg *Package, diags []Diagnostic) {
+	ignores := ignoresIn(pkg)
+	if len(ignores) == 0 {
+		return
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]string, len(ignores))
+	for _, d := range ignores {
+		if d.analyzer == "" || d.reason == "" {
+			continue // malformed; reported by checkIgnoreComments
+		}
+		index[key{d.file, d.line, d.analyzer}] = d.reason
+	}
+	for i := range diags {
+		d := &diags[i]
+		if reason, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			d.Suppressed, d.Reason = true, reason
+			continue
+		}
+		if reason, ok := index[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+			d.Suppressed, d.Reason = true, reason
+		}
+	}
+}
+
+// checkIgnoreComments reports malformed ignore directives: a missing
+// analyzer name, a name not among the analyzers of this run, or — the rule
+// the issue insists on — a missing written reason.
+func checkIgnoreComments(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, "//memolint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				bad := ""
+				switch {
+				case len(fields) == 0:
+					bad = "missing analyzer name and reason"
+				case len(fields) == 1:
+					bad = "missing reason: every suppression must say why (//memolint:ignore <analyzer> <reason>)"
+				case len(analyzers) > 1 && !known[fields[0]]:
+					// Single-analyzer runs (analysistest) skip the name
+					// check: testdata legitimately carries directives for
+					// sibling analyzers.
+					bad = "unknown analyzer " + fields[0]
+				}
+				if bad != "" {
+					out = append(out, Diagnostic{
+						Analyzer: "memolint",
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Message:  "malformed ignore directive: " + bad,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

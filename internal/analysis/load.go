@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus everything an analyzer
+// pass needs.
+type Package struct {
+	Path    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Markers *Markers
+}
+
+// Loader parses and type-checks packages from source. In-tree packages
+// (those under Module/SrcRoot) are loaded from source so their doc-comment
+// markers are visible; everything else resolves through the standard
+// library's source importer, which works offline from GOROOT.
+type Loader struct {
+	// SrcRoot is the directory packages load from.
+	SrcRoot string
+	// Module is the module path SrcRoot is the root of. When Module is
+	// empty the loader is in GOPATH style: import path p maps to
+	// SrcRoot/p. Otherwise p under the module maps to
+	// SrcRoot/<p minus module prefix>.
+	Module string
+	// IncludeTests adds *_test.go files of the package itself (not
+	// external _test packages) to the load.
+	IncludeTests bool
+
+	Fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+	markers *Markers
+}
+
+// NewLoader returns a loader rooted at srcRoot. module may be empty for
+// GOPATH-style roots (used by analysistest).
+func NewLoader(srcRoot, module string) *Loader {
+	// The source importer consults go/build, which would otherwise demand
+	// cgo support for net and friends; the analyzers only ever need the
+	// pure-Go view.
+	os.Setenv("CGO_ENABLED", "0")
+	fset := token.NewFileSet()
+	return &Loader{
+		SrcRoot: srcRoot,
+		Module:  module,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		markers: newMarkers(),
+	}
+}
+
+// ours reports whether path is loaded from source under SrcRoot, and the
+// directory it maps to.
+func (l *Loader) ours(path string) (string, bool) {
+	if l.Module != "" {
+		if path == l.Module {
+			return l.SrcRoot, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+			return filepath.Join(l.SrcRoot, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Load type-checks the package at the given import path (and, transitively,
+// every in-tree package it imports) and returns it.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.ours(path)
+	if !ok {
+		return nil, fmt.Errorf("memolint: %s is not under %s", path, l.SrcRoot)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("memolint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("memolint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if _, ok := l.ours(ipath); ok {
+				p, err := l.Load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.std.Import(ipath)
+		}),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("memolint: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:    path,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Markers: l.markers,
+	}
+	l.markers.collect(p)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the package's Go files in dir, skipping external test
+// packages and, unless IncludeTests is set, in-package test files.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if strings.HasSuffix(n, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(name, "_test") {
+			continue // external test package
+		}
+		if pkgName == "" {
+			pkgName = name
+		}
+		if name != pkgName {
+			continue // stray package in dir (e.g. ignored build-tagged file)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadAll walks SrcRoot and loads every package under it, skipping
+// testdata, vendor, and hidden directories. Returned in path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.SrcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.SrcRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(p)
+		if err != nil {
+			return err
+		}
+		if !has {
+			return nil
+		}
+		rel, err := filepath.Rel(l.SrcRoot, p)
+		if err != nil {
+			return err
+		}
+		ipath := l.Module
+		if rel != "." {
+			if l.Module != "" {
+				ipath = l.Module + "/" + filepath.ToSlash(rel)
+			} else {
+				ipath = filepath.ToSlash(rel)
+			}
+		}
+		if ipath == "" {
+			return nil
+		}
+		paths = append(paths, ipath)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,28 @@
+// Package ignore proves //memolint:ignore silences exactly the annotated
+// lockcheck diagnostic: two identical violations, one suppressed with a
+// written reason, one still reported.
+package ignore
+
+import (
+	"sync"
+
+	"durable"
+)
+
+type shard struct {
+	mu sync.Mutex //memolint:shard-lock
+}
+
+type store struct {
+	shards [2]shard
+	wal    *durable.Log
+}
+
+func (s *store) Suppressed(i int) {
+	//memolint:ignore lockcheck recovery runs single-threaded before serving starts
+	s.wal.Append(i, &durable.Record{Key: "k"})
+}
+
+func (s *store) NotSuppressed(i int) {
+	s.wal.Append(i, &durable.Record{Key: "k"}) // want `requires the shard lock`
+}

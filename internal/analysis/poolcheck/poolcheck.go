@@ -1,0 +1,359 @@
+// Package poolcheck enforces the pool-ownership contract from
+// repro/internal/pool: a buffer obtained from a pool-get function
+// (//memolint:pool-get) must reach a pool-put (//memolint:pool-put) or a
+// recognized ownership-transfer call (//memolint:transfers-ownership), and
+// must never be touched again after ownership has been released.
+//
+//   - "never released": the buffer reaches no put, no transfer, and never
+//     escapes the function (returned, stored into longer-lived storage,
+//     sent on a channel, captured by a goroutine) — a pooled buffer silently
+//     handed to the GC. Reported at the get call.
+//   - "use after release": a control-flow path uses the buffer after a put
+//     or transfer released it — the recycled-buffer corruption bug -race
+//     cannot see. Reported at the use.
+//   - strict mode additionally requires a release or escape on every path
+//     to the function exit (deferred puts count).
+//
+// Buffer identity follows assignments, slicing, and append-style calls
+// marked //memolint:returns-buffer (wire.AppendRequest and friends), so
+// `msg := wire.AppendRequest(pool.Get(n), q)` tracks msg, and releasing any
+// alias releases the family.
+package poolcheck
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// New returns the poolcheck analyzer.
+func New() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "poolcheck",
+		Doc:  "pooled buffers must reach pool.Put or an ownership transfer, and never be used afterwards",
+	}
+	a.Run = func(pass *analysis.Pass) error { return run(pass, a) }
+	return a
+}
+
+func run(pass *analysis.Pass, a *analysis.Analyzer) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, a, fd)
+		}
+	}
+	return nil
+}
+
+// family is one pooled buffer's trace through a function: the get call that
+// produced it and every local variable that came to carry it.
+type family struct {
+	src     *ast.CallExpr
+	members analysis.PathSet
+}
+
+func checkFunc(pass *analysis.Pass, a *analysis.Analyzer, fd *ast.FuncDecl) {
+	info := pass.Info
+	g := analysis.BuildCFG(fd.Body)
+	idx := analysis.NodeIndex(g)
+
+	var sources []*ast.CallExpr
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok && pass.Markers.CallHas(info, c, analysis.MarkPoolGet) {
+			sources = append(sources, c)
+		}
+		return true
+	})
+
+	for _, src := range sources {
+		fam := &family{src: src}
+		collectMembers(pass, fd, fam)
+		defNode := idx[src]
+		if defNode == nil {
+			continue // e.g. inside a func literal; skipped (own CFG not built)
+		}
+		checkFamily(pass, a, fd, g, defNode, fam)
+	}
+}
+
+// carrier reports whether expr carries fam's buffer: the get call itself, a
+// member variable, a slice/paren of a carrier, or an append-style call
+// (builtin append or //memolint:returns-buffer) with a carrier argument.
+func carrier(pass *analysis.Pass, fam *family, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if e == fam.src {
+		return true
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		if p, ok := analysis.PathOf(pass.Info, v); ok {
+			return fam.members.Covers(p)
+		}
+	case *ast.SliceExpr:
+		return carrier(pass, fam, v.X)
+	case *ast.CallExpr:
+		isAppend := false
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "append" && pass.Info.Uses[id] != nil && pass.Info.Uses[id].Pkg() == nil {
+			isAppend = true
+		}
+		if !isAppend && !pass.Markers.CallHas(pass.Info, v, analysis.MarkReturnsBuffer) {
+			return false
+		}
+		for _, arg := range v.Args {
+			if carrier(pass, fam, arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectMembers runs the flow-insensitive fixpoint: any variable assigned
+// from a carrier expression joins the family.
+func collectMembers(pass *analysis.Pass, fd *ast.FuncDecl, fam *family) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					if !carrier(pass, fam, rhs) {
+						continue
+					}
+					id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if v := analysis.ObjVar(pass.Info, id); v != nil && !fam.members.HasRoot(v) {
+						fam.members.Add(analysis.Path{Root: v})
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Values) != len(s.Names) {
+					return true
+				}
+				for i, rhs := range s.Values {
+					if !carrier(pass, fam, rhs) {
+						continue
+					}
+					if v := analysis.ObjVar(pass.Info, s.Names[i]); v != nil && !fam.members.HasRoot(v) {
+						fam.members.Add(analysis.Path{Root: v})
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// eventKind classifies what a CFG node does to the family.
+type eventKind int
+
+const (
+	evNone    eventKind = iota
+	evEscape            // returned/stored/sent/captured: ours no longer, but legal
+	evRelease           // pool.Put or ownership transfer: buffer gone
+)
+
+// classify inspects one CFG node for release and escape events. Release
+// wins when both appear (the release is what later uses must respect).
+func classify(pass *analysis.Pass, fam *family, n *analysis.Node) (eventKind, ast.Node) {
+	info := pass.Info
+	var kind eventKind
+	var at ast.Node
+	note := func(k eventKind, n ast.Node) {
+		if k > kind {
+			kind, at = k, n
+		}
+	}
+	for _, e := range n.Exprs() {
+		// Release detection skips deferred calls (those run at exit and are
+		// accounted as deferRelease) and closure bodies (those run whenever
+		// the closure does, which the go/defer/escape cases cover).
+		immediateCalls(e, func(c *ast.CallExpr) {
+			isPut := pass.Markers.CallHas(info, c, analysis.MarkPoolPut)
+			isXfer := pass.Markers.CallHas(info, c, analysis.MarkTransfers)
+			if !isPut && !isXfer {
+				return
+			}
+			for _, arg := range c.Args {
+				if argCarries(pass, fam, arg) {
+					note(evRelease, c)
+				}
+			}
+		})
+		ast.Inspect(e, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					if argCarries(pass, fam, r) {
+						note(evEscape, s)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						continue // local rebinding, handled as kill/propagate
+					}
+					if i < len(s.Rhs) && argCarries(pass, fam, s.Rhs[i]) {
+						note(evEscape, s)
+					}
+					if len(s.Lhs) != len(s.Rhs) && len(s.Rhs) == 1 && argCarries(pass, fam, s.Rhs[0]) {
+						note(evEscape, s)
+					}
+				}
+			case *ast.SendStmt:
+				if argCarries(pass, fam, s.Value) {
+					note(evEscape, s)
+				}
+			case *ast.GoStmt:
+				if analysis.ContainsMember(info, fam.members, s.Call) != nil {
+					note(evEscape, s)
+				}
+			case *ast.FuncLit:
+				if analysis.ContainsMember(info, fam.members, s.Body) != nil {
+					note(evEscape, s)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return kind, at
+}
+
+// immediateCalls visits the calls that run when the node itself executes:
+// it descends neither into defer statements nor into function literals.
+func immediateCalls(root ast.Node, f func(*ast.CallExpr)) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		switch x.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		}
+		if c, ok := x.(*ast.CallExpr); ok {
+			f(c)
+		}
+		return true
+	})
+}
+
+// argCarries is carrier plus "appears anywhere inside a composite literal"
+// — handing a struct containing the buffer to a transfer call transfers the
+// buffer.
+func argCarries(pass *analysis.Pass, fam *family, arg ast.Expr) bool {
+	if carrier(pass, fam, arg) {
+		return true
+	}
+	carries := false
+	ast.Inspect(arg, func(x ast.Node) bool {
+		if carries {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok && carrier(pass, fam, e) {
+			carries = true
+			return false
+		}
+		return true
+	})
+	return carries
+}
+
+func checkFamily(pass *analysis.Pass, a *analysis.Analyzer, fd *ast.FuncDecl, g *analysis.Graph, defNode *analysis.Node, fam *family) {
+	info := pass.Info
+	name := "pooled buffer"
+	if obj := analysis.Callee(info, fam.src); obj != nil {
+		name = "buffer from " + analysis.FuncName(obj)
+	}
+
+	// Deferred releases count as a release on every path.
+	deferRelease := false
+	for _, dc := range g.Defers {
+		for _, arg := range dc.Args {
+			if argCarries(pass, fam, arg) &&
+				(pass.Markers.CallHas(info, dc, analysis.MarkPoolPut) || pass.Markers.CallHas(info, dc, analysis.MarkTransfers)) {
+				deferRelease = true
+			}
+		}
+	}
+
+	kinds := make(map[*analysis.Node]eventKind)
+	anyRelease, anyEscape := deferRelease, false
+	for _, n := range g.Nodes {
+		k, _ := classify(pass, fam, n)
+		kinds[n] = k
+		if k == evRelease {
+			anyRelease = true
+		}
+		if k == evEscape {
+			anyEscape = true
+		}
+	}
+
+	if !anyRelease && !anyEscape {
+		pass.Reportf(fam.src.Pos(), "%s is never released: no pool.Put, no ownership transfer, and it does not escape", name)
+		return
+	}
+
+	// Use-after-release: from every release node, any reachable read of a
+	// member before its rebinding is a recycled-buffer bug.
+	for _, rel := range g.Nodes {
+		if kinds[rel] != evRelease {
+			continue
+		}
+		for _, m := range fam.members {
+			v := m.Root
+			reported := false
+			g.Forward(rel, func(n *analysis.Node) bool {
+				if reported {
+					return false
+				}
+				if analysis.ReadsVar(info, n, v) {
+					pos := n.Stmt.Pos()
+					pass.Reportf(pos, "use of %s after its buffer was released (released at line %d)", v.Name(), pass.Fset.Position(rel.Stmt.Pos()).Line)
+					reported = true
+					return false
+				}
+				for _, as := range analysis.NodeAssigns(info, n) {
+					if as.LHSVar == v {
+						return false // rebound: a fresh value, stop
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Strict mode: a release or escape must exist on every path to exit.
+	if a.Strict && !deferRelease {
+		leaks := false
+		g.Forward(defNode, func(n *analysis.Node) bool {
+			if leaks {
+				return false
+			}
+			if kinds[n] == evRelease || kinds[n] == evEscape {
+				return false
+			}
+			for _, as := range analysis.NodeAssigns(info, n) {
+				if fam.members.HasRoot(as.LHSVar) && !carrier(pass, fam, as.RHS) {
+					return false // buffer dropped by rebinding; GC's now
+				}
+			}
+			if n == g.Exit {
+				leaks = true
+			}
+			return true
+		})
+		if leaks {
+			pass.Reportf(fam.src.Pos(), "%s may not be released on every path (strict)", name)
+		}
+	}
+}

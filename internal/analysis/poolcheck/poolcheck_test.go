@@ -1,0 +1,39 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.New(), "a")
+}
+
+func TestStrict(t *testing.T) {
+	a := poolcheck.New()
+	a.Strict = true
+	analysistest.Run(t, "testdata", a, "strict")
+}
+
+// TestIgnore proves the suppression silences exactly the annotated
+// diagnostic: the unannotated twin is still reported (checked by the want
+// comment), and the annotated one is present but suppressed, carrying the
+// written reason.
+func TestIgnore(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", poolcheck.New(), "ignore")
+	var suppressed []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("got %d suppressed diagnostics, want exactly 1: %v", len(suppressed), suppressed)
+	}
+	if want := "buffer intentionally parked for the demo"; suppressed[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", suppressed[0].Reason, want)
+	}
+}

@@ -1,0 +1,112 @@
+// Package a exercises poolcheck: every pool.Get must reach pool.Put or an
+// ownership transfer, and the buffer must never be touched after release.
+package a
+
+import (
+	"errors"
+
+	"pool"
+	"wire"
+)
+
+var errEarly = errors.New("early")
+
+// Leak: the buffer reaches no put, no transfer, and never escapes.
+func Leak() {
+	buf := pool.Get(64) // want `never released`
+	buf[0] = 1
+}
+
+// GoodPut is the plain get/use/put life cycle.
+func GoodPut() {
+	buf := pool.Get(64)
+	buf[0] = 1
+	pool.Put(buf)
+}
+
+// GoodDefer releases through a deferred put.
+func GoodDefer() {
+	buf := pool.Get(64)
+	defer pool.Put(buf)
+	buf[0] = 1
+}
+
+// Transfer hands ownership to the batcher; no put needed.
+func Transfer(q *wire.Queue) {
+	buf := pool.Get(8)
+	q.Add(wire.Entry{ID: 1, Msg: buf})
+}
+
+// CallPattern mirrors rpc.Conn.Call: encode into a pooled buffer, put it
+// back on the early-error path, transfer it to the queue otherwise.
+func CallPattern(q *wire.Queue, key string, fail bool) error {
+	msg := wire.AppendRequest(pool.Get(len(key)), key)
+	if fail {
+		pool.Put(msg)
+		return errEarly
+	}
+	q.Add(wire.Entry{ID: 1, Msg: msg})
+	return nil
+}
+
+// SendFrame mirrors the batcher flush: Send borrows the frame, so the
+// caller still recycles it afterwards.
+func SendFrame(q *wire.Queue, key string) {
+	buf := pool.Get(8)
+	frame := wire.AppendRequest(buf, key)
+	q.Send(frame)
+	pool.Put(frame)
+}
+
+// UseAfterPut touches the buffer after it went back to the pool.
+func UseAfterPut() {
+	buf := pool.Get(64)
+	pool.Put(buf)
+	buf[0] = 1 // want `use of buf after its buffer was released`
+}
+
+// UseAfterTransfer touches the buffer after the queue took it over.
+func UseAfterTransfer(q *wire.Queue) {
+	buf := pool.Get(8)
+	q.Add(wire.Entry{ID: 1, Msg: buf})
+	buf[0] = 1 // want `use of buf after its buffer was released`
+}
+
+// DoublePut releases twice; the second put is a use of a dead buffer.
+func DoublePut() {
+	buf := pool.Get(64)
+	pool.Put(buf)
+	pool.Put(buf) // want `use of buf after its buffer was released`
+}
+
+// EscapeReturn hands the buffer to the caller: ownership moves with it.
+func EscapeReturn(n int) []byte {
+	return pool.Get(n)
+}
+
+// EscapeStore parks the buffer in longer-lived storage; the holder owns it.
+type holder struct{ b []byte }
+
+func EscapeStore(h *holder) {
+	h.b = pool.Get(16)
+}
+
+// Loop gets and puts a fresh buffer per iteration; the rebinding at the top
+// of each iteration ends the previous family.
+func Loop(n int) {
+	for i := 0; i < n; i++ {
+		buf := pool.Get(64)
+		buf[0] = byte(i)
+		pool.Put(buf)
+	}
+}
+
+// Rebind: after the put, buf is rebound to a fresh buffer; using that one
+// is fine.
+func Rebind() {
+	buf := pool.Get(64)
+	pool.Put(buf)
+	buf = pool.Get(32)
+	buf[0] = 2
+	pool.Put(buf)
+}

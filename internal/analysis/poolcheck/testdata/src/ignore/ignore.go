@@ -1,0 +1,17 @@
+// Package ignore proves //memolint:ignore silences exactly the annotated
+// poolcheck diagnostic and nothing else: two identical leaks, one
+// suppressed with a written reason, one still reported.
+package ignore
+
+import "pool"
+
+func Suppressed() {
+	//memolint:ignore poolcheck buffer intentionally parked for the demo
+	buf := pool.Get(64)
+	buf[0] = 1
+}
+
+func NotSuppressed() {
+	buf := pool.Get(64) // want `never released`
+	buf[0] = 1
+}

@@ -1,0 +1,10 @@
+// Package pool is a stub of repro/internal/pool carrying the same memolint
+// markers, so poolcheck testdata exercises exactly the marker machinery the
+// real tree uses.
+package pool
+
+//memolint:pool-get
+func Get(n int) []byte { return make([]byte, n) }
+
+//memolint:pool-put
+func Put(b []byte) {}

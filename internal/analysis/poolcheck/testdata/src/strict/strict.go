@@ -1,0 +1,34 @@
+// Package strict exercises poolcheck's -strict mode: a release must exist
+// on EVERY path to the exit, not just somewhere. Dropping the put on one
+// branch — exactly the regression the issue asks lint to catch — fails.
+package strict
+
+import "pool"
+
+// OnePath forgets the put on the cond==false path.
+func OnePath(cond bool) {
+	buf := pool.Get(64) // want `may not be released on every path`
+	if cond {
+		pool.Put(buf)
+	}
+}
+
+// BothPaths releases on each branch.
+func BothPaths(cond bool) {
+	buf := pool.Get(64)
+	if cond {
+		buf[0] = 1
+		pool.Put(buf)
+	} else {
+		pool.Put(buf)
+	}
+}
+
+// Deferred satisfies strict mode: the deferred put runs on every path.
+func Deferred(cond bool) {
+	buf := pool.Get(64)
+	defer pool.Put(buf)
+	if cond {
+		buf[0] = 1
+	}
+}

@@ -116,9 +116,16 @@ func E2InterMachine(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		k := m.NamedKey("probe")
-		// Warm the forwarding path.
-		m.Put(k, transferable.Int64(0))
-		m.Get(k)
+		// Warm the forwarding path. A failed warm Put would leave the warm
+		// Get blocked forever, so both errors must surface.
+		if err := m.Put(k, transferable.Int64(0)); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		if _, err := m.Get(k); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			if err := m.Put(k, transferable.Int64(int64(i))); err != nil {

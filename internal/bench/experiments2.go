@@ -131,8 +131,13 @@ boss <-> w3 1
 			}
 		}
 		elapsed := time.Since(start)
+		// A lost poison pill would hang wg.Wait forever; on error, shut the
+		// cluster down so the workers' blocked Gets unwind instead.
 		for w := 0; w < 3; w++ {
-			boss.Put(jobs, transferable.Int64(-1)) // poison
+			if err := boss.Put(jobs, transferable.Int64(-1)); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
 		}
 		wg.Wait()
 		c.Shutdown()
@@ -178,14 +183,22 @@ func E7VsLinda(cfg Config) (*Table, error) {
 		// D-Memo: a folder store preloaded with n distinct folders.
 		store := folder.NewStore()
 		for i := 0; i < n; i++ {
-			store.Put(symbol.K(symbol.Symbol(1000+i)), []byte("noise"))
+			if err := store.Put(symbol.K(symbol.Symbol(1000+i)), []byte("noise")); err != nil {
+				return nil, fmt.Errorf("E7: preload: %w", err)
+			}
 		}
 		hot := symbol.K(7)
 		payload := []byte("payload")
 		start := time.Now()
 		for i := 0; i < ops; i++ {
-			store.Put(hot, payload)
-			if _, ok, _ := store.GetSkip(hot); !ok {
+			if err := store.Put(hot, payload); err != nil {
+				return nil, fmt.Errorf("E7: put: %w", err)
+			}
+			_, ok, err := store.GetSkip(hot)
+			if err != nil {
+				return nil, fmt.Errorf("E7: get-skip: %w", err)
+			}
+			if !ok {
 				return nil, fmt.Errorf("E7: lost memo")
 			}
 		}
@@ -390,10 +403,19 @@ a <-> b 1
 	for i := 0; i < trigOps; i++ {
 		operand := m.NamedKey("e8op", uint32(i))
 		sink := m.NamedKey("e8sink")
-		collect.Trigger(m, operand, sink, transferable.Int64(int64(i)))
-		m.Put(operand, transferable.Nil{})
-		m.Get(sink)
-		m.GetSkip(operand) // clean the trigger memo
+		if err := collect.Trigger(m, operand, sink, transferable.Int64(int64(i))); err != nil {
+			return nil, err
+		}
+		// A failed arm Put would leave the collect Get blocked forever.
+		if err := m.Put(operand, transferable.Nil{}); err != nil {
+			return nil, err
+		}
+		if _, err := m.Get(sink); err != nil {
+			return nil, err
+		}
+		if _, _, err := m.GetSkip(operand); err != nil { // clean the trigger memo
+			return nil, err
+		}
 	}
 	row("dataflow trigger", "arm+fire+collect", trigOps, time.Since(start))
 

@@ -71,6 +71,7 @@ func (q *OrderedQueue) Enqueue(v transferable.Value) error {
 	seq := asSeq(sv)
 	if err := q.m.Put(q.elemKey(seq), v); err != nil {
 		// Restore the sequencer so the queue is not left locked.
+		//memolint:ignore errgate best-effort restore of the write sequencer on an already-failing path; the deposit error below is what the caller acts on
 		_ = q.m.Put(q.writeKey(), transferable.Uint64(seq))
 		return err
 	}
@@ -93,6 +94,7 @@ func (q *OrderedQueue) DequeueCancel(cancel <-chan struct{}) (transferable.Value
 	cursor := asSeq(cv)
 	v, err := q.m.GetCancel(q.elemKey(cursor), cancel)
 	if err != nil {
+		//memolint:ignore errgate best-effort restore of the read cursor on an already-failing path; the extraction error below is what the caller acts on
 		_ = q.m.Put(q.readKey(), transferable.Uint64(cursor))
 		return nil, err
 	}
@@ -132,6 +134,7 @@ func (q *OrderedQueue) Len() (int, error) {
 	w := asSeq(wv)
 	rv, err := q.m.Get(q.readKey())
 	if err != nil {
+		//memolint:ignore errgate best-effort restore of the write sequencer on an already-failing path; the read-end error below is what the caller acts on
 		_ = q.m.Put(q.writeKey(), transferable.Uint64(w))
 		return 0, err
 	}

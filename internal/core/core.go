@@ -152,7 +152,10 @@ func (m *Memo) do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, erro
 // Put deposits value in the folder labeled key. Control returns as soon as
 // the folder server acknowledges the deposit (§6.1.2: "control is
 // immediately returned to the executing process" — the call does not wait
-// for any consumer).
+// for any consumer). A failed Put means the memo was never deposited, so
+// the error gates anything acknowledged on the deposit.
+//
+//memolint:must-check-error
 func (m *Memo) Put(key symbol.Key, value transferable.Value) error {
 	payload, err := transferable.Marshal(value)
 	if err != nil {
@@ -167,6 +170,8 @@ func (m *Memo) Put(key symbol.Key, value transferable.Value) error {
 // PutDelayed hides value in folder key1 until another memo arrives there,
 // whereupon the value is released into folder key2 (§6.1.2). This is the
 // dataflow-triggering primitive.
+//
+//memolint:must-check-error
 func (m *Memo) PutDelayed(key1, key2 symbol.Key, value transferable.Value) error {
 	payload, err := transferable.Marshal(value)
 	if err != nil {
@@ -180,7 +185,10 @@ func (m *Memo) PutDelayed(key1, key2 symbol.Key, value transferable.Value) error
 }
 
 // Get extracts a value from the folder labeled key, blocking until one is
-// available.
+// available. Extraction doubles as acquiring a shared record (§6.3.1), so a
+// discarded error can silently skip a lock acquisition.
+//
+//memolint:must-check-error
 func (m *Memo) Get(key symbol.Key) (transferable.Value, error) {
 	return m.GetCancel(key, nil)
 }
@@ -188,6 +196,8 @@ func (m *Memo) Get(key symbol.Key) (transferable.Value, error) {
 // GetCancel is Get with a cancellation channel (closing it abandons the
 // wait). The paper's API blocks forever; cancellation is needed for orderly
 // shutdown of Go programs.
+//
+//memolint:must-check-error
 func (m *Memo) GetCancel(key symbol.Key, cancel <-chan struct{}) (transferable.Value, error) {
 	resp, err := m.do(&wire.Request{
 		Op: wire.OpGet, App: m.app, FolderID: m.target(key), Key: key,
@@ -217,7 +227,11 @@ func (m *Memo) GetCopyCancel(key symbol.Key, cancel <-chan struct{}) (transferab
 }
 
 // GetSkip extracts a value if one is present, returning ok=false otherwise
-// (§6.1.2: "usually used to poll for messages").
+// (§6.1.2: "usually used to poll for messages"). The error distinguishes
+// "folder empty" from "request failed" — conflating them turns an outage
+// into a phantom empty folder.
+//
+//memolint:must-check-error
 func (m *Memo) GetSkip(key symbol.Key) (transferable.Value, bool, error) {
 	resp, err := m.do(&wire.Request{
 		Op: wire.OpGetSkip, App: m.app, FolderID: m.target(key), Key: key,
@@ -238,11 +252,15 @@ func (m *Memo) GetSkip(key symbol.Key) (transferable.Value, bool, error) {
 // GetAlt extracts a value from any one of the folders, blocking until one
 // is available. If several folders hold values the choice is
 // nondeterministic. It returns the folder that supplied the value.
+//
+//memolint:must-check-error
 func (m *Memo) GetAlt(keys ...symbol.Key) (symbol.Key, transferable.Value, error) {
 	return m.GetAltCancel(nil, keys...)
 }
 
 // GetAltCancel is GetAlt with cancellation.
+//
+//memolint:must-check-error
 func (m *Memo) GetAltCancel(cancel <-chan struct{}, keys ...symbol.Key) (symbol.Key, transferable.Value, error) {
 	if len(keys) == 0 {
 		return symbol.Key{}, nil, errors.New("memo: get_alt: no keys")

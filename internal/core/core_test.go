@@ -497,3 +497,39 @@ func TestProgramPumping(t *testing.T) {
 		t.Fatal("empty program name accepted")
 	}
 }
+
+// TestErrorsSurfaceAfterShutdown is the regression test for a family of
+// discarded-error bugs the errgate analyzer uncovered: poison-pill Puts and
+// probe GetSkips whose errors were silently dropped, so a dead cluster
+// turned into a hang (the next blocking Get waited on a deposit that never
+// happened) or a phantom-empty folder. The fixes surface those errors; this
+// test pins the property they rely on — a call against a dead cluster fails
+// fast with an error instead of blocking or reporting success.
+func TestErrorsSurfaceAfterShutdown(t *testing.T) {
+	c, err := cluster.BootADF(twoHostADF, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.NewMemo("a")
+	if err != nil {
+		c.Shutdown()
+		t.Fatal(err)
+	}
+	k := m.NamedKey("gone")
+	c.Shutdown()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := m.Put(k, transferable.Int64(1)); err == nil {
+			t.Error("Put on a dead cluster reported success")
+		}
+		if _, ok, err := m.GetSkip(k); err == nil {
+			t.Errorf("GetSkip on a dead cluster reported ok=%v with nil error", ok)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Put/GetSkip blocked on a dead cluster instead of failing")
+	}
+}

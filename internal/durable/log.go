@@ -271,12 +271,18 @@ func removeStale(dir string, base uint64, haveSnap bool) error {
 // Append logs one record to the shard's stripe and returns its commit
 // handle. The caller holds the Store shard lock, which orders the records
 // of each folder. A dead log returns 0; Commit reports why.
+//
+//memolint:requires-shard-lock
 func (l *Log) Append(shard int, rec *Record) uint64 {
 	l.appended.Add(1)
 	return l.shards[shard].append(EncodeRecord(rec))
 }
 
-// Commit blocks until the shard's stripe has made seq durable.
+// Commit blocks until the shard's stripe has made seq durable. It must run
+// outside the shard lock (it blocks on fsync), and its error gates the ack.
+//
+//memolint:forbids-shard-lock
+//memolint:must-check-error
 func (l *Log) Commit(shard int, seq uint64) error {
 	return l.shards[shard].commit(seq)
 }
@@ -286,6 +292,9 @@ func (l *Log) Commit(shard int, seq uint64) error {
 // acknowledgement never outruns the original record's fsync. An empty
 // stripe (the original landed in a previous generation) is trivially
 // durable.
+//
+//memolint:forbids-shard-lock
+//memolint:must-check-error
 func (l *Log) Barrier(shard int) error {
 	s := l.shards[shard]
 	seq := s.barrier()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/symbol"
@@ -36,9 +37,20 @@ func (s *Store) Log() *durable.Log { return s.wal }
 
 // Close flushes and closes the write-ahead log. Pending operation commits
 // complete durable first. A memory-only store closes trivially.
+//
+// Close joins an in-flight background snapshot cycle before closing the
+// log: the orderly-shutdown contract is that no goroutine is still writing
+// into the data directory when Close returns. (Replay re-arms the snapshot
+// counter, so a freshly reopened store's first commit can fire a cycle
+// moments before Close — exactly the race this wait closes.) Concurrent
+// mutating operations during Close remain the caller's responsibility;
+// Crash deliberately does not wait, matching its SIGKILL semantics.
 func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
+	}
+	for s.snapshotting.Load() {
+		time.Sleep(time.Millisecond)
 	}
 	return s.wal.Close()
 }

@@ -511,3 +511,38 @@ func TestGetSkipSurfacesDeadLog(t *testing.T) {
 		t.Fatal("AltSkip on dead log returned no error")
 	}
 }
+
+// TestCloseJoinsBackgroundSnapshot: Close must not return while the
+// background snapshot goroutine is still writing into the data directory.
+// Replay re-arms the snapshot counter, so reopening a log with more
+// recovered records than SnapshotEvery means the first take's commit fires
+// a cycle moments before Close — the shutdown path used to race it
+// (observed as TempDir cleanup failures in TestSnapshotTruncateRecover).
+func TestCloseJoinsBackgroundSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, durable.Config{SnapshotEvery: 16}, WithShards(2))
+	keep := symbol.K(2)
+	mustPut(t, s, keep, "keeper")
+	k := symbol.K(1)
+	for i := 0; i < 64; i++ {
+		mustPut(t, s, k, "churn")
+		if _, ok, err := s.GetSkip(k); err != nil || !ok {
+			t.Fatalf("churn take: ok=%v err=%v", ok, err)
+		}
+	}
+	waitNotSnapshotting(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openStore(t, dir, durable.Config{SnapshotEvery: 16}, WithShards(2))
+	if _, ok, err := r.GetSkip(keep); err != nil || !ok {
+		t.Fatalf("keeper take: ok=%v err=%v", ok, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.snapshotting.Load() {
+		t.Fatal("Close returned with a snapshot cycle still in flight")
+	}
+}

@@ -98,7 +98,7 @@ type Store struct {
 // this stripe, and an extraction rng (per-shard so nextRand never contends
 // across stripes). Padded so adjacent shards do not share a cache line.
 type shard struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //memolint:shard-lock
 	folders map[string]*fold
 	rng     uint64 // xorshift state for unordered extraction
 	_       [104]byte
@@ -302,6 +302,8 @@ func unwrapCopy(it item) []byte {
 // The returned error is always nil on a memory-only store; on a durable
 // store it reports a failed commit (the deposit is then not acknowledged
 // durable).
+//
+//memolint:must-check-error
 func (s *Store) Put(key symbol.Key, payload []byte) error {
 	return s.PutToken(key, payload, 0)
 }
@@ -311,6 +313,8 @@ func (s *Store) Put(key symbol.Key, payload []byte) error {
 // — the retry path for a maybe-delivered put. The acknowledgement of a
 // deduplicated put still waits for the original record's durability, so a
 // crash can never have acknowledged the retry and lost the original.
+//
+//memolint:must-check-error
 func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 	canon := key.Canon()
 	it := s.wrap(payload)
@@ -394,12 +398,16 @@ func (s *Store) releaseDone(trigger symbol.Key, rel uint64) {
 // PutDelayed hides payload in trigger's folder; the next memo arriving in
 // trigger releases it into dest (§6.1.2). The hidden value is not gettable
 // from trigger.
+//
+//memolint:must-check-error
 func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) error {
 	return s.PutDelayedToken(trigger, dest, payload, 0)
 }
 
 // PutDelayedToken is PutDelayed with an at-most-once dedup token (0 = none),
 // with the same semantics as PutToken.
+//
+//memolint:must-check-error
 func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token uint64) error {
 	canon := trigger.Canon()
 	it := s.wrap(payload)
@@ -440,6 +448,8 @@ func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token 
 
 // Get removes and returns a memo, blocking until one is available or cancel
 // is closed.
+//
+//memolint:must-check-error
 func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 	canon := key.Canon()
 	si := int(s.shardIndex(key))
@@ -502,6 +512,8 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 // reports a durable store whose log has died: the take is rolled back — a
 // payload never leaves the store unless its removal is on disk — and the
 // caller sees the failure instead of a forever-empty folder.
+//
+//memolint:must-check-error
 func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 	canon := key.Canon()
 	si := int(s.shardIndex(key))
@@ -525,6 +537,8 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 
 // logTake appends a take record for it (caller holds the shard lock).
 // Returns 0 when the store is memory-only.
+//
+//memolint:requires-shard-lock
 func (s *Store) logTake(si int, key symbol.Key, it item) uint64 {
 	if s.wal == nil {
 		return 0
@@ -535,6 +549,9 @@ func (s *Store) logTake(si int, key symbol.Key, it item) uint64 {
 // commitTake waits for a take record's durability. If the commit fails —
 // only possible once the log is terminally dead — the item is restored, so
 // a payload never leaves the store without its removal being durable.
+//
+//memolint:forbids-shard-lock
+//memolint:must-check-error
 func (s *Store) commitTake(si int, seq uint64, key symbol.Key, it item) error {
 	if s.wal == nil {
 		return nil
@@ -657,6 +674,8 @@ func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan st
 // is available. Among simultaneously eligible folders the choice is
 // nondeterministic (§6.1.2 get_alt). Returns the satisfied key. An empty
 // key set fails immediately with ErrNoKeys.
+//
+//memolint:must-check-error
 func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, []byte, error) {
 	if len(keys) == 0 {
 		return symbol.Key{}, nil, ErrNoKeys
@@ -694,6 +713,8 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 // visits shards one at a time, so concurrent mutation between shards may be
 // observed — same as the cross-server get_alt_skip built above this. A
 // non-nil error reports a dead durable log (the take is rolled back).
+//
+//memolint:must-check-error
 func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 	if len(keys) == 0 {
 		return symbol.Key{}, nil, false, nil

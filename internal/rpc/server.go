@@ -93,6 +93,10 @@ type frameBuf struct {
 
 var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
 
+// newFrameBuf takes over buf: the frameBuf's refcount decides when it goes
+// back to the pool.
+//
+//memolint:transfers-ownership
 func newFrameBuf(buf []byte) *frameBuf {
 	fb := frameBufPool.Get().(*frameBuf)
 	fb.buf = buf
@@ -124,7 +128,9 @@ type server struct {
 
 // serveSingle answers one legacy single-frame request inline — the
 // pre-batching servers handled one request at a time per channel, and old
-// clients depend on ordered responses.
+// clients depend on ordered responses. It takes over buf and recycles it.
+//
+//memolint:transfers-ownership
 func (s *server) serveSingle(buf []byte) error {
 	q, err := wire.DecodeRequest(buf)
 	var resp *wire.Response
@@ -252,6 +258,7 @@ func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 	fb.retain()
 	t.fb = fb
 	if s.submit == nil {
+		//memolint:ignore aliascheck fb.retain above pins the frame buffer until runDispatch releases it, so the aliased request outliving dispatch is safe by refcount rather than by Retain copy
 		go runDispatch(t)
 		return
 	}

@@ -258,6 +258,8 @@ func (r *reader) keyInto(k *symbol.Key) {
 // pooled buffer, often with transport header space already reserved at the
 // front, so one buffer carries the message from encoder to wire. The bytes
 // appended are identical to EncodeRequest's output.
+//
+//memolint:returns-buffer
 func AppendRequest(dst []byte, q *Request) []byte {
 	w := writer{buf: dst}
 	w.byte(byte(q.Op))
@@ -305,6 +307,8 @@ func EncodeRequest(q *Request) []byte {
 
 // DecodeRequest parses a request. The returned request's Payload ALIASES
 // buf; callers that retain it past buf's lifetime must Retain() first.
+//
+//memolint:aliases-buffer
 func DecodeRequest(buf []byte) (*Request, error) {
 	q := &Request{}
 	if err := DecodeRequestInto(q, buf); err != nil {
@@ -317,6 +321,8 @@ func DecodeRequest(buf []byte) (*Request, error) {
 // extension-slot capacity — the pooled-request decode path. Every field of
 // q is overwritten (Token is zeroed: it travels as a batch-entry extension,
 // not in this codec). q.Payload ALIASES buf.
+//
+//memolint:aliases-buffer
 func DecodeRequestInto(q *Request, buf []byte) error {
 	r := &reader{buf: buf}
 	q.Op = Op(r.byte())
@@ -395,6 +401,8 @@ func ResponseOverhead(p *Response) int {
 }
 
 // AppendResponse serializes a response onto dst (see AppendRequest).
+//
+//memolint:returns-buffer
 func AppendResponse(dst []byte, p *Response) []byte {
 	w := writer{buf: dst}
 	w.byte(byte(p.Status))
@@ -411,6 +419,8 @@ func EncodeResponse(p *Response) []byte {
 
 // DecodeResponse parses a response. The returned response's Payload ALIASES
 // buf; callers that retain it past buf's lifetime must Retain() first.
+//
+//memolint:aliases-buffer
 func DecodeResponse(buf []byte) (*Response, error) {
 	r := &reader{buf: buf}
 	p := &Response{}
