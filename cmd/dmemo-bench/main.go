@@ -1,5 +1,5 @@
 // Command dmemo-bench regenerates the reproduction experiments (DESIGN.md
-// §4, E1–E13), printing one table per experiment.
+// §4, E1–E14), printing one table per experiment.
 //
 // Usage:
 //
@@ -12,20 +12,24 @@
 // With -json each experiment's table is additionally written as
 // machine-readable JSON (BENCH_E<n>.json) under the given directory, so the
 // perf trajectory can be tracked across PRs; the CI bench-smoke step uploads
-// these files as an artifact.
+// these files as an artifact. The same directory also gets METRICS.json, a
+// snapshot of the process-wide metric registry after the run — the counters
+// and histograms the experiments themselves drove.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
-	exp := flag.String("exp", "", "run a single experiment by id (E1..E13)")
+	exp := flag.String("exp", "", "run a single experiment by id (E1..E14)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonDir := flag.String("json", "", "also write each table as BENCH_E<n>.json under this directory")
 	flag.Parse()
@@ -63,6 +67,24 @@ func main() {
 				failed = true
 				continue
 			}
+			fmt.Fprintf(os.Stderr, "dmemo-bench: wrote %s\n", path)
+		}
+	}
+	if *jsonDir != "" {
+		// Snapshot the registry the experiments drove: every rpc call,
+		// pooled buffer, redial, and fsync above is in these counters.
+		path := filepath.Join(*jsonDir, "METRICS.json")
+		f, err := os.Create(path)
+		if err == nil {
+			err = obs.Default.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmemo-bench: write metrics snapshot: %v\n", err)
+			failed = true
+		} else {
 			fmt.Fprintf(os.Stderr, "dmemo-bench: wrote %s\n", path)
 		}
 	}

@@ -13,11 +13,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +24,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/folder"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/sharedmem"
 	"repro/internal/threadcache"
@@ -46,23 +46,17 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durability (per-shard WAL + snapshots); empty keeps folders in memory only")
 	fsync := flag.String("fsync", "batch", "WAL sync policy: batch (group commit), always (fsync per record), never (trust the OS cache)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "records between WAL snapshot+truncate cycles (0 = default, negative = never)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
+	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose handling takes at least this long in the slow-request log (/slowz); 0 disables span timing")
 	flag.Parse()
 
 	if *host == "" {
 		fmt.Fprintln(os.Stderr, "folderserverd: -host is required")
 		os.Exit(2)
 	}
-	if *pprofAddr != "" {
-		// Allocation and CPU profiles from a live cluster: off by default,
-		// and when enabled, bind a loopback address unless you mean to
-		// expose the profiler.
-		go func() {
-			log.Printf("folderserverd: pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("folderserverd: pprof: %v", err)
-			}
-		}()
+	if *debugAddr == "" {
+		*debugAddr = *pprofAddr
 	}
 	var opts []folder.Option
 	if *arena > 0 {
@@ -73,6 +67,15 @@ func main() {
 	}
 	pol := rpc.Policy{MaxCount: *batchMax, MaxBytes: *batchBytes, Linger: *batchLinger}
 	cache := threadcache.Config{Disable: *noCache}
+	var slow *obs.SlowLog
+	if *slowThreshold > 0 {
+		slow = obs.NewSlowLog(*slowThreshold, 0)
+		slow.SetEmit(func(e obs.SlowEntry) {
+			log.Printf("folderserverd: slow request trace=%x hop=%d op=%s folder=%d at=%s took=%v",
+				e.Trace, e.Hop, e.Op, e.Folder, e.Where, e.Dur)
+		})
+	}
+	srvOpts := []folder.ServerOption{folder.WithBatchPolicy(pol), folder.WithSlowLog(slow)}
 
 	var srv *folder.Server
 	if *dataDir != "" {
@@ -81,8 +84,7 @@ func main() {
 			log.Fatalf("folderserverd: %v", err)
 		}
 		dcfg := durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery}
-		srv, err = folder.OpenServer(*id, *host, *dataDir, dcfg, cache, opts,
-			folder.WithBatchPolicy(pol))
+		srv, err = folder.OpenServer(*id, *host, *dataDir, dcfg, cache, opts, srvOpts...)
 		if err != nil {
 			log.Fatalf("folderserverd: %v", err)
 		}
@@ -90,9 +92,9 @@ func main() {
 		log.Printf("folderserverd: recovered %d memos, %d hidden delayed values, %d folders from %s",
 			st.MemoCount(), st.DelayedCount(), st.FolderCount(), *dataDir)
 	} else {
-		srv = folder.NewServer(*id, *host, folder.NewStore(opts...), cache,
-			folder.WithBatchPolicy(pol))
+		srv = folder.NewServer(*id, *host, folder.NewStore(opts...), cache, srvOpts...)
 	}
+	srv.RegisterMetrics(obs.Default)
 
 	tcp := transport.NewTCP()
 	tcp.IdleTimeout = *idleTimeout
@@ -101,6 +103,18 @@ func main() {
 		log.Fatalf("folderserverd: %v", err)
 	}
 	log.Printf("folderserverd: folder server %d on %s listening at %s", *id, *host, l.Addr())
+
+	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
+	// listener: off by default, and when enabled, bind a loopback address
+	// unless you mean to expose the profiler.
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, slow)
+		if err := debug.Start(); err != nil {
+			log.Fatalf("folderserverd: debug server: %v", err)
+		}
+		log.Printf("folderserverd: debug endpoints on %s", debug.Addr())
+	}
 
 	// Serve until SIGINT/SIGTERM: stop accepting, then flush and close the
 	// WAL before exiting, so a routine restart loses nothing.
@@ -114,6 +128,13 @@ func main() {
 		l.Close()
 	case err := <-done:
 		log.Fatalf("folderserverd: %v", err)
+	}
+	if debug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := debug.Shutdown(ctx); err != nil {
+			log.Printf("folderserverd: debug server: %v", err)
+		}
+		cancel()
 	}
 	srv.Close()
 	log.Printf("folderserverd: folder state flushed; bye")

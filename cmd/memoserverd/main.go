@@ -14,11 +14,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +26,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/memoserver"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
@@ -79,23 +79,17 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for folder-server durability (per-shard WAL + snapshots); empty keeps folders in memory only")
 	fsync := flag.String("fsync", "batch", "WAL sync policy: batch (group commit), always (fsync per record), never (trust the OS cache)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "records between WAL snapshot+truncate cycles (0 = default, negative = never)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
+	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose dispatch takes at least this long in the slow-request log (/slowz); 0 disables span timing")
 	flag.Parse()
 
 	if *host == "" {
 		fmt.Fprintln(os.Stderr, "memoserverd: -host is required")
 		os.Exit(2)
 	}
-	if *pprofAddr != "" {
-		// Allocation and CPU profiles from a live cluster: off by default,
-		// and when enabled, bind a loopback address unless you mean to
-		// expose the profiler.
-		go func() {
-			log.Printf("memoserverd: pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("memoserverd: pprof: %v", err)
-			}
-		}()
+	if *debugAddr == "" {
+		*debugAddr = *pprofAddr
 	}
 	if !flagSet("idle-timeout") {
 		// Keep the read deadline consistent with the probe rate: without
@@ -129,13 +123,35 @@ func main() {
 				Redial:    transport.Backoff{Min: *redialMin},
 				Retries:   *retries,
 			},
-			DataDir: *dataDir,
-			Durable: durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery},
+			DataDir:              *dataDir,
+			Durable:              durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery},
+			SlowRequestThreshold: *slowThreshold,
 		})
+	node.RegisterMetrics(obs.Default)
+	if sl := node.SlowLog(); sl != nil {
+		// Besides the /slowz ring, mirror each slow span into the daemon log
+		// so operators see them without polling.
+		sl.SetEmit(func(e obs.SlowEntry) {
+			log.Printf("memoserverd: slow request trace=%x hop=%d op=%s folder=%d at=%s took=%v",
+				e.Trace, e.Hop, e.Op, e.Folder, e.Where, e.Dur)
+		})
+	}
 	if err := node.Start(); err != nil {
 		log.Fatalf("memoserverd: %v", err)
 	}
 	log.Printf("memoserverd: host %s listening on %s", *host, *listen)
+
+	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
+	// listener: off by default, and when enabled, bind a loopback address
+	// unless you mean to expose the profiler.
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, node.SlowLog())
+		if err := debug.Start(); err != nil {
+			log.Fatalf("memoserverd: debug server: %v", err)
+		}
+		log.Printf("memoserverd: debug endpoints on %s", debug.Addr())
+	}
 
 	// Serve until SIGINT/SIGTERM, then shut down in order: stop accepting,
 	// drain links, flush and close every folder server's WAL. A durable
@@ -144,6 +160,13 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigc
 	log.Printf("memoserverd: %v: shutting down", sig)
+	if debug != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := debug.Shutdown(ctx); err != nil {
+			log.Printf("memoserverd: debug server: %v", err)
+		}
+		cancel()
+	}
 	node.Close()
 	log.Printf("memoserverd: folder state flushed; bye")
 }

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: one function per experiment in
-// DESIGN.md §4 (E1–E13), each returning a printable table reproducing a
-// figure or claim of the paper (E11–E13 quantify this reproduction's own
-// scaling, resilience, and memory-management layers). cmd/dmemo-bench
+// DESIGN.md §4 (E1–E14), each returning a printable table reproducing a
+// figure or claim of the paper (E11–E14 quantify this reproduction's own
+// scaling, resilience, memory-management, and observability layers). cmd/dmemo-bench
 // drives them from the command line; the repository-root bench_test.go
 // wraps them as testing.B benchmarks.
 package bench
@@ -147,6 +147,7 @@ func All() []Runner {
 		{"E11", "rpc batching amortization", E11Batching},
 		{"E12", "link health and retries", E12LinkHealth},
 		{"E13", "hot-path allocations (pooled vs seed)", E13AllocHotPath},
+		{"E14", "instrumentation overhead", E14Overhead},
 	}
 }
 

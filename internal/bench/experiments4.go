@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/transferable"
 	"repro/internal/transport"
@@ -104,6 +105,37 @@ cli <-> srv 1
 		fmt.Sprint(cs.Dials), fmt.Sprint(cs.FailedDials), fmt.Sprint(cs.Faults),
 		fmt.Sprint(cs.Retried),
 	})
+
+	// The same counters back the metric registry — the stats structs above
+	// and a /metrics scrape read one set of instances. Cross-check via a
+	// registry snapshot of the client-side node.
+	if n, ok := c.Node("cli"); ok {
+		reg := obs.NewRegistry()
+		n.RegisterMetrics(reg)
+		var regRetried, regDials int64
+		for _, s := range reg.Snapshot() {
+			for _, sm := range s.Samples {
+				switch s.Name {
+				case "node_retried_total":
+					regRetried = *sm.Value
+				case "node_link_dials_total":
+					regDials = *sm.Value
+				}
+			}
+		}
+		st := n.Stats()
+		var lsDials int64
+		for _, ls := range n.LinkStats() {
+			lsDials += ls.Dials
+		}
+		if regRetried != st.Retried || regDials != lsDials {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"WARNING: registry snapshot disagrees with stats structs (retried %d vs %d, dials %d vs %d)",
+				regRetried, st.Retried, regDials, lsDials))
+		} else {
+			t.Notes = append(t.Notes, "registry cross-check: node_retried_total and node_link_dials_total match the Stats/LinkStats snapshots (one counter set backs both)")
+		}
+	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"%d ops: %d acked, %d failed across the sever window; %d peer links re-dialed (healed) after restore",
 		ops, acked, failed, healedLinks))

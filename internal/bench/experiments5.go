@@ -26,96 +26,98 @@ var seedE13 = map[int]struct {
 	64: {3854, 13},
 }
 
-// E13AllocHotPath measures per-operation heap allocations and latency of
-// the steady-state remote round trip (the same workload as
-// BenchmarkRPCBatchedRoundTrip's batched mode: ping round trips over
-// sim-latency links through the mux and the batching rpc layer) and
-// compares them against the recorded seed baseline. The pooled path should
-// hold allocs/op ≥70% under the seed at 8 and 64 callers with no
-// single-caller latency regression.
-func E13AllocHotPath(cfg Config) (*Table, error) {
+// measureBatchedRoundTrip runs the steady-state remote round trip workload
+// (the same as BenchmarkRPCBatchedRoundTrip's batched mode: ping round trips
+// over sim-latency links through the mux and the batching rpc layer) with the
+// given caller count and reports latency and heap allocations per op. Shared
+// by E13 (pooled vs seed) and E14 (instrumented vs pre-instrumentation).
+func measureBatchedRoundTrip(cfg Config, callers int) (nsOp, allocsOp float64, err error) {
 	const linkDelay = 50 * time.Microsecond
 	opsPerCaller := cfg.scale(200, 2000)
 
-	run := func(callers int) (nsOp, allocsOp float64, err error) {
-		model := transport.NewNetModel(linkDelay)
-		model.SetLink("cli", "srv", 1)
-		model.SetLink("srv", "cli", 1)
-		sim := transport.NewSim(model)
-		l, err := sim.Listen("srv/rpc")
-		if err != nil {
-			return 0, 0, err
-		}
-		defer l.Close()
-		go func() {
-			for {
-				conn, err := l.Accept()
-				if err != nil {
-					return
-				}
-				mux := transport.NewMux(conn, 1<<20)
-				go mux.Run()
-				go func() {
-					for {
-						ch, err := mux.Accept()
-						if err != nil {
-							return
-						}
-						go rpc.Serve(ch, func(q *wire.Request, _ <-chan struct{}) *wire.Response {
-							return wire.OK()
-						}, nil, rpc.Policy{})
-					}
-				}()
+	model := transport.NewNetModel(linkDelay)
+	model.SetLink("cli", "srv", 1)
+	model.SetLink("srv", "cli", 1)
+	sim := transport.NewSim(model)
+	l, err := sim.Listen("srv/rpc")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
 			}
-		}()
-		conn, err := sim.DialFrom("cli", "srv/rpc")
-		if err != nil {
-			return 0, 0, err
-		}
-		mux := transport.NewMux(conn, 1<<20)
-		go mux.Run()
-		defer mux.Close()
-		c := rpc.NewConn(mux.Channel(1), rpc.Policy{})
-		defer c.Close()
-
-		// Warm the path (and the buffer pools) so setup cost stays out of
-		// the measurement.
-		for i := 0; i < 32; i++ {
-			if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
-				return 0, 0, err
-			}
-		}
-
-		total := int64(opsPerCaller * callers)
-		var next, failed atomic.Int64
-		var ms0, ms1 runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		var wg sync.WaitGroup
-		for w := 0; w < callers; w++ {
-			wg.Add(1)
+			mux := transport.NewMux(conn, 1<<20)
+			go mux.Run()
 			go func() {
-				defer wg.Done()
-				for next.Add(1) <= total {
-					if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
-						failed.Add(1)
+				for {
+					ch, err := mux.Accept()
+					if err != nil {
 						return
 					}
+					go rpc.Serve(ch, func(q *wire.Request, _ <-chan struct{}) *wire.Response {
+						return wire.OK()
+					}, nil, rpc.Policy{})
 				}
 			}()
 		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&ms1)
-		if failed.Load() > 0 {
-			return 0, 0, fmt.Errorf("%d calls failed", failed.Load())
+	}()
+	conn, err := sim.DialFrom("cli", "srv/rpc")
+	if err != nil {
+		return 0, 0, err
+	}
+	mux := transport.NewMux(conn, 1<<20)
+	go mux.Run()
+	defer mux.Close()
+	c := rpc.NewConn(mux.Channel(1), rpc.Policy{})
+	defer c.Close()
+
+	// Warm the path (and the buffer pools) so setup cost stays out of
+	// the measurement.
+	for i := 0; i < 32; i++ {
+		if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
+			return 0, 0, err
 		}
-		nsOp = float64(elapsed.Nanoseconds()) / float64(total)
-		allocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
-		return nsOp, allocsOp, nil
 	}
 
+	total := int64(opsPerCaller * callers)
+	var next, failed atomic.Int64
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= total {
+				if _, err := c.Call(&wire.Request{Op: wire.OpPing}, nil); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if failed.Load() > 0 {
+		return 0, 0, fmt.Errorf("%d calls failed", failed.Load())
+	}
+	nsOp = float64(elapsed.Nanoseconds()) / float64(total)
+	allocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+	return nsOp, allocsOp, nil
+}
+
+// E13AllocHotPath measures per-operation heap allocations and latency of
+// the steady-state remote round trip and compares them against the recorded
+// seed baseline. The pooled path should hold allocs/op ≥70% under the seed
+// at 8 and 64 callers with no single-caller latency regression.
+func E13AllocHotPath(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:    "E13",
 		Title: "Hot-path allocations: pooled vs. seed path (batched rpc round trip)",
@@ -128,7 +130,7 @@ func E13AllocHotPath(cfg Config) (*Table, error) {
 		},
 	}
 	for _, callers := range []int{1, 8, 64} {
-		nsOp, allocsOp, err := run(callers)
+		nsOp, allocsOp, err := measureBatchedRoundTrip(cfg, callers)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // File layout inside a Log directory:
@@ -275,6 +276,7 @@ func removeStale(dir string, base uint64, haveSnap bool) error {
 //memolint:requires-shard-lock
 func (l *Log) Append(shard int, rec *Record) uint64 {
 	l.appended.Add(1)
+	mAppends.Inc()
 	return l.shards[shard].append(EncodeRecord(rec))
 }
 
@@ -351,6 +353,7 @@ type Snapshot struct {
 	buf     []byte
 	nrec    int64
 	rotated int
+	started time.Time
 }
 
 // StartSnapshot begins a snapshot into the next generation. The caller must
@@ -369,7 +372,7 @@ func (l *Log) StartSnapshot() (*Snapshot, error) {
 		tmp.Close()
 		return nil, err
 	}
-	return &Snapshot{l: l, gen: gen, tmp: tmp}, nil
+	return &Snapshot{l: l, gen: gen, tmp: tmp, started: time.Now()}, nil
 }
 
 // CutShard captures one shard: flushes its stripe, dumps the shard's
@@ -437,6 +440,8 @@ func (s *Snapshot) Commit() error {
 		return err
 	}
 	syncDir(s.l.dir)
+	mSnapshots.Inc()
+	mSnapshotNS.Observe(int64(time.Since(s.started)))
 	// The rename is the commit point; everything below is cleanup. Every
 	// generation below the new one is superseded — there may be several,
 	// accumulated across restarts without an intervening snapshot.

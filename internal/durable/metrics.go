@@ -1,0 +1,21 @@
+package durable
+
+import "repro/internal/obs"
+
+// Process-wide durability metrics, aggregated over every Log and stripe.
+// The group-commit size histogram is the WAL's batching efficiency: mean
+// entries per fsync is durable_commit_batch_sum / durable_commit_batch_count,
+// the amortization factor the backpressure syncer buys. Dedup-token hits are
+// a folder-layer event and live in the folder_dup_puts series.
+var (
+	mAppends = obs.Default.Counter("durable_appends_total",
+		"records appended to WAL stripes")
+	mFsyncNS = obs.Default.Histogram("durable_fsync_ns",
+		"write+fsync latency per group commit, nanoseconds")
+	mCommitBatch = obs.Default.Histogram("durable_commit_batch",
+		"records covered per group commit")
+	mSnapshots = obs.Default.Counter("durable_snapshots_total",
+		"snapshot/truncate cycles committed")
+	mSnapshotNS = obs.Default.Histogram("durable_snapshot_ns",
+		"snapshot duration from start to commit, nanoseconds")
+)

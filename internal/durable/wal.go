@@ -135,10 +135,13 @@ func (s *stripe) run() {
 			f := s.f
 			s.mu.Unlock()
 
+			start := time.Now()
 			err := writeAll(f, batch)
 			if err == nil && s.cfg.Sync != SyncNever {
 				err = f.Sync()
 			}
+			mFsyncNS.Observe(int64(time.Since(start)))
+			mCommitBatch.Observe(int64(len(batch)))
 
 			s.mu.Lock()
 			if err != nil {

@@ -2,8 +2,11 @@ package folder
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/threadcache"
 	"repro/internal/transport"
@@ -23,6 +26,13 @@ type Server struct {
 	store *Store
 	pool  *threadcache.Pool
 	batch rpc.Policy
+	// slow, when non-nil, records request spans at or over its threshold.
+	// Shared with the owning daemon (memoserverd hands every folder server
+	// its node-wide log), so one /slowz shows a request's spans across
+	// layers. Nil-safe throughout.
+	slow *obs.SlowLog
+	// where names this server in slow-log spans, e.g. "folder-3@bonnie".
+	where string
 	// ownsStore marks a store this server opened itself (OpenServer): Close
 	// then flushes and closes its write-ahead log too.
 	ownsStore bool
@@ -37,6 +47,12 @@ func WithBatchPolicy(p rpc.Policy) ServerOption {
 	return func(s *Server) { s.batch = p }
 }
 
+// WithSlowLog attaches a slow-request log: Handle records per-request spans
+// (trace ID, hop, op, duration) for requests at or over the log's threshold.
+func WithSlowLog(sl *obs.SlowLog) ServerOption {
+	return func(s *Server) { s.slow = sl }
+}
+
 // NewServer wraps a store. cache configures the thread cache (§4.1); the
 // zero Config gives defaults, Config{Disable: true} is the E1 ablation.
 func NewServer(id int, host string, store *Store, cache threadcache.Config, opts ...ServerOption) *Server {
@@ -49,6 +65,7 @@ func NewServer(id int, host string, store *Store, cache threadcache.Config, opts
 	for _, o := range opts {
 		o(s)
 	}
+	s.where = "folder-" + strconv.Itoa(id) + "@" + host
 	return s
 }
 
@@ -94,8 +111,20 @@ func (s *Server) Crash() {
 // Handle executes one request against this folder server. Blocking
 // operations respect cancel. The caller provides its own concurrency: the
 // memo server submits Handle calls through this server's thread cache via
-// Submit.
+// Submit. With a slow log attached and enabled, each request is timed as
+// one span (the Enabled check is a single atomic load, so a disabled log
+// costs no time.Now on the hot path).
 func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+	if !s.slow.Enabled() {
+		return s.handle(q, cancel)
+	}
+	start := time.Now()
+	resp := s.handle(q, cancel)
+	s.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), s.ID, s.where, time.Since(start))
+	return resp
+}
+
+func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
 	switch q.Op {
 	case wire.OpPut:
 		if err := s.store.PutToken(q.Key, q.Payload, q.Token); err != nil {
@@ -191,6 +220,46 @@ func (s *Server) serveMux(mux *transport.Mux) {
 			return
 		}
 	}
+}
+
+// Collect emits this server's folder_* series, labeled by folder-server id:
+// the store's op counters, directory occupancy gauges, and per-shard
+// occupancy/waiter gauges. Runs at scrape time (gauges walk the shards under
+// their locks), so it belongs in an obs.Collector, not on a hot path.
+func (s *Server) Collect(e *obs.Emitter) {
+	id := strconv.Itoa(s.ID)
+	labels := map[string]string{"folder_server": id}
+	st := s.store.Stats()
+	e.Counter("folder_puts_total", "puts applied", labels, st.Puts)
+	e.Counter("folder_takes_total", "memos taken (get/alt_take/alt_skip)", labels, st.Takes)
+	e.Counter("folder_copies_total", "non-consuming reads (get_copy)", labels, st.Copies)
+	e.Counter("folder_delayed_total", "put_delayed values hidden", labels, st.DelayedIn)
+	e.Counter("folder_released_total", "delayed values released by triggers", labels, st.Released)
+	e.Counter("folder_dup_puts_total", "tokened puts deduplicated (acknowledged without applying)", labels, st.DupPuts)
+	e.Counter("folder_alt_scans_total", "shard-group visits by multi-folder scans", labels, st.AltScans)
+
+	var folders, memos, delayed, waiters int
+	for i := 0; i < s.store.ShardCount(); i++ {
+		sh := s.store.ShardStats(i)
+		folders += sh.Folders
+		memos += sh.Memos
+		delayed += sh.Delayed
+		waiters += sh.Waiters
+		shLabels := map[string]string{"folder_server": id, "shard": strconv.Itoa(i)}
+		e.Gauge("folder_shard_memos", "visible memos per stripe", shLabels, int64(sh.Memos))
+		e.Gauge("folder_shard_waiters", "waiter registrations per stripe", shLabels, int64(sh.Waiters))
+	}
+	e.Gauge("folder_folders", "live folders", labels, int64(folders))
+	e.Gauge("folder_memos", "visible memos", labels, int64(memos))
+	e.Gauge("folder_delayed_hidden", "hidden put_delayed values", labels, int64(delayed))
+	e.Gauge("folder_waiters", "waiter registrations (blocked scans park several)", labels, int64(waiters))
+}
+
+// RegisterMetrics attaches this server's series to reg via a scrape-time
+// collector. Standalone folderserverd calls it with obs.Default; under a
+// memo server the node's own collector walks its folder servers instead.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(s.Collect)
 }
 
 // String identifies the server in logs.

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/sharedmem"
 	"repro/internal/symbol"
 )
@@ -86,12 +87,18 @@ type Store struct {
 	tokens   tokenTable
 	tokenCap int
 
-	puts      atomic.Int64
-	takes     atomic.Int64
-	copies    atomic.Int64
-	delayedIn atomic.Int64
-	released  atomic.Int64
-	dupPuts   atomic.Int64
+	// Operation counters (obs.Counter so the same instances back both
+	// Stats snapshots and the registry's folder_* series — one source of
+	// truth, no double bookkeeping). altScans counts shard-group visits by
+	// the multi-folder scans (AltTake/AltSkip/Watch): scans per satisfied
+	// take is the §6.1.2 get_alt selection cost.
+	puts      obs.Counter
+	takes     obs.Counter
+	copies    obs.Counter
+	delayedIn obs.Counter
+	released  obs.Counter
+	dupPuts   obs.Counter
+	altScans  obs.Counter
 }
 
 // shard is one stripe of the directory: a mutex, the folders hashed onto
@@ -323,7 +330,7 @@ func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 	sh.mu.Lock()
 	if token != 0 && !s.tokens.noteIfNew(token) {
 		sh.mu.Unlock()
-		s.dupPuts.Add(1)
+		s.dupPuts.Inc()
 		if s.wal != nil {
 			return s.wal.Barrier(si)
 		}
@@ -343,7 +350,7 @@ func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 	}
 	sh.mu.Unlock()
 
-	s.puts.Add(1)
+	s.puts.Inc()
 	for _, w := range waiters {
 		// Non-blocking send: a waiter may be registered on several folders
 		// (alt/watch) and signalled by more than one Put.
@@ -361,7 +368,7 @@ func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 	// an acknowledged hidden value survives a crash at any instant without
 	// ever landing twice.
 	for _, d := range released {
-		s.released.Add(1)
+		s.released.Inc()
 		payload := s.unwrapTake(d.val)
 		if s.forward != nil {
 			rel := d.rel
@@ -416,7 +423,7 @@ func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token 
 	sh.mu.Lock()
 	if token != 0 && !s.tokens.noteIfNew(token) {
 		sh.mu.Unlock()
-		s.dupPuts.Add(1)
+		s.dupPuts.Inc()
 		if s.wal != nil {
 			return s.wal.Barrier(si)
 		}
@@ -436,7 +443,7 @@ func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token 
 		})
 	}
 	sh.mu.Unlock()
-	s.delayedIn.Add(1)
+	s.delayedIn.Inc()
 	if s.wal != nil {
 		if err := s.wal.Commit(si, seq); err != nil {
 			return err
@@ -465,7 +472,7 @@ func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 			if err := s.commitTake(si, seq, key, it); err != nil {
 				return nil, err
 			}
-			s.takes.Add(1)
+			s.takes.Inc()
 			return s.unwrapTake(it), nil
 		}
 		w := make(chan struct{}, 1)
@@ -493,7 +500,7 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 			i := int(sh.nextRand() % uint64(len(f.items)))
 			out := unwrapCopy(f.items[i])
 			sh.mu.Unlock()
-			s.copies.Add(1)
+			s.copies.Inc()
 			return out, nil
 		}
 		w := make(chan struct{}, 1)
@@ -531,7 +538,7 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 	if err := s.commitTake(si, seq, key, it); err != nil {
 		return nil, false, err
 	}
-	s.takes.Add(1)
+	s.takes.Inc()
 	return s.unwrapTake(it), true, nil
 }
 
@@ -640,6 +647,7 @@ func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan st
 		registered := false
 		for gi := range groups {
 			g := groups[(start+gi)%len(groups)]
+			s.altScans.Inc()
 			g.sh.mu.Lock()
 			found = visit(g)
 			if found < 0 {
@@ -705,7 +713,7 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 	if err := s.commitTake(seqShard, seq, keys[found], it); err != nil {
 		return symbol.Key{}, nil, err
 	}
-	s.takes.Add(1)
+	s.takes.Inc()
 	return keys[found], s.unwrapTake(it), nil
 }
 
@@ -724,6 +732,7 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 	start := int(s.nextSeq() % uint64(len(groups)))
 	for gi := range groups {
 		g := groups[(start+gi)%len(groups)]
+		s.altScans.Inc()
 		g.sh.mu.Lock()
 		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
 		for j := range g.idxs {
@@ -737,7 +746,7 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 				if err := s.commitTake(si, seq, keys[idx], it); err != nil {
 					return symbol.Key{}, nil, false, err
 				}
-				s.takes.Add(1)
+				s.takes.Inc()
 				return keys[idx], s.unwrapTake(it), true, nil
 			}
 		}
@@ -855,6 +864,10 @@ type Stats struct {
 	// DupPuts counts tokened puts acknowledged without applying — retries
 	// of an already-applied put, deduplicated by their token.
 	DupPuts int64
+	// AltScans counts shard-group visits by the multi-folder scans
+	// (AltTake, AltSkip, Watch); scans per take is the get_alt selection
+	// cost.
+	AltScans int64
 }
 
 // Stats snapshots the counters.
@@ -866,5 +879,34 @@ func (s *Store) Stats() Stats {
 		DelayedIn: s.delayedIn.Load(),
 		Released:  s.released.Load(),
 		DupPuts:   s.dupPuts.Load(),
+		AltScans:  s.altScans.Load(),
 	}
+}
+
+// ShardStats is a snapshot of one stripe's occupancy.
+type ShardStats struct {
+	// Folders is the stripe's live (non-vanished) folder count.
+	Folders int
+	// Memos is the stripe's visible memo count.
+	Memos int
+	// Delayed is the stripe's hidden put_delayed value count.
+	Delayed int
+	// Waiters is the number of waiter registrations parked on the stripe's
+	// folders (one blocked multi-folder scan may register on several).
+	Waiters int
+}
+
+// ShardStats snapshots stripe i's occupancy under its lock.
+func (s *Store) ShardStats(i int) ShardStats {
+	sh := &s.shards[i]
+	var st ShardStats
+	sh.mu.Lock()
+	st.Folders = len(sh.folders)
+	for _, f := range sh.folders {
+		st.Memos += len(f.items)
+		st.Delayed += len(f.delayed)
+		st.Waiters += len(f.waiters)
+	}
+	sh.mu.Unlock()
+	return st
 }

@@ -3,8 +3,8 @@ package memoserver
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -29,8 +29,17 @@ type Client struct {
 
 	res     rpc.Resilience
 	link    *rlink
-	retried atomic.Int64
+	retried obs.Counter
+	// trace arms request tracing: Do stamps a fresh trace ID on untraced
+	// requests, and the ID rides the wire hop by hop so every server's
+	// slow-request log names the same request.
+	trace bool
 }
+
+// EnableTracing makes Do stamp a trace ID on every untraced request.
+// Tracing is off by default: traceless requests stay byte-identical on the
+// wire to pre-trace clients.
+func (c *Client) EnableTracing() { c.trace = true }
 
 // DialFunc matches Network.DialFrom.
 type DialFunc func(srcHost, addr string) (transport.Conn, error)
@@ -90,6 +99,12 @@ func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 		// hop, so dedup is end-to-end from application to folder server.
 		q.Token = newToken()
 	}
+	if c.trace && q.TraceID == 0 {
+		// Stamped on the caller's request so it can correlate its own slow
+		// spans; like Token, the ID travels as a flagged batch-entry
+		// extension, not in the request codec.
+		q.TraceID = obs.NewTraceID()
+	}
 	for attempt := 0; ; attempt++ {
 		conn, epoch, err := c.link.get(cancel)
 		if err != nil {
@@ -99,7 +114,7 @@ func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 			default:
 			}
 			if attempt < c.res.Retries { // a failed dial sent nothing
-				c.retried.Add(1)
+				c.retried.Inc()
 				continue
 			}
 			return nil, fmt.Errorf("memoserver: dial %s: %w", c.Host, err)
@@ -115,7 +130,7 @@ func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 		if errors.As(err, &le) {
 			c.link.fault(epoch)
 			if attempt < c.res.Retries && (!le.Sent || retriableInFlight(q)) {
-				c.retried.Add(1)
+				c.retried.Inc()
 				continue
 			}
 		}

@@ -20,11 +20,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/adf"
 	"repro/internal/durable"
 	"repro/internal/folder"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/routing"
 	"repro/internal/rpc"
@@ -121,6 +122,11 @@ type Config struct {
 	// defaults: group commit, snapshot every durable.DefaultSnapshotEvery
 	// records).
 	Durable durable.Config
+	// SlowRequestThreshold arms the slow-request log: requests whose
+	// dispatch (or folder-server handling) takes at least this long are
+	// recorded with their wire-propagated trace ID. Zero disables span
+	// timing entirely.
+	SlowRequestThreshold time.Duration
 }
 
 // listenNet is the slice of a transport a Node drives directly; both
@@ -152,12 +158,20 @@ type Node struct {
 	listener transport.Listener
 	closed   bool
 
-	// Counters for experiments.
-	localOps   atomic.Int64
-	forwards   atomic.Int64
-	inlined    atomic.Int64
-	retried    atomic.Int64
-	registered atomic.Int64
+	// slow is the node-wide slow-request log, shared with every folder
+	// server this node creates so one log shows a request's spans across
+	// layers. Nil-safe; disabled unless Config.SlowRequestThreshold > 0.
+	slow *obs.SlowLog
+	// where names this node in slow-log spans, e.g. "memo@glen-ellyn".
+	where string
+
+	// Counters for experiments and the node_* metric series (the same
+	// obs.Counter instances back both Stats and the registry).
+	localOps   obs.Counter
+	forwards   obs.Counter
+	inlined    obs.Counter
+	retried    obs.Counter
+	registered obs.Counter
 }
 
 // peerLink is the resilient rpc connection to a neighbouring memo server;
@@ -208,14 +222,23 @@ func NewWithDialer(host string, t transport.Transport, cfg Config) *Node {
 }
 
 func newNode(host string, t listenNet, dial func(string, string) (transport.Conn, error), cfg Config) *Node {
-	return &Node{
+	n := &Node{
 		Host:     host,
 		net:      t,
 		cfg:      cfg,
 		dialFrom: dial,
 		pool:     threadcache.New(cfg.Cache),
+		where:    "memo@" + host,
 	}
+	if cfg.SlowRequestThreshold > 0 {
+		n.slow = obs.NewSlowLog(cfg.SlowRequestThreshold, 0)
+	}
+	return n
 }
+
+// SlowLog exposes the node's slow-request log (nil when disabled); the
+// daemon wires its emit callback and /slowz endpoint to it.
+func (n *Node) SlowLog() *obs.SlowLog { return n.slow }
 
 // Start binds the memo-server address and begins serving.
 func (n *Node) Start() error {
@@ -396,7 +419,7 @@ func (n *Node) RegisterApp(f *adf.File) error {
 			// on Close.
 			dir := filepath.Join(n.cfg.DataDir, f.App, fmt.Sprintf("folder-%d", fs.ID))
 			srv, err := folder.OpenServer(fs.ID, n.Host, dir, n.cfg.Durable, n.cfg.FolderCache,
-				opts, folder.WithBatchPolicy(n.cfg.Batch))
+				opts, folder.WithBatchPolicy(n.cfg.Batch), folder.WithSlowLog(n.slow))
 			if err != nil {
 				for _, s := range app.local {
 					s.Close()
@@ -408,7 +431,7 @@ func (n *Node) RegisterApp(f *adf.File) error {
 		}
 		store := folder.NewStore(opts...)
 		app.local[fs.ID] = folder.NewServer(fs.ID, n.Host, store, n.cfg.FolderCache,
-			folder.WithBatchPolicy(n.cfg.Batch))
+			folder.WithBatchPolicy(n.cfg.Batch), folder.WithSlowLog(n.slow))
 	}
 
 	if _, loaded := n.apps.LoadOrStore(f.App, app); loaded {
@@ -418,7 +441,7 @@ func (n *Node) RegisterApp(f *adf.File) error {
 		}
 		return nil
 	}
-	n.registered.Add(1)
+	n.registered.Inc()
 	return nil
 }
 
@@ -453,8 +476,21 @@ func (n *Node) lookupApp(name string) (*App, bool) {
 
 // Dispatch routes one request: to a local folder server, or toward the
 // target host via the next-hop memo server. It blocks for the response
-// (which may wait on a folder), honouring cancel.
+// (which may wait on a folder), honouring cancel. With the slow-request log
+// armed, each dispatch is timed as one span under this node's name (the
+// disabled check is one atomic load — no time.Now on an uninstrumented
+// daemon).
 func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+	if !n.slow.Enabled() {
+		return n.dispatch(q, cancel)
+	}
+	start := time.Now()
+	resp := n.dispatch(q, cancel)
+	n.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), q.FolderID, n.where, time.Since(start))
+	return resp
+}
+
+func (n *Node) dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response {
 	switch q.Op {
 	case wire.OpPing:
 		return wire.OK()
@@ -505,7 +541,7 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		if !ok {
 			return wire.Errf("memo server %s: folder server %d not local", n.Host, q.FolderID)
 		}
-		n.localOps.Add(1)
+		n.localOps.Inc()
 		if !n.cfg.NoLocalInline && nonBlockingOp(q.Op) {
 			// Fast path: an op that cannot wait on a folder completes on
 			// the dispatching thread itself, skipping the goroutine
@@ -513,7 +549,7 @@ func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 			// server's thread cache. The dispatching thread is already a
 			// cached thread of this node, so the paper's thread-per-
 			// request discipline is preserved one layer up.
-			n.inlined.Add(1)
+			n.inlined.Inc()
 			return fs.Handle(q, cancel)
 		}
 		// Hand the request to the folder server's thread cache: "each
@@ -588,6 +624,7 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 	}
 	fq := *q
 	fq.Hops = q.Hops + 1
+	fq.TraceHop = q.TraceHop + 1
 	retries := n.cfg.Resilience.Retries
 	if retries > 0 && fq.Token == 0 && tokenizableOp(fq.Op) {
 		// Stamp a dedup token on the first hop that may ever retry this
@@ -596,7 +633,7 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 		// earlier hop) is preserved — dedup is end-to-end.
 		fq.Token = newToken()
 	}
-	n.forwards.Add(1)
+	n.forwards.Inc()
 	for attempt := 0; ; attempt++ {
 		conn, epoch, err := link.get(cancel)
 		if err != nil {
@@ -606,7 +643,7 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 			default:
 			}
 			if attempt < retries { // a failed dial sent nothing; any op may retry
-				n.retried.Add(1)
+				n.retried.Inc()
 				continue
 			}
 			return wire.Errf("memo server %s: dial %s: %v", n.Host, hop, err)
@@ -622,7 +659,7 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 		if errors.As(err, &le) {
 			link.fault(epoch)
 			if attempt < retries && (!le.Sent || retriableInFlight(&fq)) {
-				n.retried.Add(1)
+				n.retried.Inc()
 				continue
 			}
 		}
@@ -735,3 +772,38 @@ func (n *Node) LinkStats() []LinkStat {
 
 // CacheStats reports the node's thread-cache counters (experiment E1).
 func (n *Node) CacheStats() threadcache.Stats { return n.pool.Stats() }
+
+// RegisterMetrics attaches this node's series to reg: the node_* routing
+// counters (same obs.Counter instances Stats reads), plus a scrape-time
+// collector that walks the node's folder servers (their folder_* series)
+// and sums peer-link health into the node_link_* series — the registry view
+// of LinkStats.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("node_local_ops_total", "requests resolved on this host", nil, &n.localOps)
+	reg.RegisterCounter("node_forwards_total", "requests forwarded to a peer memo server", nil, &n.forwards)
+	reg.RegisterCounter("node_inlined_total", "local non-blocking ops inlined past the thread cache", nil, &n.inlined)
+	reg.RegisterCounter("node_retried_total", "forwarded calls re-issued after a link failure", nil, &n.retried)
+	reg.RegisterCounter("node_apps_registered_total", "application registrations", nil, &n.registered)
+	reg.RegisterCollector(func(e *obs.Emitter) {
+		n.apps.Range(func(_, v any) bool {
+			app := v.(*App)
+			for _, fs := range app.local {
+				fs.Collect(e)
+			}
+			return true
+		})
+		var links, dials, failed, faults int64
+		n.peers.Range(func(_, v any) bool {
+			st := v.(*peerLink).stats()
+			links++
+			dials += st.Dials
+			failed += st.FailedDials
+			faults += st.Faults
+			return true
+		})
+		e.Gauge("node_peer_links", "open peer links", nil, links)
+		e.Counter("node_link_dials_total", "successful peer-link dials", nil, dials)
+		e.Counter("node_link_failed_dials_total", "failed peer-link dial attempts", nil, failed)
+		e.Counter("node_link_faults_total", "peer-link faults (link declared dead)", nil, faults)
+	})
+}

@@ -1,0 +1,173 @@
+package memoserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/obs"
+	"repro/internal/symbol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// bootTCPPair starts the twoHostADF cluster over real TCP sockets with the
+// given config and returns the nodes (a, b order) plus a wire client per
+// host, all registered.
+func bootTCPPair(t *testing.T, cfg Config) ([]*Node, []*Client) {
+	t.Helper()
+	net := newTCPMapped()
+	f, err := adf.Parse(twoHostADF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*Node
+	for _, h := range f.Hosts {
+		n := NewWithDialer(h.Name, net, cfg)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	dial := func(_, addr string) (transport.Conn, error) { return net.Dial(addr) }
+	clients := make([]*Client, len(f.Hosts))
+	for i, h := range f.Hosts {
+		c, err := DialClient(dial, h.Name, f.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		if err := c.Register(adf.Format(f)); err != nil {
+			t.Fatalf("register on %s: %v", h.Name, err)
+		}
+		clients[i] = c
+	}
+	return nodes, clients
+}
+
+// TestTracePropagation puts from host b into a folder on host a — a
+// two-hop path (client → memo b → memo a → folder 0) — with a threshold low
+// enough to record everything, and checks that the one client-stamped trace
+// ID names the request in both hosts' slow logs, with the hop counter
+// advanced across the forward.
+func TestTracePropagation(t *testing.T) {
+	nodes, clients := bootTCPPair(t, Config{SlowRequestThreshold: time.Nanosecond})
+	clients[1].EnableTracing()
+
+	q := req(wire.OpPut, 0, symbol.K(3, 1), []byte("traced"))
+	if resp, err := clients[1].Do(q, nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("put: %+v %v", resp, err)
+	}
+	if q.TraceID == 0 {
+		t.Fatal("Do did not stamp a trace ID")
+	}
+
+	// Host b dispatched at hop 0; host a dispatched the forwarded request
+	// and its folder server handled it, both at hop 1.
+	if !nodes[1].SlowLog().Contains(q.TraceID) {
+		t.Fatalf("trace %x missing from origin host's slow log", q.TraceID)
+	}
+	if !nodes[0].SlowLog().Contains(q.TraceID) {
+		t.Fatalf("trace %x missing from remote host's slow log", q.TraceID)
+	}
+	var sawFolder, sawForwardHop bool
+	for _, e := range nodes[0].SlowLog().Recent() {
+		if e.Trace != q.TraceID {
+			continue
+		}
+		if e.Hop >= 1 {
+			sawForwardHop = true
+		}
+		if e.Where == "folder-0@a" {
+			sawFolder = true
+			if e.Op != wire.OpPut.String() {
+				t.Fatalf("folder span op = %s", e.Op)
+			}
+		}
+	}
+	if !sawForwardHop {
+		t.Fatal("no remote span recorded hop >= 1")
+	}
+	if !sawFolder {
+		t.Fatalf("no folder-server span for trace %x: %+v", q.TraceID, nodes[0].SlowLog().Recent())
+	}
+
+	// An untraced client's requests must stay untraced end to end.
+	q2 := req(wire.OpPut, 0, symbol.K(3, 2), []byte("untraced"))
+	if resp, err := clients[0].Do(q2, nil); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("put: %+v %v", resp, err)
+	}
+	if q2.TraceID != 0 {
+		t.Fatal("untraced request gained a trace ID")
+	}
+}
+
+// TestMetricsScrape boots the TCP cluster durable, drives local and
+// forwarded traffic, and scrapes a real debug server's /metrics endpoint:
+// every instrumented layer must show up in one exposition.
+func TestMetricsScrape(t *testing.T) {
+	nodes, clients := bootTCPPair(t, Config{
+		DataDir:              t.TempDir(),
+		SlowRequestThreshold: time.Millisecond,
+	})
+
+	for i := 0; i < 8; i++ {
+		k := symbol.K(7, uint32(i))
+		if resp, err := clients[1].Do(req(wire.OpPut, 0, k, []byte("x")), nil); err != nil || resp.Status != wire.StatusOK {
+			t.Fatalf("put: %+v %v", resp, err)
+		}
+		if resp, err := clients[0].Do(req(wire.OpGet, 0, k, nil), nil); err != nil || resp.Status != wire.StatusOK {
+			t.Fatalf("get: %+v %v", resp, err)
+		}
+	}
+
+	// The daemons register the process-wide registry (rpc, pool, transport,
+	// durable series live there via package init) alongside the node's own
+	// collector; serve both like memoserverd does.
+	reg := obs.NewRegistry()
+	nodes[0].RegisterMetrics(reg)
+	debug := obs.NewDebugServer("127.0.0.1:0", []*obs.Registry{obs.Default, reg}, nodes[0].SlowLog())
+	if err := debug.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = debug.Shutdown(context.Background()) })
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", debug.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"rpc_calls_total",
+		"rpc_call_ns_bucket",
+		"rpc_batch_entries_count",
+		"folder_puts_total",
+		"folder_shard_memos",
+		"node_forwards_total",
+		"pool_gets_total",
+		"transport_dials_total",
+		"durable_appends_total",
+		"durable_fsync_ns_bucket",
+	} {
+		if !bytes.Contains(body, []byte(series)) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the one debug HTTP endpoint a daemon exposes (-debug-addr):
+// /metrics (Prometheus text format over every attached registry), /statusz
+// (JSON snapshot plus recent slow requests), /slowz (the slow-request ring
+// alone), and /debug/pprof/* (the net/http/pprof handlers, mounted on this
+// server's own mux rather than a bare http.ListenAndServe goroutine — so
+// profiling shares the lifecycle, the listener closes on Shutdown, and a
+// serve error surfaces on Done instead of being logged and lost).
+type DebugServer struct {
+	regs []*Registry
+	slow *SlowLog
+
+	ln   net.Listener
+	srv  *http.Server
+	done chan error
+}
+
+// NewDebugServer builds a debug server for addr serving the given
+// registries (scraped in order) and, when non-nil, the slow-request log.
+// Call Start to bind and serve.
+func NewDebugServer(addr string, regs []*Registry, slow *SlowLog) *DebugServer {
+	d := &DebugServer{regs: regs, slow: slow, done: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/statusz", d.handleStatusz)
+	mux.HandleFunc("/slowz", d.handleSlowz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return d
+}
+
+// Start binds the address and serves in the background. A failed bind is
+// returned here; a later serve failure is delivered on Done.
+func (d *DebugServer) Start() error {
+	ln, err := net.Listen("tcp", d.srv.Addr)
+	if err != nil {
+		return fmt.Errorf("obs: debug server listen %s: %w", d.srv.Addr, err)
+	}
+	d.ln = ln
+	go func() {
+		err := d.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		d.done <- err
+	}()
+	return nil
+}
+
+// Addr reports the bound address (useful with ":0" in tests). Empty before
+// Start.
+func (d *DebugServer) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Done delivers the serve loop's terminal error: nil after a clean
+// Shutdown, or the failure that killed the listener.
+func (d *DebugServer) Done() <-chan error { return d.done }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drain until ctx expires.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	return d.srv.Shutdown(ctx)
+}
+
+func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, r := range d.regs {
+		if err := r.WriteProm(w); err != nil {
+			return
+		}
+	}
+}
+
+// statuszBody is the /statusz JSON shape.
+type statuszBody struct {
+	Metrics []seriesJSON `json:"metrics"`
+	Slow    []SlowEntry  `json:"slow_requests,omitempty"`
+	SlowTot int64        `json:"slow_requests_total"`
+}
+
+func (d *DebugServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	var body statuszBody
+	for _, r := range d.regs {
+		body.Metrics = append(body.Metrics, r.Snapshot()...)
+	}
+	body.Slow = d.slow.Recent()
+	body.SlowTot = d.slow.Recorded()
+	writeJSON(w, body)
+}
+
+func (d *DebugServer) handleSlowz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Threshold time.Duration `json:"threshold_ns"`
+		Total     int64         `json:"total"`
+		Recent    []SlowEntry   `json:"recent"`
+	}{d.slow.Threshold(), d.slow.Recorded(), d.slow.Recent()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

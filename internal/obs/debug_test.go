@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dbg_ops_total", "ops")
+	c.Add(3)
+	sl := NewSlowLog(time.Millisecond, 8)
+	sl.Observe(77, 1, "put", 0, "memo@test", 5*time.Millisecond)
+
+	d := NewDebugServer("127.0.0.1:0", []*Registry{r}, sl)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + d.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, "dbg_ops_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	statusz, ctype := get("/statusz")
+	if ctype != "application/json" {
+		t.Errorf("/statusz content type %q", ctype)
+	}
+	var body statuszBody
+	if err := json.Unmarshal([]byte(statusz), &body); err != nil {
+		t.Fatalf("/statusz not JSON: %v", err)
+	}
+	if len(body.Metrics) == 0 || body.SlowTot != 1 || len(body.Slow) != 1 || body.Slow[0].Trace != 77 {
+		t.Errorf("/statusz body wrong: %s", statusz)
+	}
+
+	slowz, _ := get("/slowz")
+	if !strings.Contains(slowz, `"trace": 77`) {
+		t.Errorf("/slowz missing entry:\n%s", slowz)
+	}
+
+	if pprofIdx, _ := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%s", pprofIdx)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-d.Done():
+		if err != nil {
+			t.Fatalf("serve loop ended with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop did not exit after shutdown")
+	}
+}

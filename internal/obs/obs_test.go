@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Load(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3},
+		{64, 3}, {65, 4}, {1 << 62, 31}, {1<<62 + 1, 32}, {1<<63 - 1, 32},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	var h Histogram
+	h.Observe(3)
+	h.Observe(100)
+	h.Observe(100)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 203 {
+		t.Fatalf("sum = %d, want 203", got)
+	}
+	snap := h.Snapshot()
+	if snap[1] != 1 || snap[4] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestRecordAllocFree is the gate the tentpole promises: counter
+// increments, gauge moves, histogram observations, and disabled/slow-miss
+// slow-log observations are all 0 allocs/op, so instrumentation cannot
+// perturb the PR 5 hot-path allocation budgets.
+func TestRecordAllocFree(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %v/op, want 0", n)
+	}
+	var h Histogram
+	v := int64(1)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 97 }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+	var nilLog *SlowLog
+	if n := testing.AllocsPerRun(1000, func() { nilLog.Observe(1, 0, "put", 0, "x", time.Second) }); n != 0 {
+		t.Errorf("nil SlowLog.Observe allocates %v/op, want 0", n)
+	}
+	sl := NewSlowLog(time.Hour, 8)
+	if n := testing.AllocsPerRun(1000, func() { sl.Observe(1, 0, "put", 0, "x", time.Millisecond) }); n != 0 {
+		t.Errorf("below-threshold SlowLog.Observe allocates %v/op, want 0", n)
+	}
+}
+
+func TestRegistryProm(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("demo_ops_total", "ops so far")
+	c.Add(7)
+	g := &Gauge{}
+	g.Set(3)
+	r.RegisterGauge("demo_depth", "queue depth", map[string]string{"q": "a"}, g)
+	h := r.Histogram("demo_latency_ns", "latency")
+	h.Observe(2)
+	h.Observe(1000)
+	r.RegisterCollector(func(e *Emitter) {
+		e.Gauge("demo_dynamic", "per-instance", map[string]string{"id": "1"}, 42)
+	})
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE demo_ops_total counter",
+		"demo_ops_total 7",
+		`demo_depth{q="a"} 3`,
+		"# TYPE demo_latency_ns histogram",
+		`demo_latency_ns_bucket{le="4"} 1`,
+		`demo_latency_ns_bucket{le="1024"} 2`,
+		`demo_latency_ns_bucket{le="+Inf"} 2`,
+		"demo_latency_ns_sum 1002",
+		"demo_latency_ns_count 2",
+		`demo_dynamic{id="1"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every sample line parses as "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("unparsable sample line %q", line)
+		}
+	}
+}
+
+func TestRegistryHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	h := &Histogram{}
+	h.Observe(1)
+	r.RegisterHistogram("lab_hist", "", map[string]string{"k": "v"}, h)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lab_hist_bucket{k="v",le="1"} 1`) {
+		t.Fatalf("labeled histogram bucket malformed:\n%s", b.String())
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("snap_total", "")
+	c.Add(5)
+	h := r.Histogram("snap_ns", "")
+	h.Observe(10)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snap))
+	}
+	if snap[0].Name != "snap_total" || *snap[0].Samples[0].Value != 5 {
+		t.Fatalf("counter snapshot wrong: %+v", snap[0])
+	}
+	hj := snap[1].Samples[0].Hist
+	if hj == nil || hj.Count != 1 || hj.Sum != 10 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap[1])
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	sl := NewSlowLog(10*time.Millisecond, 4)
+	if !sl.Enabled() {
+		t.Fatal("enabled log reports disabled")
+	}
+	sl.Observe(1, 0, "get", 2, "memo@a", 5*time.Millisecond) // below threshold
+	if got := sl.Recorded(); got != 0 {
+		t.Fatalf("recorded %d below-threshold spans", got)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		sl.Observe(i, 1, "get", 2, "memo@a", 20*time.Millisecond)
+	}
+	rec := sl.Recent()
+	if len(rec) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(rec))
+	}
+	if rec[0].Trace != 3 || rec[3].Trace != 6 {
+		t.Fatalf("ring order wrong: %+v", rec)
+	}
+	if !sl.Contains(5) || sl.Contains(1) {
+		t.Fatal("Contains disagrees with the ring")
+	}
+	if got := sl.Recorded(); got != 6 {
+		t.Fatalf("recorded = %d, want 6", got)
+	}
+
+	var emitted []SlowEntry
+	sl.SetEmit(func(e SlowEntry) { emitted = append(emitted, e) })
+	sl.Observe(9, 2, "put", 0, "folder-0@b", time.Second)
+	if len(emitted) != 1 || emitted[0].Trace != 9 || emitted[0].Hop != 2 {
+		t.Fatalf("emit callback saw %+v", emitted)
+	}
+
+	sl.SetThreshold(0)
+	if sl.Enabled() {
+		t.Fatal("threshold 0 should disable")
+	}
+}
+
+func TestNilSlowLog(t *testing.T) {
+	var sl *SlowLog
+	if sl.Enabled() {
+		t.Fatal("nil log enabled")
+	}
+	sl.Observe(1, 0, "get", 0, "x", time.Hour)
+	if sl.Recent() != nil || sl.Contains(1) || sl.Recorded() != 0 {
+		t.Fatal("nil log should be inert")
+	}
+	sl.SetThreshold(time.Second)
+	sl.SetEmit(func(SlowEntry) {})
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %d in 100 draws", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NewTraceID mints a non-zero request trace ID. 64 random bits: collisions
+// across the log windows a trace is compared in are negligible, and zero is
+// reserved for "untraced" so the wire extension can stay flag-gated.
+func NewTraceID() uint64 {
+	for {
+		if t := rand.Uint64(); t != 0 {
+			return t
+		}
+	}
+}
+
+// SlowEntry is one recorded slow request span: which request (trace ID +
+// hop), what it was doing, where, and how long it took.
+type SlowEntry struct {
+	// Trace is the request's wire-propagated trace ID (0 = untraced).
+	Trace uint64 `json:"trace"`
+	// Hop is how many memo-server forwards the request had taken when this
+	// span ran (0 = the client's own hop).
+	Hop int `json:"hop"`
+	// Op is the operation name.
+	Op string `json:"op"`
+	// Folder is the target folder-server id (-1 when not folder-addressed).
+	Folder int `json:"folder"`
+	// Where names the span's layer and host, e.g. "memo@glen-ellyn" or
+	// "folder-3@bonnie".
+	Where string `json:"where"`
+	// Dur is the span duration.
+	Dur time.Duration `json:"dur_ns"`
+}
+
+// defaultSlowCap bounds the slow-request ring when NewSlowLog is given no
+// capacity.
+const defaultSlowCap = 128
+
+// SlowLog is a sampled structured log of slow request spans: spans at or
+// over the threshold land in a bounded ring (readable via Recent and
+// /slowz) and optionally flow to an emit callback (the daemons' structured
+// log line). All methods are nil-safe — a component holding no slow log
+// calls Enabled/Observe on nil and pays one pointer compare.
+//
+// The disabled path is the hot one: Enabled is a single atomic load, and
+// callers skip even their time.Now() stamps when it reports false, so a
+// daemon without -slow-request-threshold pays nothing per request.
+type SlowLog struct {
+	threshold atomic.Int64 // ns; <= 0 disables recording
+	recorded  Counter
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int
+	n    int
+
+	emit atomic.Pointer[func(SlowEntry)]
+}
+
+// NewSlowLog returns a slow log recording spans at or over threshold
+// (<= 0 starts disabled) into a ring of the given capacity (<= 0 means the
+// default).
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = defaultSlowCap
+	}
+	s := &SlowLog{ring: make([]SlowEntry, capacity)}
+	s.threshold.Store(int64(threshold))
+	return s
+}
+
+// Enabled reports whether Observe can record anything: callers use it to
+// skip span timing entirely when the log is off.
+func (s *SlowLog) Enabled() bool {
+	return s != nil && s.threshold.Load() > 0
+}
+
+// Threshold reports the current threshold (0 on a nil log).
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.threshold.Load())
+}
+
+// SetThreshold replaces the threshold (<= 0 disables). No-op on nil.
+func (s *SlowLog) SetThreshold(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.threshold.Store(int64(d))
+}
+
+// SetEmit installs a callback invoked (outside the ring lock) for every
+// recorded entry — the daemons' structured log line. No-op on nil.
+func (s *SlowLog) SetEmit(fn func(SlowEntry)) {
+	if s == nil {
+		return
+	}
+	s.emit.Store(&fn)
+}
+
+// Recorded reports how many spans have been recorded since creation.
+func (s *SlowLog) Recorded() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.recorded.Load()
+}
+
+// Observe records one span if the log is enabled and dur meets the
+// threshold; otherwise it returns after one atomic load — no allocation
+// either way on the fast path.
+func (s *SlowLog) Observe(trace uint64, hop int, op string, folder int, where string, dur time.Duration) {
+	if s == nil {
+		return
+	}
+	th := s.threshold.Load()
+	if th <= 0 || int64(dur) < th {
+		return
+	}
+	e := SlowEntry{Trace: trace, Hop: hop, Op: op, Folder: folder, Where: where, Dur: dur}
+	s.recorded.Inc()
+	s.mu.Lock()
+	s.ring[s.next] = e
+	s.next = (s.next + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	s.mu.Unlock()
+	if fn := s.emit.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// Recent returns the recorded entries, oldest first (at most the ring
+// capacity). Nil-safe.
+func (s *SlowLog) Recent() []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlowEntry, 0, s.n)
+	start := s.next - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// Contains reports whether any recorded entry carries the given trace ID —
+// the assertion the trace-propagation tests and the acceptance criterion
+// ("a client-recorded trace ID appears in a remote folder server's
+// slow-request log") are built on.
+func (s *SlowLog) Contains(trace uint64) bool {
+	if s == nil || trace == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.n; i++ {
+		if s.ring[i].Trace == trace {
+			return true
+		}
+	}
+	return false
+}

@@ -27,6 +27,12 @@
 // the lock already serializing every transport send.
 package pool
 
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
 // Size classes: powers of two from minSize (64 B) through maxSize (1 MiB).
 // Requests beyond maxSize fall through to plain allocation and are dropped
 // on Put — frames that large are fragmented by the mux anyway.
@@ -43,6 +49,18 @@ const (
 
 var classes [maxShift - minShift + 1]chan []byte
 
+// Per-class traffic counters (one atomic add each on Get/Put): a miss is a
+// Get the free list could not serve, so miss/get is the pool's working-set
+// fit and a persistently high ratio means the class quota is too small for
+// the offered load. Oversize counts Gets beyond the largest class, which
+// bypass pooling entirely.
+var (
+	gets     [maxShift - minShift + 1]obs.Counter
+	puts     [maxShift - minShift + 1]obs.Counter
+	misses   [maxShift - minShift + 1]obs.Counter
+	oversize obs.Counter
+)
+
 func init() {
 	for i := range classes {
 		size := 1 << (minShift + i)
@@ -54,7 +72,17 @@ func init() {
 			slots = 4
 		}
 		classes[i] = make(chan []byte, slots)
+
+		labels := map[string]string{"class": strconv.Itoa(size)}
+		obs.Default.RegisterCounter("pool_gets_total",
+			"buffer gets per size class", labels, &gets[i])
+		obs.Default.RegisterCounter("pool_puts_total",
+			"buffer puts per size class", labels, &puts[i])
+		obs.Default.RegisterCounter("pool_misses_total",
+			"gets served by fresh allocation per size class", labels, &misses[i])
 	}
+	obs.Default.RegisterCounter("pool_oversize_total",
+		"gets beyond the largest class (unpooled)", nil, &oversize)
 }
 
 // classFor returns the index of the smallest class with size ≥ n, or -1 when
@@ -77,12 +105,15 @@ func classFor(n int) int {
 func Get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
+		oversize.Inc()
 		return make([]byte, 0, n)
 	}
+	gets[c].Inc()
 	select {
 	case b := <-classes[c]:
 		return b
 	default:
+		misses[c].Inc()
 		return make([]byte, 0, 1<<(minShift+uint(c)))
 	}
 }
@@ -103,6 +134,7 @@ func Put(b []byte) {
 	for size := minSize; size<<1 <= c && idx < len(classes)-1; size <<= 1 {
 		idx++
 	}
+	puts[idx].Inc()
 	select {
 	case classes[idx] <- b[:0]:
 	default:

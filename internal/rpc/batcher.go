@@ -188,6 +188,8 @@ func (b *batcher) sender() {
 // ReservedSender the mux header is stamped into reserved space at the front
 // of the same buffer — no reframe allocation, no copy.
 func (b *batcher) sendFrame(batch []wire.BatchEntry) error {
+	mFrames.Inc()
+	mBatchEntries.Observe(int64(len(batch)))
 	msgBytes := 0
 	for i := range batch {
 		msgBytes += len(batch[i].Msg)

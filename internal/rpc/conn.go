@@ -116,6 +116,19 @@ func (c *Conn) markSent(entries []wire.BatchEntry) {
 // the request, and Call returns ErrCanceled without waiting for it. If the
 // link dies, Call fails fast with a *LinkError (errors.Is ErrLinkDown).
 func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
+	mCalls.Inc()
+	mCallsInflight.Add(1)
+	start := time.Now()
+	resp, err := c.call(q, cancel)
+	mCallNS.Observe(int64(time.Since(start)))
+	mCallsInflight.Add(-1)
+	if err == ErrCanceled {
+		mCancels.Inc()
+	}
+	return resp, err
+}
+
+func (c *Conn) call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, error) {
 	// Encode into a pooled buffer; the batcher owns it from add() on and
 	// recycles it once the frame carrying it has shipped. RequestOverhead
 	// bounds the whole message (keys and strings included), so the append
@@ -135,10 +148,10 @@ func (c *Conn) Call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 	c.pending[id] = ca
 	c.mu.Unlock()
 
-	// The dedup token rides the batch entry, not the request codec, so it
-	// re-attaches at every forwarding hop without touching the legacy
-	// single-frame protocol.
-	c.out.add(wire.BatchEntry{ID: id, Token: q.Token, Msg: msg})
+	// The dedup token and trace ride the batch entry, not the request
+	// codec, so they re-attach at every forwarding hop without touching the
+	// legacy single-frame protocol.
+	c.out.add(wire.BatchEntry{ID: id, Token: q.Token, Trace: q.TraceID, Hop: q.TraceHop, Msg: msg})
 
 	select {
 	case resp := <-ca.rc:
@@ -270,6 +283,7 @@ func (c *Conn) heartbeatLoop() {
 			// its proof-of-life probe, or the deadman would kill it.
 			if c.out.addControl(wire.BatchEntry{Heartbeat: true}) {
 				lastProbe = now
+				mProbes.Inc()
 			}
 		}
 	}
@@ -278,6 +292,9 @@ func (c *Conn) heartbeatLoop() {
 // fail marks the connection dead and wakes every pending call.
 func (c *Conn) fail(err error) {
 	c.failOnce.Do(func() {
+		if err != ErrConnClosed {
+			mLinkDown.Inc()
+		}
 		c.mu.Lock()
 		if c.err == nil {
 			c.err = err

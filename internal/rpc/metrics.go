@@ -1,0 +1,33 @@
+package rpc
+
+import "repro/internal/obs"
+
+// Package-level rpc metrics, registered into obs.Default at init. These are
+// process-wide aggregates over every connection — the per-connection view
+// stays on the owning structs. Every hot-path touch is an atomic add
+// (obs.Counter/Gauge/Histogram), so the instrumented call path keeps the
+// PR 5 allocation budget.
+var (
+	mCalls = obs.Default.Counter("rpc_calls_total",
+		"client calls issued")
+	mCallsInflight = obs.Default.Gauge("rpc_calls_inflight",
+		"client calls awaiting a response")
+	mCallNS = obs.Default.Histogram("rpc_call_ns",
+		"client call latency, nanoseconds")
+	mCancels = obs.Default.Counter("rpc_cancels_total",
+		"client calls abandoned via cancel")
+	mProbes = obs.Default.Counter("rpc_probes_total",
+		"heartbeat probes sent")
+	mEchoes = obs.Default.Counter("rpc_heartbeat_echoes_total",
+		"heartbeat probes echoed by the server side")
+	mLinkDown = obs.Default.Counter("rpc_link_down_total",
+		"connections failed by a link error (explicit Close excluded)")
+	mFrames = obs.Default.Counter("rpc_frames_total",
+		"batch frames shipped (both directions)")
+	mBatchEntries = obs.Default.Histogram("rpc_batch_entries",
+		"entries per shipped batch frame")
+	mServerRequests = obs.Default.Counter("rpc_server_requests_total",
+		"batched requests dispatched to handlers")
+	mServerInflight = obs.Default.Gauge("rpc_server_inflight",
+		"batched requests currently executing in handlers")
+)

@@ -185,7 +185,10 @@ func recycleTask(t *dispatchTask) {
 func runDispatch(a any) {
 	t := a.(*dispatchTask)
 	s := t.s
+	mServerRequests.Inc()
+	mServerInflight.Add(1)
 	resp := s.h(&t.q, t.cc)
+	mServerInflight.Add(-1)
 	s.mu.Lock()
 	_, owned := s.inflight[t.id]
 	if owned {
@@ -214,6 +217,7 @@ func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 		// dropped behind a saturated-but-draining one — it is the prober's
 		// only proof of life.
 		s.out.addControl(wire.BatchEntry{ID: e.ID, Heartbeat: true})
+		mEchoes.Inc()
 		return
 	}
 	if e.Cancel {
@@ -234,9 +238,10 @@ func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 		s.respond(e.ID, wire.Errf("bad request: %v", err))
 		return
 	}
-	// Re-attach the batch-entry dedup token; the request codec does not
-	// carry it.
+	// Re-attach the batch-entry dedup token and trace; the request codec
+	// does not carry them.
 	t.q.Token = e.Token
+	t.q.TraceID, t.q.TraceHop = e.Trace, e.Hop
 	t.s, t.id = s, e.ID
 	s.mu.Lock()
 	if s.down {

@@ -3,8 +3,23 @@ package transport
 import (
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Process-wide link-health aggregates over every Redialer (the per-link view
+// stays on Redialer.Stats). A backoff reset is a successful dial that healed
+// a link after at least one failure — the "outage ended" event.
+var (
+	mDials = obs.Default.Counter("transport_dials_total",
+		"successful dials across all redialers")
+	mFailedDials = obs.Default.Counter("transport_failed_dials_total",
+		"dial attempts that errored")
+	mFaults = obs.Default.Counter("transport_faults_total",
+		"live conns reported dead")
+	mBackoffResets = obs.Default.Counter("transport_backoff_resets_total",
+		"successful dials that ended a failure streak")
 )
 
 // Backoff is an exponential reconnect schedule with jitter: attempt n waits
@@ -99,10 +114,11 @@ type Redialer struct {
 	dialing chan struct{} // non-nil while a dial is in flight
 	closed  bool
 
-	// Health counters (surfaced per link by dmemo-bench E12).
-	dials       atomic.Int64
-	failedDials atomic.Int64
-	faults      atomic.Int64
+	// Health counters (surfaced per link by dmemo-bench E12 and summed
+	// into the transport_* aggregates in obs.Default).
+	dials       obs.Counter
+	failedDials obs.Counter
+	faults      obs.Counter
 }
 
 // RedialerStats is a snapshot of one link's health counters.
@@ -216,7 +232,8 @@ func (r *Redialer) finishDial(c Conn, err error, done chan struct{}, attempted b
 	case !attempted:
 		// Leave the schedule as it was.
 	case err != nil:
-		r.failedDials.Add(1)
+		r.failedDials.Inc()
+		mFailedDials.Inc()
 		r.lastErr = err
 		r.nextTry = time.Now().Add(r.bo.Delay(r.attempt, nil))
 		r.attempt++
@@ -225,7 +242,11 @@ func (r *Redialer) finishDial(c Conn, err error, done chan struct{}, attempted b
 			c.Close()
 		}
 	default:
-		r.dials.Add(1)
+		r.dials.Inc()
+		mDials.Inc()
+		if r.attempt > 0 {
+			mBackoffResets.Inc()
+		}
 		r.cur = c
 		r.epoch++
 		r.attempt = 0 // reset-on-success: the next outage backs off from Min
@@ -249,7 +270,8 @@ func (r *Redialer) Fault(epoch uint64) {
 	}
 	r.mu.Unlock()
 	if dead != nil {
-		r.faults.Add(1)
+		r.faults.Inc()
+		mFaults.Inc()
 		dead.Close()
 	}
 }

@@ -4,11 +4,19 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrSevered reports a connection or dial refused because its link is
 // administratively severed by a Flaky transport.
 var ErrSevered = errors.New("transport: link severed (fault injection)")
+
+// mInjections counts fault injections actually applied to traffic (a
+// severed send or dial, a blackholed or dropped message, a delayed send) —
+// so a chaos run's scrape shows how much damage the drill really did.
+var mInjections = obs.Default.Counter("transport_flaky_injections_total",
+	"fault injections applied to sends and dials")
 
 // Flaky decorates a Transport with command-driven fault injection: tests
 // (and chaos drills) can sever a link, silently blackhole it, drop the next
@@ -143,6 +151,7 @@ func (f *Flaky) Dial(addr string) (Conn, error) {
 func (f *Flaky) DialFrom(srcHost, addr string) (Conn, error) {
 	dst := HostOf(addr)
 	if f.isSevered(srcHost, dst) {
+		mInjections.Inc()
 		return nil, ErrSevered
 	}
 	c, err := f.dialFrom(srcHost, addr)
@@ -265,13 +274,16 @@ func (c *flakyConn) condition() linkState {
 func (c *flakyConn) Send(msg []byte) error {
 	st := c.condition()
 	if st.severed {
+		mInjections.Inc()
 		_ = c.Conn.Close()
 		return ErrSevered
 	}
 	if st.delay > 0 {
+		mInjections.Inc()
 		time.Sleep(st.delay)
 	}
 	if st.blackhole || st.dropNext > 0 {
+		mInjections.Inc()
 		return nil // swallowed: the caller believes it was sent
 	}
 	return c.Conn.Send(msg)

@@ -26,15 +26,17 @@ import (
 //	  uvarint id
 //	  byte    flags (bit 0: cancel — abandon the in-flight request `id`;
 //	          bit 1: heartbeat — liveness probe/echo, no payload;
-//	          bit 2: token — an at-most-once dedup token follows)
+//	          bit 2: token — an at-most-once dedup token follows;
+//	          bit 3: trace — a request trace ID and hop counter follow)
 //	  uvarint dedup token (present only when flag bit 2 is set)
+//	  uvarint trace id, uvarint hop (present only when flag bit 3 is set)
 //	  uvarint len, then len bytes of an encoded Request or Response
 //	          (empty for cancel and heartbeat entries)
 //
-// The token is a flag-gated extension rather than a Request field so that
-// frames without tokens are byte-identical to version 1 frames that predate
-// it, and the request codec (shared with the single-frame legacy protocol)
-// stays untouched.
+// The token and trace are flag-gated extensions rather than Request fields
+// so that frames without them are byte-identical to version 1 frames that
+// predate them, and the request codec (shared with the single-frame legacy
+// protocol) stays untouched.
 //
 // Single-frame messages remain valid: their first byte is an Op or Status,
 // both of which are small constants, so IsBatchFrame cleanly discriminates.
@@ -81,6 +83,12 @@ type BatchEntry struct {
 	// Token carries the request's at-most-once dedup token (0 = none);
 	// meaningful only in request batches.
 	Token uint64
+	// Trace carries the request's trace ID (0 = untraced); meaningful only
+	// in request batches.
+	Trace uint64
+	// Hop is the request's forward-hop counter, carried alongside Trace
+	// (present on the wire only when Trace is non-zero).
+	Hop int
 	// Msg is an encoded Request (BatchRequest) or Response (BatchResponse).
 	Msg []byte
 }
@@ -89,6 +97,7 @@ const (
 	entryFlagCancel    byte = 1 << 0
 	entryFlagHeartbeat byte = 1 << 1
 	entryFlagToken     byte = 1 << 2
+	entryFlagTrace     byte = 1 << 3
 )
 
 // IsBatchFrame reports whether buf is a batch frame rather than a single
@@ -122,9 +131,16 @@ func AppendBatch(dst []byte, kind BatchKind, entries []BatchEntry) []byte {
 		if e.Token != 0 {
 			flags |= entryFlagToken
 		}
+		if e.Trace != 0 {
+			flags |= entryFlagTrace
+		}
 		w.byte(flags)
 		if e.Token != 0 {
 			w.u64(e.Token)
+		}
+		if e.Trace != 0 {
+			w.u64(e.Trace)
+			w.u64(uint64(e.Hop))
 		}
 		w.bytes(e.Msg)
 	}
@@ -133,9 +149,9 @@ func AppendBatch(dst []byte, kind BatchKind, entries []BatchEntry) []byte {
 
 // BatchOverhead conservatively bounds the encoded size of a batch frame
 // carrying entries whose Msg bytes total msgBytes: frame header plus
-// worst-case per-entry framing (id, flags, token, length).
+// worst-case per-entry framing (id, flags, token, trace, length).
 func BatchOverhead(entries, msgBytes int) int {
-	return 16 + msgBytes + entries*(2*10+1+10)
+	return 16 + msgBytes + entries*(2*10+1+10+2*10)
 }
 
 // EncodeBatch serializes a batch frame into a fresh buffer.
@@ -197,6 +213,10 @@ func DecodeBatchInto(dst []BatchEntry, buf []byte) (BatchKind, []BatchEntry, err
 		e.Heartbeat = flags&entryFlagHeartbeat != 0
 		if flags&entryFlagToken != 0 {
 			e.Token = r.u64()
+		}
+		if flags&entryFlagTrace != 0 {
+			e.Trace = r.u64()
+			e.Hop = int(r.u64())
 		}
 		e.Msg = r.bytes()
 		if r.err != nil {

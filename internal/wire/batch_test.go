@@ -24,6 +24,12 @@ func TestBatchRoundTrip(t *testing.T) {
 	// differs from a pre-token frame.
 	entries = append(entries, BatchEntry{ID: 200, Token: 0xFEEDFACE,
 		Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(9), Payload: []byte("tokened")})})
+	// The trace extension: likewise flag-gated, and composable with the
+	// token on one entry.
+	entries = append(entries, BatchEntry{ID: 201, Trace: 0xABCDEF01, Hop: 2,
+		Msg: EncodeRequest(&Request{Op: OpGet, Key: symbol.K(9)})})
+	entries = append(entries, BatchEntry{ID: 202, Token: 7, Trace: 9, Hop: 1,
+		Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(3), Payload: []byte("both")})})
 
 	frame := EncodeBatch(BatchRequest, entries)
 	if !IsBatchFrame(frame) {
@@ -42,6 +48,7 @@ func TestBatchRoundTrip(t *testing.T) {
 	for i, e := range got {
 		if e.ID != entries[i].ID || e.Cancel != entries[i].Cancel ||
 			e.Heartbeat != entries[i].Heartbeat || e.Token != entries[i].Token ||
+			e.Trace != entries[i].Trace || e.Hop != entries[i].Hop ||
 			!bytes.Equal(e.Msg, entries[i].Msg) {
 			t.Fatalf("entry %d = %+v, want %+v", i, e, entries[i])
 		}
@@ -112,6 +119,25 @@ func TestBatchEmptyAndErrors(t *testing.T) {
 		if _, _, err := DecodeBatch(buf); err == nil {
 			t.Errorf("%s: decode succeeded", name)
 		}
+	}
+}
+
+// TestBatchExtensionFreeLayout pins the wire bytes of an entry carrying
+// neither token nor trace: extension-free frames must stay byte-identical
+// to version 1 frames that predate both flag-gated extensions.
+func TestBatchExtensionFreeLayout(t *testing.T) {
+	msg := []byte{0xAA, 0xBB}
+	frame := EncodeBatch(BatchRequest, []BatchEntry{{ID: 5, Msg: msg}})
+	want := []byte{
+		batchMagic, BatchVersion, byte(BatchRequest),
+		1,          // entry count
+		5,          // id
+		0,          // flags: no extensions
+		2,          // msg length
+		0xAA, 0xBB, // msg
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("extension-free frame = %x, want %x", frame, want)
 	}
 }
 

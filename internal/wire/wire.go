@@ -114,6 +114,14 @@ type Request struct {
 	// extension (see batch.go), so the single-frame legacy protocol is
 	// untouched and the rpc layer re-attaches it at every hop.
 	Token uint64
+	// TraceID identifies the request across hops for the slow-request log
+	// (0 = untraced). Like Token, it is NOT part of the request codec — it
+	// travels as a batch-entry extension (see batch.go) and the rpc layer
+	// re-attaches it at every hop.
+	TraceID uint64
+	// TraceHop counts memo-server forwards the request has taken (0 = the
+	// hop the client issued). Carried on the wire only alongside TraceID.
+	TraceHop int
 }
 
 // Response answers a Request.
@@ -319,8 +327,8 @@ func DecodeRequest(buf []byte) (*Request, error) {
 
 // DecodeRequestInto parses a request into q, reusing q's Keys and key
 // extension-slot capacity — the pooled-request decode path. Every field of
-// q is overwritten (Token is zeroed: it travels as a batch-entry extension,
-// not in this codec). q.Payload ALIASES buf.
+// q is overwritten (Token and the trace fields are zeroed: they travel as
+// batch-entry extensions, not in this codec). q.Payload ALIASES buf.
 //
 //memolint:aliases-buffer
 func DecodeRequestInto(q *Request, buf []byte) error {
@@ -355,6 +363,7 @@ func DecodeRequestInto(q *Request, buf []byte) error {
 	q.Dir = r.str()
 	q.TargetHost = r.str()
 	q.Token = 0
+	q.TraceID, q.TraceHop = 0, 0
 	if r.err != nil {
 		return r.err
 	}
