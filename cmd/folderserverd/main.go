@@ -49,6 +49,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
 	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose handling takes at least this long in the slow-request log (/slowz); 0 disables span timing")
+	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness)")
 	flag.Parse()
 
 	if *host == "" {
@@ -103,6 +104,17 @@ func main() {
 		log.Fatalf("folderserverd: %v", err)
 	}
 	log.Printf("folderserverd: folder server %d on %s listening at %s", *id, *host, l.Addr())
+	if *readyFile != "" {
+		// Publish the bound address atomically (temp file + rename) so a
+		// polling harness never reads a torn write.
+		tmp := *readyFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(l.Addr()+"\n"), 0o644); err != nil {
+			log.Fatalf("folderserverd: ready file: %v", err)
+		}
+		if err := os.Rename(tmp, *readyFile); err != nil {
+			log.Fatalf("folderserverd: ready file: %v", err)
+		}
+	}
 
 	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
 	// listener: off by default, and when enabled, bind a loopback address

@@ -15,6 +15,10 @@
 //	memo -n app.adf                 # dry run: validate and print the plan
 //	memo -default system.adf app.adf
 //	memo -demo jobjar app.adf       # run the built-in job-jar demo workload
+//
+// When the first argument names a Memo Language operation (put, get,
+// get-skip, alt-take, ...), memo instead runs that single operation against
+// a live memoserverd over TCP — see ops.go for the op-mode contract.
 package main
 
 import (
@@ -31,6 +35,11 @@ import (
 )
 
 func main() {
+	// Op mode: "memo <op> [flags]" runs one Memo Language operation against
+	// a live daemon. Anything else is the classic launcher path.
+	if len(os.Args) >= 2 && opNames[os.Args[1]] {
+		os.Exit(runOp(os.Args[1], os.Args[2:]))
+	}
 	dryRun := flag.Bool("n", false, "validate and print the plan without booting")
 	defaultADF := flag.String("default", "", "system default ADF supplying missing sections")
 	demo := flag.String("demo", "", "run a built-in demo workload: jobjar")

@@ -1,0 +1,371 @@
+// Op mode: single-shot subcommands speaking to a running memoserverd over
+// TCP. The launcher in main.go boots a whole simulated cluster; op mode is
+// the black-box face of a real deployment — every Memo Language primitive
+// reachable from a shell, with stable exit codes and an optional
+// machine-readable result line, so test harnesses (test/e2e) and operators
+// can drive and observe a live cluster without linking the client library.
+//
+//	memo put       -adf app.adf -addr 127.0.0.1:7440 -host a -key 7 -value hi
+//	memo get-skip  -adf app.adf -addr 127.0.0.1:7440 -host a -key 7 -json
+//	memo alt-take  -adf app.adf -addr 127.0.0.1:7440 -host a -keys 7,9/1.2
+//
+// Keys are numeric canonical form ("S" or "S/x0.x1"): symbol interning is
+// per-process, so names minted by one process mean nothing to another — the
+// number is the only spelling every client resolves identically.
+//
+// Exit codes: 0 the operation completed (including an empty get-skip);
+// 1 the operation or connection failed; 2 usage error; 3 the -timeout
+// expired before a blocking operation completed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/memoserver"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/rpc"
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+	"repro/internal/transport"
+)
+
+const (
+	exitOK      = 0
+	exitErr     = 1
+	exitUsage   = 2
+	exitTimeout = 3
+)
+
+// opNames is the dispatch set main() consults: anything else falls through
+// to the legacy launcher, so "memo app.adf" keeps working.
+var opNames = map[string]bool{
+	"put": true, "put-delayed": true,
+	"get": true, "get-copy": true, "get-skip": true,
+	"alt-take": true, "alt-skip": true, "watch": true,
+	"register": true, "ping": true, "pump": true, "fetch": true,
+}
+
+// opFlags is the flag surface every op subcommand shares.
+type opFlags struct {
+	fs      *flag.FlagSet
+	adfPath string
+	addr    string
+	host    string
+	timeout time.Duration
+	jsonOut bool
+	retries int
+	lambda  float64
+}
+
+func newOpFlags(op string) *opFlags {
+	o := &opFlags{fs: flag.NewFlagSet("memo "+op, flag.ContinueOnError)}
+	o.fs.StringVar(&o.adfPath, "adf", "", "application description file (for the app name and folder placement)")
+	o.fs.StringVar(&o.addr, "addr", "", "TCP address of the memo server to speak to")
+	o.fs.StringVar(&o.host, "host", "", "logical host name of that memo server (as in the ADF)")
+	o.fs.DurationVar(&o.timeout, "timeout", 0, "abandon a blocking operation after this long (0 = wait forever); exit code 3")
+	o.fs.BoolVar(&o.jsonOut, "json", false, "print a single JSON result line on stdout")
+	o.fs.IntVar(&o.retries, "retries", 2, "transparent retries of the request after a link failure (dedup tokens keep them exactly-once)")
+	o.fs.Float64Var(&o.lambda, "lambda", 0, "placement topology attenuation; must match the value the daemons registered with")
+	return o
+}
+
+// result is the -json line. Every subcommand emits exactly one.
+type result struct {
+	OK    bool   `json:"ok"`
+	Op    string `json:"op"`
+	Key   string `json:"key,omitempty"`
+	Value string `json:"value,omitempty"`
+	Empty bool   `json:"empty,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// runOp executes one subcommand and returns the process exit code.
+func runOp(op string, args []string) int {
+	o := newOpFlags(op)
+	var (
+		key, dest, keys, value string
+		targetHost, dir        string
+	)
+	switch op {
+	case "put":
+		o.fs.StringVar(&key, "key", "", "folder key (canonical numeric form)")
+		o.fs.StringVar(&value, "value", "", "string value to deposit")
+	case "put-delayed":
+		o.fs.StringVar(&key, "key", "", "trigger folder key")
+		o.fs.StringVar(&dest, "dest", "", "destination folder key revealed on trigger")
+		o.fs.StringVar(&value, "value", "", "string value to deposit")
+	case "get", "get-copy", "get-skip", "watch":
+		o.fs.StringVar(&key, "key", "", "folder key (canonical numeric form)")
+	case "alt-take", "alt-skip":
+		o.fs.StringVar(&keys, "keys", "", "comma-separated folder keys")
+	case "pump", "fetch":
+		o.fs.StringVar(&targetHost, "target-host", "", "host whose program folder to address")
+		o.fs.StringVar(&dir, "dir", "", "PROCESSES directory name of the program")
+		if op == "pump" {
+			o.fs.StringVar(&value, "value", "", "program image to ship")
+		}
+	}
+	if err := o.fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if o.adfPath == "" || o.addr == "" || o.host == "" {
+		fmt.Fprintf(os.Stderr, "memo %s: -adf, -addr, and -host are required\n", op)
+		return exitUsage
+	}
+
+	m, client, err := o.connect()
+	if err != nil {
+		return emit(o, result{Op: op, Error: err.Error()}, exitErr)
+	}
+	defer m.Close()
+
+	// One cancel channel serves every blocking call; a fired timer turns the
+	// resulting ErrCanceled into the dedicated timeout exit code.
+	var cancel chan struct{}
+	timedOut := false
+	if o.timeout > 0 {
+		cancel = make(chan struct{})
+		t := time.AfterFunc(o.timeout, func() { timedOut = true; close(cancel) })
+		defer t.Stop()
+	}
+	code := func(err error) int {
+		if timedOut && err != nil {
+			return exitTimeout
+		}
+		return exitErr
+	}
+
+	switch op {
+	case "put":
+		k, err := parseKey(key)
+		if err != nil {
+			return usage(op, err)
+		}
+		if err := m.Put(k, transferable.String(value)); err != nil {
+			return emit(o, result{Op: op, Key: key, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op, Key: key, Value: value}, exitOK)
+
+	case "put-delayed":
+		k, err := parseKey(key)
+		if err != nil {
+			return usage(op, err)
+		}
+		d, err := parseKey(dest)
+		if err != nil {
+			return usage(op, err)
+		}
+		if err := m.PutDelayed(k, d, transferable.String(value)); err != nil {
+			return emit(o, result{Op: op, Key: key, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op, Key: key, Value: value}, exitOK)
+
+	case "get", "get-copy", "watch":
+		k, err := parseKey(key)
+		if err != nil {
+			return usage(op, err)
+		}
+		var v transferable.Value
+		if op == "get" {
+			v, err = m.GetCancel(k, cancel)
+		} else {
+			// watch = get-copy: observe without consuming.
+			v, err = m.GetCopyCancel(k, cancel)
+		}
+		if err != nil {
+			return emit(o, result{Op: op, Key: key, Error: err.Error()}, code(err))
+		}
+		return emit(o, result{OK: true, Op: op, Key: key, Value: valueString(v)}, exitOK)
+
+	case "get-skip":
+		k, err := parseKey(key)
+		if err != nil {
+			return usage(op, err)
+		}
+		v, ok, err := m.GetSkip(k)
+		if err != nil {
+			return emit(o, result{Op: op, Key: key, Error: err.Error()}, exitErr)
+		}
+		if !ok {
+			return emit(o, result{OK: true, Op: op, Key: key, Empty: true}, exitOK)
+		}
+		return emit(o, result{OK: true, Op: op, Key: key, Value: valueString(v)}, exitOK)
+
+	case "alt-take", "alt-skip":
+		ks, err := parseKeys(keys)
+		if err != nil {
+			return usage(op, err)
+		}
+		if op == "alt-skip" {
+			k, v, ok, err := m.GetAltSkip(ks...)
+			if err != nil {
+				return emit(o, result{Op: op, Error: err.Error()}, exitErr)
+			}
+			if !ok {
+				return emit(o, result{OK: true, Op: op, Empty: true}, exitOK)
+			}
+			return emit(o, result{OK: true, Op: op, Key: k.Canon(), Value: valueString(v)}, exitOK)
+		}
+		k, v, err := m.GetAltCancel(cancel, ks...)
+		if err != nil {
+			return emit(o, result{Op: op, Error: err.Error()}, code(err))
+		}
+		return emit(o, result{OK: true, Op: op, Key: k.Canon(), Value: valueString(v)}, exitOK)
+
+	case "register":
+		src, err := os.ReadFile(o.adfPath)
+		if err != nil {
+			return emit(o, result{Op: op, Error: err.Error()}, exitErr)
+		}
+		if err := client.Register(string(src)); err != nil {
+			return emit(o, result{Op: op, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op}, exitOK)
+
+	case "ping":
+		if err := client.Ping(); err != nil {
+			return emit(o, result{Op: op, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op}, exitOK)
+
+	case "pump":
+		if err := m.PumpProgram(targetHost, dir, []byte(value)); err != nil {
+			return emit(o, result{Op: op, Key: dir, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op, Key: dir}, exitOK)
+
+	case "fetch":
+		blob, err := m.FetchProgram(targetHost, dir)
+		if err != nil {
+			return emit(o, result{Op: op, Key: dir, Error: err.Error()}, exitErr)
+		}
+		return emit(o, result{OK: true, Op: op, Key: dir, Value: string(blob)}, exitOK)
+	}
+	fmt.Fprintf(os.Stderr, "memo: unknown op %q\n", op)
+	return exitUsage
+}
+
+// connect replicates cluster.NewMemo over real TCP: same ADF, same routing
+// table, same placement options — so a key maps to the same folder server
+// here as inside every daemon and library client.
+func (o *opFlags) connect() (*core.Memo, *memoserver.Client, error) {
+	src, err := os.ReadFile(o.adfPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := adf.Parse(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := adf.Validate(f); err != nil {
+		return nil, nil, err
+	}
+	h, ok := f.HostByName(o.host)
+	if !ok {
+		return nil, nil, fmt.Errorf("host %q not in ADF %s", o.host, o.adfPath)
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return nil, nil, err
+	}
+	place, err := placement.New(f, routing.Build(g), placement.Options{Lambda: o.lambda})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tcp := transport.NewTCP()
+	// The client library addresses the daemon by its logical name; a CLI
+	// process is always pointed at one concrete TCP endpoint, so the dialer
+	// ignores the logical address.
+	dial := func(srcHost, addr string) (transport.Conn, error) { return tcp.Dial(o.addr) }
+	client, err := memoserver.DialClientResilient(dial, o.host, f.App, rpc.Policy{},
+		rpc.Resilience{Heartbeat: rpc.DefaultHeartbeat, Retries: o.retries})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.New(core.Config{
+		App:      f.App,
+		Host:     o.host,
+		Domain:   cluster.DomainFor(h.Arch),
+		Registry: symbol.NewRegistry(),
+		Place:    place,
+		Client:   client,
+	})
+	if err != nil {
+		client.Close()
+		return nil, nil, err
+	}
+	return m, client, nil
+}
+
+// parseKey accepts the canonical numeric key form: "S" or "S/x0.x1".
+func parseKey(s string) (symbol.Key, error) {
+	if s == "" {
+		return symbol.Key{}, fmt.Errorf("missing -key")
+	}
+	return symbol.ParseCanon(s)
+}
+
+// parseKeys splits a comma-separated list of canonical keys.
+func parseKeys(s string) ([]symbol.Key, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -keys")
+	}
+	parts := strings.Split(s, ",")
+	ks := make([]symbol.Key, len(parts))
+	for i, p := range parts {
+		k, err := symbol.ParseCanon(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = k
+	}
+	return ks, nil
+}
+
+// valueString renders a fetched transferable for display: strings verbatim,
+// everything else through its Go representation.
+func valueString(v transferable.Value) string {
+	if s, ok := transferable.AsString(v); ok {
+		return s
+	}
+	return fmt.Sprint(transferable.ToGo(v))
+}
+
+// emit prints the op's one result line and passes the exit code through.
+func emit(o *opFlags, r result, code int) int {
+	if o.jsonOut {
+		b, err := json.Marshal(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memo: encode result:", err)
+			return exitErr
+		}
+		fmt.Println(string(b))
+		return code
+	}
+	switch {
+	case r.Error != "":
+		fmt.Fprintf(os.Stderr, "memo %s: %s\n", r.Op, r.Error)
+	case r.Empty:
+		fmt.Printf("%s %s: empty\n", r.Op, r.Key)
+	case r.Value != "":
+		fmt.Printf("%s %s: %s\n", r.Op, r.Key, r.Value)
+	default:
+		fmt.Printf("%s %s: ok\n", r.Op, r.Key)
+	}
+	return code
+}
+
+func usage(op string, err error) int {
+	fmt.Fprintf(os.Stderr, "memo %s: %v\n", op, err)
+	return exitUsage
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/symbol"
+	"repro/internal/transferable"
+)
+
+func TestParseKeys(t *testing.T) {
+	ks, err := parseKeys("7, 9/1.2 ,11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []symbol.Key{symbol.K(7), symbol.K(9, 1, 2), symbol.K(11)}
+	if len(ks) != len(want) {
+		t.Fatalf("parsed %d keys, want %d", len(ks), len(want))
+	}
+	for i := range ks {
+		if !ks[i].Equal(want[i]) {
+			t.Errorf("key %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+	if _, err := parseKeys(""); err == nil {
+		t.Error("empty -keys accepted")
+	}
+	if _, err := parseKeys("7,notakey"); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := valueString(transferable.String("hi")); got != "hi" {
+		t.Errorf("string value rendered %q", got)
+	}
+	if got := valueString(transferable.Int64(42)); got != "42" {
+		t.Errorf("int value rendered %q", got)
+	}
+}
+
+// TestResultJSONShape pins the -json contract the e2e harness parses.
+func TestResultJSONShape(t *testing.T) {
+	b, err := json.Marshal(result{OK: true, Op: "get-skip", Key: "7", Empty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ok":true,"op":"get-skip","key":"7","empty":true}`
+	if string(b) != want {
+		t.Errorf("json line %s, want %s", b, want)
+	}
+}

@@ -82,6 +82,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
 	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose dispatch takes at least this long in the slow-request log (/slowz); 0 disables span timing")
+	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness)")
 	flag.Parse()
 
 	if *host == "" {
@@ -113,7 +114,8 @@ func main() {
 
 	tcp := transport.NewTCP()
 	tcp.IdleTimeout = *idleTimeout
-	node := memoserver.NewWithDialer(*host, &mappedTransport{inner: tcp, listen: *listen, peers: peers},
+	mt := &mappedTransport{inner: tcp, listen: *listen, peers: peers}
+	node := memoserver.NewWithDialer(*host, mt,
 		memoserver.Config{
 			Cache:       threadcache.Config{Disable: *noCache},
 			FolderCache: threadcache.Config{Disable: *noCache},
@@ -139,7 +141,12 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatalf("memoserverd: %v", err)
 	}
-	log.Printf("memoserverd: host %s listening on %s", *host, *listen)
+	log.Printf("memoserverd: host %s listening on %s", *host, mt.boundAddr)
+	if *readyFile != "" {
+		if err := writeReadyFile(*readyFile, mt.boundAddr); err != nil {
+			log.Fatalf("memoserverd: %v", err)
+		}
+	}
 
 	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
 	// listener: off by default, and when enabled, bind a loopback address
@@ -171,17 +178,36 @@ func main() {
 	log.Printf("memoserverd: folder state flushed; bye")
 }
 
+// writeReadyFile publishes the daemon's bound address atomically: write to
+// a temp file, then rename, so a polling harness never reads a torn write.
+func writeReadyFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // mappedTransport lets the memo server use logical addresses ("host/memo")
 // over TCP by mapping the host part through the peer table.
 type mappedTransport struct {
 	inner  *transport.TCP
 	listen string
 	peers  peerMap
+
+	// boundAddr is the actual TCP address after Listen — with "-listen :0"
+	// this is the only place the chosen port is visible.
+	boundAddr string
 }
 
 func (t *mappedTransport) Listen(addr string) (transport.Listener, error) {
 	// The node asks to listen on "host/memo"; bind the configured TCP port.
-	return t.inner.Listen(t.listen)
+	l, err := t.inner.Listen(t.listen)
+	if err != nil {
+		return nil, err
+	}
+	t.boundAddr = l.Addr()
+	return l, nil
 }
 
 func (t *mappedTransport) Dial(addr string) (transport.Conn, error) {

@@ -126,6 +126,14 @@ func Open(dir string, shards int, cfg Config, apply func(*Record) error) (*Log, 
 		}
 		l.shards[i] = newStripe(f, cfg)
 	}
+	// Make the fresh generation's directory entries durable before any
+	// record is acknowledged against them. Without this, a crash right
+	// after open can lose the new stripes' directory entries while a later
+	// snapshot's deletions of the old generation survive — leaving a data
+	// directory whose acknowledged records live in files no directory entry
+	// names. (The snapshot cycle already syncs the directory at its own
+	// commit point; open must too.)
+	syncDir(dir)
 	// A recovered backlog counts toward the next snapshot, so a log that
 	// crashed with a full generation compacts soon after reopening.
 	l.appended.Store(replayed)
@@ -494,9 +502,13 @@ func (s *Snapshot) abortKeepGen() {
 	}
 }
 
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable. Best-effort: some platforms refuse to fsync directories.
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry is durable. Best-effort: some platforms refuse to fsync
+// directories. Called at both directory-shape commit points: Open (fresh
+// generation stripes created) and Snapshot.Commit (snapshot renamed into
+// place).
 func syncDir(dir string) {
+	mDirSyncs.Inc()
 	d, err := os.Open(dir)
 	if err != nil {
 		return

@@ -18,4 +18,6 @@ var (
 		"snapshot/truncate cycles committed")
 	mSnapshotNS = obs.Default.Histogram("durable_snapshot_ns",
 		"snapshot duration from start to commit, nanoseconds")
+	mDirSyncs = obs.Default.Counter("durable_dir_syncs_total",
+		"data-directory fsyncs at shape commit points (open, snapshot)")
 )

@@ -22,7 +22,10 @@ const (
 	RecPutDelayed RecType = 2
 	// RecTake removes one item byte-equal to Payload from Key's folder.
 	// Folders are multisets, so "one equal item" identifies the removal
-	// exactly even when the extraction rng picked a different index.
+	// exactly even when the extraction rng picked a different index. A
+	// non-zero Token is the take's dedup token: replay re-caches the taken
+	// payload under it so a post-crash retry of the same take is answered
+	// from the cache instead of consuming a second memo.
 	RecTake RecType = 3
 	// RecToken records an applied dedup token with no accompanying put —
 	// used by snapshots to carry the token table across truncation.
@@ -34,6 +37,12 @@ const (
 	// and the release token makes the re-delivery deduplicate instead of
 	// duplicating.
 	RecRelease RecType = 5
+	// RecTakeCache carries a consumed-take dedup entry across snapshot
+	// truncation: Token was applied by a take whose result (Key + Payload,
+	// or an observed-empty miss when Empty is set) must stay answerable to
+	// retries after the RecTake that produced it is compacted away. Replay
+	// restores the cache entry and removes nothing.
+	RecTakeCache RecType = 6
 )
 
 func (t RecType) String() string {
@@ -48,6 +57,8 @@ func (t RecType) String() string {
 		return "token"
 	case RecRelease:
 		return "release"
+	case RecTakeCache:
+		return "take_cache"
 	}
 	return fmt.Sprintf("rec-type(%d)", byte(t))
 }
@@ -70,6 +81,9 @@ type Record struct {
 	// eventual re-deposit will carry, minted when the entry is hidden so
 	// that a crash-recovered re-release can never deliver twice.
 	Rel uint64
+	// Empty marks a RecTakeCache entry whose take observed an empty folder
+	// (a get_skip miss): the cached answer is "nothing", not a payload.
+	Empty bool
 }
 
 // Encoding: varint conventions matching the wire codec, but deliberately
@@ -181,11 +195,21 @@ func EncodeRecord(rec *Record) []byte {
 	case RecTake:
 		w.key(rec.Key)
 		w.bytes(rec.Payload)
+		w.u64(rec.Token)
 	case RecToken:
 		w.u64(rec.Token)
 	case RecRelease:
 		w.key(rec.Key)
 		w.u64(rec.Token)
+	case RecTakeCache:
+		w.u64(rec.Token)
+		w.key(rec.Key)
+		if rec.Empty {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+		w.bytes(rec.Payload)
 	}
 	return w.buf
 }
@@ -211,11 +235,17 @@ func DecodeRecord(buf []byte) (*Record, error) {
 	case RecTake:
 		rec.Key = r.key()
 		rec.Payload = r.bytes()
+		rec.Token = r.u64()
 	case RecToken:
 		rec.Token = r.u64()
 	case RecRelease:
 		rec.Key = r.key()
 		rec.Token = r.u64()
+	case RecTakeCache:
+		rec.Token = r.u64()
+		rec.Key = r.key()
+		rec.Empty = r.byte() != 0
+		rec.Payload = r.bytes()
 	default:
 		if r.err == nil {
 			r.err = fmt.Errorf("durable: unknown record type %d", byte(rec.Type))

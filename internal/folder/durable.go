@@ -144,6 +144,15 @@ func (s *Store) applyRecord(rec *durable.Record) error {
 			}
 			sh.gcFold(canon, f)
 		}
+		if found && rec.Token != 0 {
+			// A tokened take: re-cache its result so a post-crash retry is
+			// answered from the cache instead of consuming a second memo.
+			s.tokens.noteTakeCache(rec.Token, &takeResult{
+				key:   rec.Key.Clone(),
+				data:  append([]byte(nil), rec.Payload...),
+				shard: int(s.shardIndex(rec.Key)),
+			})
+		}
 		sh.mu.Unlock()
 		if !found {
 			// Per-folder record order guarantees the put replays before its
@@ -152,6 +161,12 @@ func (s *Store) applyRecord(rec *durable.Record) error {
 		}
 	case durable.RecToken:
 		s.tokens.note(rec.Token)
+	case durable.RecTakeCache:
+		res := &takeResult{key: rec.Key.Clone(), empty: rec.Empty, shard: int(s.shardIndex(rec.Key))}
+		if !rec.Empty {
+			res.data = append([]byte(nil), rec.Payload...)
+		}
+		s.tokens.noteTakeCache(rec.Token, res)
 	default:
 		return fmt.Errorf("%w: unexpected record type %v", durable.ErrCorrupt, rec.Type)
 	}
@@ -197,9 +212,20 @@ func (s *Store) snapshot() error {
 	// The token table is global, not per-shard; dump it after every cut so
 	// a token noted before its shard's cut is never lost (one noted after
 	// rides in the new generation's records, and double-noting is
-	// idempotent).
-	for _, tok := range s.tokens.dump() {
-		if err := snap.AppendRecord(&durable.Record{Type: durable.RecToken, Token: tok}); err != nil {
+	// idempotent). Take results resolve under their shard's lock, so the
+	// same cut/dump ordering covers them: a result published before its
+	// shard's cut is visible here; one published after rides in the new
+	// generation's tokened RecTake. In-progress take claims have applied
+	// nothing yet and are deliberately not dumped.
+	for _, d := range s.tokens.dump() {
+		rec := &durable.Record{Type: durable.RecToken, Token: d.tok}
+		if d.res != nil {
+			rec = &durable.Record{
+				Type: durable.RecTakeCache, Token: d.tok,
+				Key: d.res.key, Payload: d.res.data, Empty: d.res.empty,
+			}
+		}
+		if err := snap.AppendRecord(rec); err != nil {
 			snap.Abort()
 			return err
 		}
@@ -233,14 +259,40 @@ func dumpShard(sh *shard, emit func(*durable.Record) error) error {
 	return nil
 }
 
-// tokenTable is the at-most-once dedup set: applied put tokens, bounded by
-// FIFO eviction. Its lock nests strictly inside a Store shard lock: seen
-// and note are only called while the tokened put's target shard is locked,
-// which serializes a retry against its original.
+// takeResult is a consumed take's cached outcome: the satisfied key and a
+// private payload copy (or an observed-empty miss). shard names the stripe
+// whose log carries the take record, so a cache hit can wait on that
+// stripe's durability barrier before acknowledging.
+type takeResult struct {
+	key   symbol.Key
+	data  []byte
+	empty bool
+	shard int
+}
+
+// tokEntry is one applied (or in-flight) dedup token. Three states:
+//   - put token: done == nil, res == nil — presence alone is the answer.
+//   - in-progress take claim: done != nil, res == nil — the claiming take
+//     is still executing; retries park on done instead of taking again.
+//   - resolved take: res != nil (done closed, or nil after replay) — the
+//     cached result answers retries.
+type tokEntry struct {
+	// done, when non-nil, is closed exactly once: when the claiming take
+	// resolves (res published first) or abandons (entry removed first).
+	done chan struct{}
+	// res is the take's cached outcome; guarded by the table lock.
+	res *takeResult
+}
+
+// tokenTable is the at-most-once dedup table: applied put tokens and
+// consumed-take results, bounded by FIFO eviction. Its lock nests strictly
+// inside a Store shard lock: noteIfNew and resolveTake are only called
+// while the tokened op's target shard is locked, which serializes a retry
+// against its original and orders results against snapshot cuts.
 type tokenTable struct {
 	mu   sync.Mutex
 	cap  int
-	set  map[uint64]struct{}
+	set  map[uint64]*tokEntry
 	fifo []uint64
 	head int
 }
@@ -264,13 +316,26 @@ func (t *tokenTable) note(tok uint64) {
 }
 
 func (t *tokenTable) noteLocked(tok uint64) bool {
-	if t.set == nil {
-		t.set = make(map[uint64]struct{})
-	}
-	if _, ok := t.set[tok]; ok {
+	if _, ok := t.lookupLocked(tok); ok {
 		return false
 	}
-	t.set[tok] = struct{}{}
+	t.insertLocked(tok, &tokEntry{})
+	return true
+}
+
+func (t *tokenTable) lookupLocked(tok uint64) (*tokEntry, bool) {
+	if t.set == nil {
+		t.set = make(map[uint64]*tokEntry)
+	}
+	e, ok := t.set[tok]
+	return e, ok
+}
+
+// insertLocked adds a new entry, evicting oldest-first past the cap. An
+// evicted in-progress claim still resolves through its own entry pointer —
+// eviction only forgets the token for future retries.
+func (t *tokenTable) insertLocked(tok uint64, e *tokEntry) {
+	t.set[tok] = e
 	t.fifo = append(t.fifo, tok)
 	if len(t.set) > t.cap && t.cap > 0 {
 		delete(t.set, t.fifo[t.head])
@@ -281,7 +346,79 @@ func (t *tokenTable) noteLocked(tok uint64) bool {
 			t.head = 0
 		}
 	}
-	return true
+}
+
+// claimTake installs an in-progress claim for tok if it is unseen and
+// reports whether the caller became the owner (and must later resolve or
+// abandon the claim). A false return hands back whatever entry already
+// holds the token.
+func (t *tokenTable) claimTake(tok uint64) (*tokEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.lookupLocked(tok); ok {
+		return e, false
+	}
+	e := &tokEntry{done: make(chan struct{})}
+	t.insertLocked(tok, e)
+	return e, true
+}
+
+// resolveTake publishes the claimed take's result and wakes parked retries.
+// Called under the taken shard's lock — the same critical section that
+// removed the item and appended its RecTake — so a snapshot cut of that
+// shard either sees the result (dumped as RecTakeCache) or precedes the
+// take entirely (its record rides in the new generation).
+func (t *tokenTable) resolveTake(e *tokEntry, res *takeResult) {
+	t.mu.Lock()
+	e.res = res
+	t.mu.Unlock()
+	close(e.done)
+}
+
+// abandonTake drops an unresolved claim (canceled, or its commit failed and
+// the take was rolled back) so a later retry re-executes instead of caching
+// a non-answer. Parked retries wake and race to re-claim.
+func (t *tokenTable) abandonTake(tok uint64, e *tokEntry) {
+	t.mu.Lock()
+	if cur, ok := t.set[tok]; ok && cur == e {
+		delete(t.set, tok)
+	}
+	t.mu.Unlock()
+	close(e.done)
+}
+
+// forget removes tok outright — the failed-commit path, where the take was
+// already resolved but then rolled back by untake. Only a terminally dead
+// log gets here; stale holders of the entry fail their durability barrier.
+func (t *tokenTable) forget(tok uint64) {
+	t.mu.Lock()
+	delete(t.set, tok)
+	t.mu.Unlock()
+}
+
+// result reads e's published outcome (nil for put tokens and abandoned
+// claims).
+func (t *tokenTable) result(e *tokEntry) *takeResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return e.res
+}
+
+// noteTakeCache records a recovered take result (replay path — no waiters
+// exist yet). A bare RecToken note for the same token is upgraded in place.
+func (t *tokenTable) noteTakeCache(tok uint64, res *takeResult) {
+	if tok == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.lookupLocked(tok); ok {
+		if e.res == nil && e.done == nil {
+			e.res = res
+		}
+		return
+	}
+	t.insertLocked(tok, &tokEntry{res: res})
 }
 
 // newRelToken mints a non-zero release token for a hidden delayed value.
@@ -293,15 +430,29 @@ func newRelToken() uint64 {
 	}
 }
 
-// dump lists live tokens oldest-first (for snapshots).
-func (t *tokenTable) dump() []uint64 {
+// tokenDump is one live token for a snapshot: res is nil for a plain put
+// token, the cached outcome for a resolved take.
+type tokenDump struct {
+	tok uint64
+	res *takeResult
+}
+
+// dump lists live tokens oldest-first (for snapshots). In-progress take
+// claims are skipped: they have applied nothing yet, and their eventual
+// RecTake lands in the post-cut generation.
+func (t *tokenTable) dump() []tokenDump {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]uint64, 0, len(t.set))
+	out := make([]tokenDump, 0, len(t.set))
 	for _, tok := range t.fifo[t.head:] {
-		if _, ok := t.set[tok]; ok {
-			out = append(out, tok)
+		e, ok := t.set[tok]
+		if !ok {
+			continue
 		}
+		if e.done != nil && e.res == nil {
+			continue // in-progress claim
+		}
+		out = append(out, tokenDump{tok: tok, res: e.res})
 	}
 	return out
 }

@@ -137,7 +137,7 @@ func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		}
 		return wire.OK()
 	case wire.OpGet:
-		payload, err := s.store.Get(q.Key, cancel)
+		payload, err := s.store.GetToken(q.Key, q.Token, cancel)
 		if err != nil {
 			return wire.Errf("get: %v", err)
 		}
@@ -149,7 +149,7 @@ func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpGetSkip:
-		payload, ok, err := s.store.GetSkip(q.Key)
+		payload, ok, err := s.store.GetSkipToken(q.Key, q.Token)
 		if err != nil {
 			return wire.Errf("get_skip: %v", err)
 		}
@@ -159,7 +159,7 @@ func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpAltTake:
 		// Empty key sets fail fast inside the store (ErrNoKeys).
-		k, payload, err := s.store.AltTake(q.Keys, cancel)
+		k, payload, err := s.store.AltTakeToken(q.Keys, q.Token, cancel)
 		if err != nil {
 			return wire.Errf("alt_take: %v", err)
 		}
@@ -236,6 +236,7 @@ func (s *Server) Collect(e *obs.Emitter) {
 	e.Counter("folder_delayed_total", "put_delayed values hidden", labels, st.DelayedIn)
 	e.Counter("folder_released_total", "delayed values released by triggers", labels, st.Released)
 	e.Counter("folder_dup_puts_total", "tokened puts deduplicated (acknowledged without applying)", labels, st.DupPuts)
+	e.Counter("folder_dup_takes_total", "tokened takes answered from the consumed-take cache", labels, st.DupTakes)
 	e.Counter("folder_alt_scans_total", "shard-group visits by multi-folder scans", labels, st.AltScans)
 
 	var folders, memos, delayed, waiters int

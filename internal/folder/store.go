@@ -19,6 +19,7 @@ package folder
 import (
 	"cmp"
 	"errors"
+	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -98,6 +99,7 @@ type Store struct {
 	delayedIn obs.Counter
 	released  obs.Counter
 	dupPuts   obs.Counter
+	dupTakes  obs.Counter
 	altScans  obs.Counter
 }
 
@@ -466,7 +468,7 @@ func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 		f := sh.getFold(canon)
 		if len(f.items) > 0 {
 			it := sh.takeLocked(f)
-			seq := s.logTake(si, key, it)
+			seq := s.logTake(si, key, it, 0)
 			sh.gcFold(canon, f)
 			sh.mu.Unlock()
 			if err := s.commitTake(si, seq, key, it); err != nil {
@@ -532,7 +534,7 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	it := sh.takeLocked(f)
-	seq := s.logTake(si, key, it)
+	seq := s.logTake(si, key, it, 0)
 	sh.gcFold(canon, f)
 	sh.mu.Unlock()
 	if err := s.commitTake(si, seq, key, it); err != nil {
@@ -542,15 +544,251 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 	return s.unwrapTake(it), true, nil
 }
 
+// awaitTakeToken is the claim step every tokened destructive read runs
+// before touching a folder. The first caller for a token becomes the owner
+// (owner == true) and must execute the take, then resolve or abandon e. Any
+// other caller parks until the owner finishes and is answered from the
+// cached result — a retry can therefore never consume a second memo, even
+// racing its own original. An abandoned claim (owner canceled, or its log
+// died) wakes the parked retries to race for a fresh claim.
+func (s *Store) awaitTakeToken(token uint64, cancel <-chan struct{}) (*takeResult, *tokEntry, bool, error) {
+	for {
+		e, owner := s.tokens.claimTake(token)
+		if owner {
+			return nil, e, true, nil
+		}
+		if e.done != nil {
+			select {
+			case <-e.done:
+			case <-cancel:
+				return nil, nil, false, ErrCanceled
+			}
+		}
+		if res := s.tokens.result(e); res != nil {
+			return res, nil, false, nil
+		}
+		if e.done == nil {
+			// The token is in the table with no take result: a deposit used
+			// it. Tokens are minted per operation from 64 random bits, so
+			// this is a collision or a protocol error; refuse rather than
+			// guess at an answer.
+			return nil, nil, false, fmt.Errorf("folder: take token %#x already applied by a deposit", token)
+		}
+		// Claim abandoned: loop and race to re-claim.
+	}
+}
+
+// takeFromCache answers a deduplicated take from its token's cached result:
+// waits out the original take record's durability (a cache hit must never
+// be acknowledged ahead of the removal it repeats), bumps the dup counter,
+// and hands back a private copy of the payload. ok is false for a cached
+// observed-empty miss.
+func (s *Store) takeFromCache(res *takeResult) (symbol.Key, []byte, bool, error) {
+	s.dupTakes.Inc()
+	if res.empty {
+		return symbol.Key{}, nil, false, nil
+	}
+	if s.wal != nil {
+		if err := s.wal.Barrier(res.shard); err != nil {
+			return symbol.Key{}, nil, false, err
+		}
+	}
+	out := make([]byte, len(res.data))
+	copy(out, res.data)
+	return res.key, out, true, nil
+}
+
+// GetToken is Get carrying an at-most-once dedup token (0 = none): the
+// retry path for a maybe-executed destructive read. The first attempt to
+// claim the token executes the take and caches the payload; every retry is
+// answered from the cache, so the caller receives the same memo exactly
+// once no matter how many attempts raced.
+//
+//memolint:must-check-error
+func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) ([]byte, error) {
+	if token == 0 {
+		return s.Get(key, cancel)
+	}
+	res, e, owner, err := s.awaitTakeToken(token, cancel)
+	if err != nil {
+		return nil, err
+	}
+	if !owner {
+		_, out, ok, err := s.takeFromCache(res)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Only a skip caches an empty answer, and tokens are minted per
+			// operation — reaching here is a token-space violation.
+			return nil, fmt.Errorf("folder: take token %#x cached an empty result", token)
+		}
+		return out, nil
+	}
+	canon := key.Canon()
+	si := int(s.shardIndex(key))
+	sh := &s.shards[si]
+	resolved := false
+	defer func() {
+		if !resolved {
+			s.tokens.abandonTake(token, e)
+		}
+	}()
+	for {
+		sh.mu.Lock()
+		f := sh.getFold(canon)
+		if len(f.items) > 0 {
+			it := sh.takeLocked(f)
+			seq := s.logTake(si, key, it, token)
+			// Resolve inside the critical section that removed the item:
+			// snapshot cuts order against it (see the token dump in
+			// snapshot), and a parked retry still waits out the commit via
+			// the durability barrier in takeFromCache.
+			s.tokens.resolveTake(e, &takeResult{
+				key: key.Clone(), data: append([]byte(nil), it.data...), shard: si,
+			})
+			resolved = true
+			sh.gcFold(canon, f)
+			sh.mu.Unlock()
+			if err := s.commitTake(si, seq, key, it); err != nil {
+				s.tokens.forget(token)
+				return nil, err
+			}
+			s.takes.Inc()
+			return s.unwrapTake(it), nil
+		}
+		w := make(chan struct{}, 1)
+		f.waiters = append(f.waiters, w)
+		sh.mu.Unlock()
+		select {
+		case <-w:
+		case <-cancel:
+			dropWaiter(sh, canon, w)
+			return nil, ErrCanceled
+		}
+	}
+}
+
+// GetSkipToken is GetSkip with an at-most-once dedup token (0 = none). The
+// observed-empty miss is cached too — in memory only, an empty answer needs
+// no durability — so a retried skip repeats its original's answer instead
+// of sampling the folder again. The claim wait is bounded: a token is only
+// ever shared by attempts of the same non-blocking skip.
+//
+//memolint:must-check-error
+func (s *Store) GetSkipToken(key symbol.Key, token uint64) ([]byte, bool, error) {
+	if token == 0 {
+		return s.GetSkip(key)
+	}
+	res, e, owner, err := s.awaitTakeToken(token, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if !owner {
+		_, out, ok, err := s.takeFromCache(res)
+		return out, ok, err
+	}
+	canon := key.Canon()
+	si := int(s.shardIndex(key))
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	f, ok := sh.folders[canon]
+	if !ok || len(f.items) == 0 {
+		s.tokens.resolveTake(e, &takeResult{empty: true, shard: si})
+		sh.mu.Unlock()
+		return nil, false, nil
+	}
+	it := sh.takeLocked(f)
+	seq := s.logTake(si, key, it, token)
+	s.tokens.resolveTake(e, &takeResult{
+		key: key.Clone(), data: append([]byte(nil), it.data...), shard: si,
+	})
+	sh.gcFold(canon, f)
+	sh.mu.Unlock()
+	if err := s.commitTake(si, seq, key, it); err != nil {
+		s.tokens.forget(token)
+		return nil, false, err
+	}
+	s.takes.Inc()
+	return s.unwrapTake(it), true, nil
+}
+
+// AltTakeToken is AltTake with an at-most-once dedup token (0 = none): the
+// cached result remembers which key satisfied the original, so a retry
+// returns the same (key, payload) pair.
+//
+//memolint:must-check-error
+func (s *Store) AltTakeToken(keys []symbol.Key, token uint64, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+	if token == 0 {
+		return s.AltTake(keys, cancel)
+	}
+	if len(keys) == 0 {
+		return symbol.Key{}, nil, ErrNoKeys
+	}
+	res, e, owner, err := s.awaitTakeToken(token, cancel)
+	if err != nil {
+		return symbol.Key{}, nil, err
+	}
+	if !owner {
+		k, out, ok, err := s.takeFromCache(res)
+		if err != nil {
+			return symbol.Key{}, nil, err
+		}
+		if !ok {
+			return symbol.Key{}, nil, fmt.Errorf("folder: take token %#x cached an empty result", token)
+		}
+		return k, out, nil
+	}
+	resolved := false
+	defer func() {
+		if !resolved {
+			s.tokens.abandonTake(token, e)
+		}
+	}()
+	canons := canonsOf(keys)
+	groups := s.groupByShard(keys)
+	var it item
+	var seq uint64
+	var seqShard int
+	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
+		for j := range g.idxs {
+			idx := g.idxs[(off+j)%len(g.idxs)]
+			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
+				it = g.sh.takeLocked(f)
+				seqShard = int(s.shardIndex(keys[idx]))
+				seq = s.logTake(seqShard, keys[idx], it, token)
+				s.tokens.resolveTake(e, &takeResult{
+					key: keys[idx].Clone(), data: append([]byte(nil), it.data...), shard: seqShard,
+				})
+				resolved = true
+				g.sh.gcFold(canons[idx], f)
+				return idx
+			}
+		}
+		return -1
+	})
+	if err != nil {
+		return symbol.Key{}, nil, err
+	}
+	if err := s.commitTake(seqShard, seq, keys[found], it); err != nil {
+		s.tokens.forget(token)
+		return symbol.Key{}, nil, err
+	}
+	s.takes.Inc()
+	return keys[found], s.unwrapTake(it), nil
+}
+
 // logTake appends a take record for it (caller holds the shard lock).
-// Returns 0 when the store is memory-only.
+// token, when non-zero, is the take's dedup token — recorded so replay can
+// re-cache the result for retries. Returns 0 when the store is memory-only.
 //
 //memolint:requires-shard-lock
-func (s *Store) logTake(si int, key symbol.Key, it item) uint64 {
+func (s *Store) logTake(si int, key symbol.Key, it item, token uint64) uint64 {
 	if s.wal == nil {
 		return 0
 	}
-	return s.wal.Append(si, &durable.Record{Type: durable.RecTake, Key: key, Payload: it.data})
+	return s.wal.Append(si, &durable.Record{Type: durable.RecTake, Key: key, Payload: it.data, Token: token})
 }
 
 // commitTake waits for a take record's durability. If the commit fails —
@@ -700,7 +938,7 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
 				it = g.sh.takeLocked(f)
 				seqShard = int(s.shardIndex(keys[idx]))
-				seq = s.logTake(seqShard, keys[idx], it)
+				seq = s.logTake(seqShard, keys[idx], it, 0)
 				g.sh.gcFold(canons[idx], f)
 				return idx
 			}
@@ -740,7 +978,7 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
 				it := g.sh.takeLocked(f)
 				si := int(s.shardIndex(keys[idx]))
-				seq := s.logTake(si, keys[idx], it)
+				seq := s.logTake(si, keys[idx], it, 0)
 				g.sh.gcFold(canons[idx], f)
 				g.sh.mu.Unlock()
 				if err := s.commitTake(si, seq, keys[idx], it); err != nil {
@@ -864,6 +1102,10 @@ type Stats struct {
 	// DupPuts counts tokened puts acknowledged without applying — retries
 	// of an already-applied put, deduplicated by their token.
 	DupPuts int64
+	// DupTakes counts tokened destructive reads answered from a token's
+	// cached result instead of consuming again — retries of a
+	// maybe-executed get/get_skip/alt_take.
+	DupTakes int64
 	// AltScans counts shard-group visits by the multi-folder scans
 	// (AltTake, AltSkip, Watch); scans per take is the get_alt selection
 	// cost.
@@ -879,6 +1121,7 @@ func (s *Store) Stats() Stats {
 		DelayedIn: s.delayedIn.Load(),
 		Released:  s.released.Load(),
 		DupPuts:   s.dupPuts.Load(),
+		DupTakes:  s.dupTakes.Load(),
 		AltScans:  s.altScans.Load(),
 	}
 }

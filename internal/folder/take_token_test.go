@@ -1,0 +1,251 @@
+package folder
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/symbol"
+)
+
+// TestGetTokenDedup: a retried tokened Get is answered from the
+// consumed-take cache — same payload, no second memo consumed.
+func TestGetTokenDedup(t *testing.T) {
+	s := NewStore()
+	k := symbol.K(1)
+	mustPut(t, s, k, "p0")
+	mustPut(t, s, k, "p1")
+
+	const tok = 42
+	first, err := s.GetToken(k, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry, err := s.GetToken(k, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(retry) != string(first) {
+		t.Fatalf("retry payload %q, want the original's %q", retry, first)
+	}
+	if got := s.MemoCount(); got != 1 {
+		t.Fatalf("MemoCount = %d, want 1 (retry consumed a second memo)", got)
+	}
+	st := s.Stats()
+	if st.Takes != 1 || st.DupTakes != 1 {
+		t.Fatalf("stats = %+v, want Takes 1 DupTakes 1", st)
+	}
+	// The cached copy is private: scribbling on a returned payload must not
+	// poison later retries.
+	for i := range retry {
+		retry[i] = 'X'
+	}
+	again, err := s.GetToken(k, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(first) {
+		t.Fatalf("cache poisoned: %q, want %q", again, first)
+	}
+}
+
+// TestGetSkipTokenCachesEmpty: a tokened skip that observed an empty folder
+// repeats that answer on retry, even if a memo has arrived in between —
+// exactly-once means the retry reports what its original saw.
+func TestGetSkipTokenCachesEmpty(t *testing.T) {
+	s := NewStore()
+	k := symbol.K(2)
+	const tok = 43
+	if _, ok, err := s.GetSkipToken(k, tok); err != nil || ok {
+		t.Fatalf("skip on empty folder: ok=%v err=%v", ok, err)
+	}
+	mustPut(t, s, k, "late")
+	if _, ok, err := s.GetSkipToken(k, tok); err != nil || ok {
+		t.Fatalf("retried skip resampled the folder: ok=%v err=%v", ok, err)
+	}
+	// A fresh token takes normally.
+	if v, ok, err := s.GetSkipToken(k, tok+1); err != nil || !ok || string(v) != "late" {
+		t.Fatalf("fresh-token skip: %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestAltTakeTokenDedup: the cached result remembers which key satisfied
+// the original alt_take, so the retry returns the same (key, payload) pair.
+func TestAltTakeTokenDedup(t *testing.T) {
+	s := NewStore(WithShards(4))
+	keys := []symbol.Key{symbol.K(3), symbol.K(4, 7), symbol.K(5)}
+	mustPut(t, s, keys[1], "only")
+
+	const tok = 44
+	k1, v1, err := s.AltTakeToken(keys, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, keys[0], "decoy")
+	k2, v2, err := s.AltTakeToken(keys, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k2.Equal(k1) || string(v2) != string(v1) {
+		t.Fatalf("retry = (%v, %q), want the original's (%v, %q)", k2, v2, k1, v1)
+	}
+	if got := s.MemoCount(); got != 1 {
+		t.Fatalf("MemoCount = %d, want 1", got)
+	}
+}
+
+// TestGetTokenConcurrentRetry is the race the claim step exists for: an
+// original and its retry executing simultaneously against a folder holding
+// one memo must both report that one memo — the loser attaches to the
+// winner's claim instead of blocking for a second memo forever (or, worse,
+// consuming one).
+func TestGetTokenConcurrentRetry(t *testing.T) {
+	s := NewStore()
+	k := symbol.K(6)
+	const tok = 45
+	results := make(chan string, 2)
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.GetToken(k, tok, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- string(v)
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let both attempts block
+	mustPut(t, s, k, "single")
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n := 0
+	for v := range results {
+		n++
+		if v != "single" {
+			t.Fatalf("got %q, want %q", v, "single")
+		}
+	}
+	if n != 2 {
+		t.Fatalf("%d callers returned, want both", n)
+	}
+	if got := s.MemoCount(); got != 0 {
+		t.Fatalf("MemoCount = %d, want 0", got)
+	}
+	if st := s.Stats(); st.Takes != 1 || st.DupTakes != 1 {
+		t.Fatalf("stats = %+v, want exactly one take + one dedup", st)
+	}
+}
+
+// TestGetTokenAbandonedClaimRetries: a canceled owner abandons its claim,
+// and a later retry with the same token re-executes the take instead of
+// waiting on a corpse.
+func TestGetTokenAbandonedClaimRetries(t *testing.T) {
+	s := NewStore()
+	k := symbol.K(7)
+	const tok = 46
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.GetToken(k, tok, cancel)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	if err := <-done; err != ErrCanceled {
+		t.Fatalf("canceled owner: %v, want ErrCanceled", err)
+	}
+	mustPut(t, s, k, "after")
+	v, err := s.GetToken(k, tok, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "after" {
+		t.Fatalf("retry after abandon: %q", v)
+	}
+}
+
+// TestTakeTokenCrashRecovery: the consumed-take cache survives restart via
+// the tokened RecTake — a post-crash retry of a maybe-acknowledged take
+// receives the original's payload and consumes nothing.
+func TestTakeTokenCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, durable.Config{})
+	k := symbol.K(8)
+	mustPut(t, s, k, "aa")
+	mustPut(t, s, k, "bb")
+	const tok = 47
+	taken, ok, err := s.GetSkipToken(k, tok)
+	if err != nil || !ok {
+		t.Fatalf("tokened skip: ok=%v err=%v", ok, err)
+	}
+	s.Crash() // the take was acknowledged, so it is committed
+
+	r := openStore(t, dir, durable.Config{})
+	defer r.Close()
+	if got := r.MemoCount(); got != 1 {
+		t.Fatalf("recovered MemoCount = %d, want 1", got)
+	}
+	v, ok, err := r.GetSkipToken(k, tok)
+	if err != nil || !ok {
+		t.Fatalf("post-crash retry: ok=%v err=%v", ok, err)
+	}
+	if string(v) != string(taken) {
+		t.Fatalf("post-crash retry payload %q, want %q", v, taken)
+	}
+	if got := r.MemoCount(); got != 1 {
+		t.Fatalf("post-crash retry consumed a memo: MemoCount = %d, want 1", got)
+	}
+}
+
+// TestTakeTokenSurvivesSnapshot: after a snapshot truncates the tokened
+// RecTake away, the RecTakeCache record it was compacted into still answers
+// a retry across a reopen.
+func TestTakeTokenSurvivesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, durable.Config{})
+	k := symbol.K(9)
+	mustPut(t, s, k, "keep")
+	mustPut(t, s, k, "take-me")
+	const tok = 48
+	taken, ok, err := s.GetSkipToken(k, tok)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Also park an observed-empty miss in the cache: snapshots must carry
+	// both result shapes.
+	const emptyTok = 49
+	if _, ok, err := s.GetSkipToken(symbol.K(10), emptyTok); err != nil || ok {
+		t.Fatalf("skip on empty: ok=%v err=%v", ok, err)
+	}
+	if err := s.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openStore(t, dir, durable.Config{})
+	defer r.Close()
+	v, ok, err := r.GetSkipToken(k, tok)
+	if err != nil || !ok {
+		t.Fatalf("post-snapshot retry: ok=%v err=%v", ok, err)
+	}
+	if string(v) != string(taken) {
+		t.Fatalf("post-snapshot retry payload %q, want %q", v, taken)
+	}
+	if _, ok, err := r.GetSkipToken(symbol.K(10), emptyTok); err != nil || ok {
+		t.Fatalf("post-snapshot empty-miss retry: ok=%v err=%v", ok, err)
+	}
+	if got := r.MemoCount(); got != 1 {
+		t.Fatalf("MemoCount = %d, want 1", got)
+	}
+}

@@ -68,13 +68,41 @@ func TestClientStampsTokensOnPuts(t *testing.T) {
 	if got := fs.Store().MemoCount(); got != 1 {
 		t.Fatalf("MemoCount = %d, want 1 (token dedup failed)", got)
 	}
-	// Reads never get tokens.
+	// Destructive reads get tokens too: a re-sent get_skip (what a retry
+	// does) is answered from the consumed-take cache with the original's
+	// payload instead of sampling the folder again.
 	g := req(wire.OpGetSkip, 0, symbol.K(5), nil)
-	if _, err := c.Do(g, nil); err != nil {
+	resp, err := c.Do(g, nil)
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("get_skip: %+v %v", resp, err)
+	}
+	if g.Token == 0 {
+		t.Fatal("client did not stamp a dedup token on the get_skip")
+	}
+	resp2, err := c.Do(g, nil)
+	if err != nil || resp2.Status != wire.StatusOK {
+		t.Fatalf("re-get_skip: %+v %v", resp2, err)
+	}
+	if string(resp2.Payload) != "v" {
+		t.Fatalf("re-get_skip payload = %q, want the original's %q", resp2.Payload, "v")
+	}
+	st := fs.Store().Stats()
+	if st.Takes != 1 || st.DupTakes != 1 {
+		t.Fatalf("store stats after duplicate tokened take: %+v", st)
+	}
+	// Non-destructive reads still never get tokens.
+	w := req(wire.OpGetCopy, 0, symbol.K(5), nil)
+	w.Key = symbol.K(5)
+	go func() {
+		// GetCopy blocks on the now-empty folder; refill it.
+		time.Sleep(10 * time.Millisecond)
+		_, _ = c.Do(req(wire.OpPut, 0, symbol.K(5), []byte("again")), nil)
+	}()
+	if _, err := c.Do(w, nil); err != nil {
 		t.Fatal(err)
 	}
-	if g.Token != 0 {
-		t.Fatal("client stamped a token on a get_skip")
+	if w.Token != 0 {
+		t.Fatal("client stamped a token on a get_copy")
 	}
 }
 

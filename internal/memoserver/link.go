@@ -103,7 +103,13 @@ func newToken() uint64 {
 }
 
 // tokenizableOp reports ops that may carry a dedup token: the deposits
-// whose blind retry would otherwise duplicate a memo.
+// whose blind retry would otherwise duplicate a memo, and the destructive
+// reads whose blind retry would otherwise consume a second one (the folder
+// server answers a retried tokened take from its consumed-take cache).
 func tokenizableOp(op wire.Op) bool {
-	return op == wire.OpPut || op == wire.OpPutDelayed
+	switch op {
+	case wire.OpPut, wire.OpPutDelayed, wire.OpGet, wire.OpGetSkip, wire.OpAltTake:
+		return true
+	}
+	return false
 }

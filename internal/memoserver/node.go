@@ -590,18 +590,18 @@ func nonBlockingOp(op wire.Op) bool {
 // retriableInFlight reports requests safe to re-issue even when the first
 // attempt may have executed: reads that take nothing (get_copy, watch,
 // fetch), idempotent control ops, and — now that folder servers deduplicate
-// by token — any put or put_delayed carrying a dedup token: the retry
-// re-sends the same token, and a folder server that already applied it
-// acknowledges without depositing twice. Untokened puts and the destructive
-// gets still retry only when the link died before the request reached the
-// wire (rpc.LinkError.Sent == false): re-running a maybe-applied untokened
-// put duplicates a memo and re-running a maybe-applied get_skip can consume
-// a second one.
+// by token — any op carrying a dedup token. A tokened put's retry re-sends
+// the same token and a folder server that already applied it acknowledges
+// without depositing twice; a tokened destructive read (get, get_skip,
+// alt_take) is answered from the folder server's consumed-take cache, so
+// the retry receives the original's memo instead of consuming a second
+// one. Untokened deposits and takes still retry only when the link died
+// before the request reached the wire (rpc.LinkError.Sent == false).
 func retriableInFlight(q *wire.Request) bool {
 	switch q.Op {
 	case wire.OpGetCopy, wire.OpWatch, wire.OpPing, wire.OpFetch, wire.OpRegister:
 		return true
-	case wire.OpPut, wire.OpPutDelayed:
+	case wire.OpPut, wire.OpPutDelayed, wire.OpGet, wire.OpGetSkip, wire.OpAltTake:
 		return q.Token != 0
 	}
 	return false

@@ -1,0 +1,442 @@
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/symbol"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The heavy black-box tests boot real daemons and take tens of seconds, so
+// they run only when E2E=1 (scripts/e2e.sh sets it; plain `go test ./...`
+// stays fast). The deterministic unit tests below always run.
+func requireE2E(t *testing.T) {
+	t.Helper()
+	if os.Getenv("E2E") == "" {
+		t.Skip("set E2E=1 (or run scripts/e2e.sh) for the black-box chaos harness")
+	}
+}
+
+var (
+	buildOnce sync.Once
+	builtBins Binaries
+	buildErr  error
+	buildDir  string
+)
+
+func testBinaries(t *testing.T) Binaries {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "e2e-bin-")
+		if buildErr != nil {
+			return
+		}
+		builtBins, buildErr = BuildBinaries(buildDir)
+	})
+	if buildErr != nil {
+		t.Fatalf("build binaries: %v", buildErr)
+	}
+	return builtBins
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+const seedCorpus = "regression_seeds.json"
+
+// TestSmoke is the CI gate: one full seeded chaos run — ≥100 mixed actions
+// including at least one SIGKILL/restart and one link sever/heal (the
+// generator guarantees both) — that must pass the exactly-once/convergence
+// oracle and shut down cleanly.
+func TestSmoke(t *testing.T) {
+	requireE2E(t)
+	bins := testBinaries(t)
+	seed := int64(1)
+	if s := os.Getenv("E2E_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("E2E_SEED: %v", err)
+		}
+		seed = v
+	}
+	const n = 120
+	if err := RunChaos(t.TempDir(), bins, seed, n, t.Logf); err != nil {
+		reportFailure(t, bins, seed, n, err)
+	}
+}
+
+// TestRegressionSeeds replays the corpus first-class: every seed that ever
+// found a bug keeps hunting it on each run.
+func TestRegressionSeeds(t *testing.T) {
+	requireE2E(t)
+	seeds, err := LoadSeeds(seedCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := testBinaries(t)
+	for _, s := range seeds {
+		s := s
+		t.Run(fmt.Sprintf("seed%d_n%d", s.Seed, s.Actions), func(t *testing.T) {
+			if err := RunChaos(t.TempDir(), bins, s.Seed, s.Actions, t.Logf); err != nil {
+				t.Fatalf("regression seed %d (%s): %v", s.Seed, s.Note, err)
+			}
+		})
+	}
+}
+
+// TestChaosSweep is the longer seeded run for the dedicated CI job: fresh
+// seeds at a larger action count. E2E_FULL=1 arms it.
+func TestChaosSweep(t *testing.T) {
+	requireE2E(t)
+	if os.Getenv("E2E_FULL") == "" {
+		t.Skip("set E2E_FULL=1 for the long chaos sweep")
+	}
+	bins := testBinaries(t)
+	for _, seed := range []int64{11, 12, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			if err := RunChaos(t.TempDir(), bins, seed, 200, t.Logf); err != nil {
+				reportFailure(t, bins, seed, 200, err)
+			}
+		})
+	}
+}
+
+// reportFailure minimizes a failing run to its shortest failing prefix and
+// appends it to the regression corpus before failing the test.
+func reportFailure(t *testing.T, bins Binaries, seed int64, n int, err error) {
+	t.Helper()
+	minimized := n
+	if os.Getenv("E2E_NO_MINIMIZE") == "" {
+		minimized = MinimizePrefix(n, 5, func(k int) bool {
+			return RunChaos(t.TempDir(), bins, seed, k, t.Logf) != nil
+		})
+	}
+	entry := Seed{Seed: seed, Actions: minimized, Note: "auto-minimized failing run"}
+	if aerr := AppendSeed(seedCorpus, entry); aerr != nil {
+		t.Logf("could not append %+v to %s: %v", entry, seedCorpus, aerr)
+	} else {
+		t.Logf("appended failing seed to %s: %+v", seedCorpus, entry)
+	}
+	t.Fatalf("chaos run seed=%d n=%d failed the oracle: %v", seed, n, err)
+}
+
+// TestFolderServerdCrashRecovery black-boxes the standalone folder daemon:
+// raw wire deposits over TCP, SIGKILL, restart from the same -data-dir,
+// every acknowledged memo recovered, then a verified-clean SIGTERM drain.
+func TestFolderServerdCrashRecovery(t *testing.T) {
+	requireE2E(t)
+	bins := testBinaries(t)
+	dir := t.TempDir()
+	d := &Daemon{
+		Host:      "solo",
+		ReadyFile: dir + "/ready",
+		LogPath:   dir + "/folderserverd.log",
+		bin:       bins.Folderserverd,
+	}
+	d.args = []string{"-id", "0", "-host", "solo", "-listen", "127.0.0.1:0",
+		"-data-dir", dir + "/data", "-ready-file", d.ReadyFile}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	addr := readyAddr(t, d.ReadyFile)
+
+	k := symbol.K(77)
+	want := map[string]bool{"one": true, "two": true, "three": true}
+	for v := range want {
+		if r := rawDo(t, addr, &wire.Request{Op: wire.OpPut, Key: k, Payload: []byte(v)}); r.Status != wire.StatusOK {
+			t.Fatalf("put %q: %+v", v, r)
+		}
+	}
+
+	d.Kill()
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr = readyAddr(t, d.ReadyFile)
+	got := map[string]bool{}
+	for i := 0; i < len(want); i++ {
+		r := rawDo(t, addr, &wire.Request{Op: wire.OpGetSkip, Key: k})
+		if r.Status != wire.StatusOK {
+			t.Fatalf("recovered take %d: %+v", i, r)
+		}
+		got[string(r.Payload)] = true
+	}
+	if r := rawDo(t, addr, &wire.Request{Op: wire.OpGetSkip, Key: k}); r.Status != wire.StatusEmpty {
+		t.Fatalf("extra memo after recovery: %+v", r)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	if err := d.Term(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readyAddr(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// rawDo sends one wire request over a fresh TCP mux channel — the protocol
+// exactly as a non-Go client would speak it.
+func rawDo(t *testing.T, addr string, q *wire.Request) *wire.Response {
+	t.Helper()
+	conn, err := transport.NewTCP().Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewMux(conn, transport.DefaultMTU)
+	go mux.Run()
+	defer mux.Close()
+	ch := mux.Channel(1)
+	if err := ch.Send(wire.EncodeRequest(q)); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// --- deterministic unit tests (always run) ---
+
+// TestSeedReplayDeterminism proves a seed fully determines its trace: the
+// property the regression corpus depends on.
+func TestSeedReplayDeterminism(t *testing.T) {
+	seeds, err := LoadSeeds(seedCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range append(seeds, Seed{Seed: 424242, Actions: 500}) {
+		a := GenActions(s.Seed, s.Actions, hostCount, keyCount, pairCount)
+		b := GenActions(s.Seed, s.Actions, hostCount, keyCount, pairCount)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations disagree", s.Seed)
+		}
+		if len(a) != s.Actions {
+			t.Fatalf("seed %d: %d actions, want %d", s.Seed, len(a), s.Actions)
+		}
+	}
+	x := GenActions(1, 200, hostCount, keyCount, pairCount)
+	y := GenActions(2, 200, hostCount, keyCount, pairCount)
+	if reflect.DeepEqual(x, y) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenActionsForcedCoverage: every trace long enough for the smoke
+// gate contains at least one kill and one sever, whatever the seed rolls.
+func TestGenActionsForcedCoverage(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		acts := GenActions(seed, 100, hostCount, keyCount, pairCount)
+		kills, severs := 0, 0
+		for _, a := range acts {
+			switch a.Type {
+			case ActKill:
+				kills++
+			case ActSever:
+				severs++
+			}
+			if a.Host >= hostCount || a.Key >= keyCount || a.Pair >= pairCount || a.Node >= hostCount {
+				t.Fatalf("seed %d: action out of range: %+v", seed, a)
+			}
+		}
+		if kills == 0 || severs == 0 {
+			t.Fatalf("seed %d: kills=%d severs=%d, want both >= 1", seed, kills, severs)
+		}
+	}
+}
+
+// TestOracleSelfTest injects deliberate duplicate, loss, and phantom
+// outcomes and requires the oracle to flag each — the oracle is only
+// trustworthy if it provably fails on the bugs it exists to catch.
+func TestOracleSelfTest(t *testing.T) {
+	clean := NewLedger()
+	clean.AckPut("a")
+	clean.Consume("a")
+	clean.UncertainPut("b")
+	clean.AckPut("c")
+	clean.UncertainTake() // may have eaten c
+	if err := clean.Check(); err != nil {
+		t.Fatalf("clean history flagged: %v", err)
+	}
+
+	dup := NewLedger()
+	dup.AckPut("a")
+	dup.Consume("a")
+	dup.Consume("a")
+	if err := dup.Check(); err == nil {
+		t.Fatal("duplicate consumption not flagged")
+	}
+
+	loss := NewLedger()
+	loss.AckPut("a")
+	if err := loss.Check(); err == nil {
+		t.Fatal("lost acked value not flagged")
+	}
+
+	phantom := NewLedger()
+	phantom.Consume("never-deposited")
+	if err := phantom.Check(); err == nil {
+		t.Fatal("phantom value not flagged")
+	}
+
+	uncertain := NewLedger()
+	uncertain.UncertainPut("maybe")
+	uncertain.Consume("maybe") // landed once: fine
+	if err := uncertain.Check(); err != nil {
+		t.Fatalf("0-or-1 uncertain landing flagged: %v", err)
+	}
+	uncertain.Consume("maybe") // landed twice: bug
+	if err := uncertain.Check(); err == nil {
+		t.Fatal("uncertain value consumed twice not flagged")
+	}
+}
+
+// TestMinimizePrefix: the corpus minimizer finds the exact threshold with
+// a generous probe budget and still returns a failing prefix on a tight
+// one.
+func TestMinimizePrefix(t *testing.T) {
+	probes := 0
+	got := MinimizePrefix(120, 20, func(n int) bool { probes++; return n >= 37 })
+	if got != 37 {
+		t.Fatalf("minimized to %d, want 37 (%d probes)", got, probes)
+	}
+	got = MinimizePrefix(120, 2, func(n int) bool { return n >= 37 })
+	if got < 37 || got > 120 {
+		t.Fatalf("budget-capped minimize returned %d, outside [37,120]", got)
+	}
+}
+
+// TestSeedCorpusWellFormed keeps regression_seeds.json loadable and sane.
+func TestSeedCorpusWellFormed(t *testing.T) {
+	seeds, err := LoadSeeds(seedCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty regression corpus: expected at least the founding seeds")
+	}
+	for _, s := range seeds {
+		if s.Actions < 1 {
+			t.Fatalf("corpus entry %+v has no actions", s)
+		}
+	}
+}
+
+// TestAppendSeedDedups: re-reporting a known seed must not grow the file.
+func TestAppendSeedDedups(t *testing.T) {
+	path := t.TempDir() + "/seeds.json"
+	s := Seed{Seed: 9, Actions: 40, Note: "x"}
+	for i := 0; i < 3; i++ {
+		if err := AppendSeed(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := AppendSeed(path, Seed{Seed: 9, Actions: 41}); err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := LoadSeeds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("corpus has %d entries, want 2 (dedup failed): %+v", len(seeds), seeds)
+	}
+}
+
+// TestProxySeverHeal pins the proxy's failure semantics: a severed link
+// kills live pipes and refuses new ones at the application level while
+// still accepting TCP; healing restores forwarding.
+func TestProxySeverHeal(t *testing.T) {
+	echo, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+	go func() {
+		for {
+			c, err := echo.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	p, err := NewProxy("127.0.0.1:0", echo.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	roundTrip := func() error {
+		conn, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			return err
+		}
+		if _, err := conn.Write([]byte("hi")); err != nil {
+			return err
+		}
+		buf := make([]byte, 2)
+		for read := 0; read < 2; {
+			n, err := conn.Read(buf[read:])
+			if err != nil {
+				return err
+			}
+			read += n
+		}
+		return nil
+	}
+	if err := roundTrip(); err != nil {
+		t.Fatalf("healthy proxy: %v", err)
+	}
+	p.Sever()
+	if err := roundTrip(); err == nil {
+		t.Fatal("severed proxy still forwards")
+	}
+	p.Heal()
+	if err := roundTrip(); err != nil {
+		t.Fatalf("healed proxy: %v", err)
+	}
+}

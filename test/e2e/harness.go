@@ -1,0 +1,478 @@
+package e2e
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/adf"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/memoserver"
+	"repro/internal/placement"
+	"repro/internal/routing"
+	"repro/internal/rpc"
+	"repro/internal/symbol"
+	"repro/internal/transport"
+)
+
+// The fixed cluster shape every run uses: three memo servers in a full
+// mesh, one folder server per host. Keys are spread over a small fixed
+// keyspace so takes and puts collide often.
+const (
+	hostCount = 3
+	keyCount  = 8
+	pairCount = hostCount * (hostCount - 1) // directed inter-node links
+)
+
+var hostNames = [hostCount]string{"a", "b", "c"}
+
+const chaosADF = `APP chaos
+HOSTS
+a 1 sun4 1
+b 1 sun4 1
+c 1 sun4 1
+FOLDERS
+0 a
+1 b
+2 c
+PROCESSES
+0 boss a
+1 worker b
+2 worker c
+PPC
+a <-> b 1
+a <-> c 1
+b <-> c 1
+`
+
+// chaosKey maps a trace key index to the shared keyspace; sentinelKey is
+// outside it, reserved for the settle phase's watcher-convergence probes.
+func chaosKey(i int) symbol.Key    { return symbol.K(symbol.Symbol(100 + i)) }
+func sentinelKey(i int) symbol.Key { return symbol.K(symbol.Symbol(900 + i)) }
+func pairOf(p int) (from, to int) { // directed pair index -> host indices
+	from = p / (hostCount - 1)
+	to = p % (hostCount - 1)
+	if to >= from {
+		to++
+	}
+	return from, to
+}
+
+// Binaries are the black-box artifacts under test.
+type Binaries struct {
+	Memoserverd   string
+	Folderserverd string
+	Memo          string
+}
+
+// raceBuilt reports whether the harness itself was built with -race; the
+// race-tagged init in race.go flips it.
+var raceBuilt = false
+
+// BuildBinaries compiles the three real commands into dir. The harness
+// only ever talks to these binaries over TCP, argv, and exit codes. When
+// the harness itself is race-built, so are the daemons, putting the race
+// detector inside the servers for the whole chaos run.
+func BuildBinaries(dir string) (Binaries, error) {
+	b := Binaries{
+		Memoserverd:   filepath.Join(dir, "memoserverd"),
+		Folderserverd: filepath.Join(dir, "folderserverd"),
+		Memo:          filepath.Join(dir, "memo"),
+	}
+	for out, pkg := range map[string]string{
+		b.Memoserverd:   "repro/cmd/memoserverd",
+		b.Folderserverd: "repro/cmd/folderserverd",
+		b.Memo:          "repro/cmd/memo",
+	} {
+		args := []string{"build", "-o", out}
+		if raceBuilt {
+			args = append(args, "-race")
+		}
+		cmd := exec.Command("go", append(args, pkg)...)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			return b, fmt.Errorf("build %s: %v\n%s", pkg, err, msg)
+		}
+	}
+	return b, nil
+}
+
+// reservePort grabs a free TCP port and releases it for a daemon to bind.
+// The tiny reuse race is acceptable in a test harness.
+func reservePort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// Daemon is one memoserverd process plus everything needed to kill and
+// resurrect it: fixed listen address, data directory, argv.
+type Daemon struct {
+	Host      string
+	Listen    string
+	Debug     string
+	DataDir   string
+	ReadyFile string
+	LogPath   string
+
+	bin  string
+	args []string
+	cmd  *exec.Cmd
+	logf *os.File
+}
+
+// Start launches the daemon and waits for its ready file.
+func (d *Daemon) Start() error {
+	if err := os.Remove(d.ReadyFile); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	lf, err := os.OpenFile(d.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(d.bin, d.args...)
+	cmd.Stdout = lf
+	cmd.Stderr = lf
+	if err := cmd.Start(); err != nil {
+		lf.Close()
+		return err
+	}
+	d.cmd = cmd
+	d.logf = lf
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(d.ReadyFile); err == nil {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon %s: ready file %s never appeared (log: %s)", d.Host, d.ReadyFile, d.LogPath)
+}
+
+// Kill SIGKILLs the daemon — the crash the WAL exists for.
+func (d *Daemon) Kill() {
+	if d.cmd == nil {
+		return
+	}
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+	d.logf.Close()
+	d.cmd = nil
+}
+
+// Term asks for a clean shutdown and verifies it: exit status 0 and the
+// "bye" line that only the flushed-WAL path logs.
+func (d *Daemon) Term() error {
+	if d.cmd == nil {
+		return fmt.Errorf("daemon %s not running", d.Host)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		d.logf.Close()
+		d.cmd = nil
+		if err != nil {
+			return fmt.Errorf("daemon %s: unclean exit: %v", d.Host, err)
+		}
+	case <-time.After(15 * time.Second):
+		d.Kill()
+		return fmt.Errorf("daemon %s: SIGTERM drain hung", d.Host)
+	}
+	log, err := os.ReadFile(d.LogPath)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(log), "bye") {
+		return fmt.Errorf("daemon %s: no clean-shutdown marker in log %s", d.Host, d.LogPath)
+	}
+	return nil
+}
+
+// Cluster is the live system under test.
+type Cluster struct {
+	Dir     string
+	Bins    Binaries
+	ADFPath string
+	ADFText string
+	File    *adf.File
+	Place   *placement.Map
+	Nodes   [hostCount]*Daemon
+	Proxies [pairCount]*Proxy
+	logff   func(string, ...any)
+}
+
+// NewCluster reserves ports, wires every directed peer link through its
+// own proxy, writes the ADF, and prepares (but does not start) the nodes.
+func NewCluster(dir string, bins Binaries, logff func(string, ...any)) (*Cluster, error) {
+	c := &Cluster{Dir: dir, Bins: bins, ADFText: chaosADF, logff: logff}
+	f, err := adf.Parse(chaosADF)
+	if err != nil {
+		return nil, err
+	}
+	if err := adf.Validate(f); err != nil {
+		return nil, err
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return nil, err
+	}
+	c.Place, err = placement.New(f, routing.Build(g), placement.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c.File = f
+	c.ADFPath = filepath.Join(dir, "chaos.adf")
+	if err := os.WriteFile(c.ADFPath, []byte(chaosADF), 0o644); err != nil {
+		return nil, err
+	}
+
+	var listens [hostCount]string
+	for i := range listens {
+		if listens[i], err = reservePort(); err != nil {
+			return nil, err
+		}
+	}
+	for p := range c.Proxies {
+		addr, err := reservePort()
+		if err != nil {
+			return nil, err
+		}
+		_, to := pairOf(p)
+		if c.Proxies[p], err = NewProxy(addr, listens[to]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Nodes {
+		debug, err := reservePort()
+		if err != nil {
+			return nil, err
+		}
+		host := hostNames[i]
+		d := &Daemon{
+			Host:      host,
+			Listen:    listens[i],
+			Debug:     debug,
+			DataDir:   filepath.Join(dir, "data-"+host),
+			ReadyFile: filepath.Join(dir, host+".ready"),
+			LogPath:   filepath.Join(dir, host+".log"),
+			bin:       bins.Memoserverd,
+		}
+		d.args = []string{
+			"-host", host,
+			"-listen", d.Listen,
+			"-debug-addr", d.Debug,
+			"-data-dir", d.DataDir,
+			"-ready-file", d.ReadyFile,
+			// Aggressive snapshots so chaos runs cross the snapshot+truncate
+			// and generation-rollover paths, not just plain appends.
+			"-snapshot-every", "64",
+			// Fast link timings: seconds of chaos, not minutes.
+			"-heartbeat-interval", "250ms",
+			"-redial-backoff", "20ms",
+			"-link-retries", "2",
+		}
+		for p := range c.Proxies {
+			from, to := pairOf(p)
+			if from == i {
+				d.args = append(d.args, "-peer", hostNames[to]+"="+c.Proxies[p].Addr())
+			}
+		}
+		c.Nodes[i] = d
+	}
+	return c, nil
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.logff != nil {
+		c.logff(format, args...)
+	}
+}
+
+// StartAll boots every node and registers the application with each.
+func (c *Cluster) StartAll() error {
+	for _, d := range c.Nodes {
+		if err := d.Start(); err != nil {
+			return err
+		}
+	}
+	for i := range c.Nodes {
+		if err := c.registerLib(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerLib registers the ADF with node i through the client library.
+func (c *Cluster) registerLib(i int) error {
+	cl, err := c.rawClient(i)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	return cl.Register(c.ADFText)
+}
+
+// RegisterCLI re-registers the ADF with node i through the memo binary —
+// the path an operator uses after restarting a daemon.
+func (c *Cluster) RegisterCLI(i int) error {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		out, err := c.CLI(i, "register")
+		if err == nil && out.OK {
+			return nil
+		}
+		lastErr = fmt.Errorf("register attempt %d: %v (%s)", attempt, err, out.Error)
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// rawClient dials node i's wire endpoint directly (no placement, no core).
+func (c *Cluster) rawClient(i int) (*memoserver.Client, error) {
+	tcp := transport.NewTCP()
+	addr := c.Nodes[i].Listen
+	dial := func(srcHost, logical string) (transport.Conn, error) { return tcp.Dial(addr) }
+	return memoserver.DialClientResilient(dial, hostNames[i], c.File.App, rpc.Policy{},
+		rpc.Resilience{Heartbeat: rpc.DefaultHeartbeat, Retries: 2})
+}
+
+// Memo opens a full client-library handle entering the cluster at node i —
+// the same construction cmd/memo's op mode and cluster.NewMemo use, so key
+// placement agrees with every other participant.
+func (c *Cluster) Memo(i int) (*core.Memo, error) {
+	client, err := c.rawClient(i)
+	if err != nil {
+		return nil, err
+	}
+	h, _ := c.File.HostByName(hostNames[i])
+	m, err := core.New(core.Config{
+		App:      c.File.App,
+		Host:     hostNames[i],
+		Domain:   cluster.DomainFor(h.Arch),
+		Registry: symbol.NewRegistry(),
+		Place:    c.Place,
+		Client:   client,
+	})
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// CLIResult is one parsed -json line from the memo binary.
+type CLIResult struct {
+	OK    bool   `json:"ok"`
+	Op    string `json:"op"`
+	Key   string `json:"key"`
+	Value string `json:"value"`
+	Empty bool   `json:"empty"`
+	Error string `json:"error"`
+	Code  int    `json:"-"`
+}
+
+// Restart resurrects a killed node from its data directory and
+// re-registers the app via the CLI.
+func (c *Cluster) Restart(i int) error {
+	if err := c.Nodes[i].Start(); err != nil {
+		return err
+	}
+	return c.RegisterCLI(i)
+}
+
+// Shutdown SIGTERMs every running node and verifies each drained cleanly.
+func (c *Cluster) Shutdown() error {
+	var firstErr error
+	for _, d := range c.Nodes {
+		if d.cmd == nil {
+			continue
+		}
+		if err := d.Term(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, p := range c.Proxies {
+		p.Close()
+	}
+	return firstErr
+}
+
+// Abort hard-kills everything (cleanup path for failed runs).
+func (c *Cluster) Abort() {
+	for _, d := range c.Nodes {
+		if d != nil && d.cmd != nil {
+			d.Kill()
+		}
+	}
+	for _, p := range c.Proxies {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// SumGauge scrapes /metrics on every node and sums the given series
+// (across all label sets).
+func (c *Cluster) SumGauge(series string) (int64, error) {
+	var sum int64
+	for _, d := range c.Nodes {
+		v, err := scrapeSum(d.Debug, series)
+		if err != nil {
+			return 0, fmt.Errorf("node %s: %w", d.Host, err)
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// scrapeSum fetches /metrics from one debug address and sums every sample
+// of one series.
+func scrapeSum(debugAddr, series string) (int64, error) {
+	resp, err := http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		rest := line[len(series):]
+		// Exact series match: next char is '{' (labels) or ' ' (bare).
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		f, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		sum += int64(f)
+	}
+	return sum, nil
+}

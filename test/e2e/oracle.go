@@ -1,0 +1,143 @@
+package e2e
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Ledger is the harness-side account of every operation's outcome. Values
+// are unique per deposit, so consumption is checkable by value alone:
+//
+//   - an acknowledged put (or put_delayed, or drain trigger) promises its
+//     value exists exactly once until consumed;
+//   - an operation that errored is *uncertain*: a put that may or may not
+//     have landed (0-or-1), a take that may or may not have consumed one
+//     value (0-or-1, possibly later — an abandoned blocking get leaves a
+//     server-side waiter that can consume a future deposit);
+//   - an acknowledged take observed value v consumes it.
+//
+// Violations recorded eagerly: double-consume (v observed twice) and
+// phantom (v observed that no put ever deposited). Checked at the end:
+// loss — an acked value never observed anywhere can only be explained by
+// an uncertain take, so |missing| must be ≤ the uncertain-take count.
+type Ledger struct {
+	mu           sync.Mutex
+	intended     map[string]bool
+	acked        map[string]bool
+	uncertainPut map[string]bool
+	observed     map[string]int
+	uncertTakes  int
+	violations   []string
+}
+
+func NewLedger() *Ledger {
+	return &Ledger{
+		intended:     make(map[string]bool),
+		acked:        make(map[string]bool),
+		uncertainPut: make(map[string]bool),
+		observed:     make(map[string]int),
+	}
+}
+
+// Intend pre-registers a deposit's value before the operation is issued.
+// The server applies a put before the client's ack arrives, so a parked
+// watcher or taker can legitimately observe the value ahead of AckPut —
+// the phantom check therefore keys on intent, not on acknowledgement.
+func (l *Ledger) Intend(v string) {
+	l.mu.Lock()
+	l.intended[v] = true
+	l.mu.Unlock()
+}
+
+// AckPut records a deposit the cluster acknowledged.
+func (l *Ledger) AckPut(v string) {
+	l.mu.Lock()
+	l.intended[v] = true
+	l.acked[v] = true
+	l.mu.Unlock()
+}
+
+// UncertainPut records a deposit whose operation errored: it landed 0 or 1
+// times.
+func (l *Ledger) UncertainPut(v string) {
+	l.mu.Lock()
+	l.intended[v] = true
+	l.uncertainPut[v] = true
+	l.mu.Unlock()
+}
+
+// Consume records a value returned by an acknowledged destructive read
+// (get, get_skip, alt_take, or the drain sweep).
+func (l *Ledger) Consume(v string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observed[v]++
+	if l.observed[v] > 1 {
+		l.violations = append(l.violations,
+			fmt.Sprintf("double-consume: value %q returned by %d takes", v, l.observed[v]))
+	}
+	if !l.intended[v] {
+		l.violations = append(l.violations,
+			fmt.Sprintf("phantom: take returned value %q no put ever deposited", v))
+	}
+}
+
+// UncertainTake records a destructive read whose operation errored or was
+// abandoned: it consumed 0 or 1 values, possibly in the future.
+func (l *Ledger) UncertainTake() {
+	l.mu.Lock()
+	l.uncertTakes++
+	l.mu.Unlock()
+}
+
+// violate records a harness-detected invariant violation verbatim
+// (convergence failures, metrics imbalance).
+func (l *Ledger) violate(msg string) {
+	l.mu.Lock()
+	l.violations = append(l.violations, msg)
+	l.mu.Unlock()
+}
+
+// Copy records a value observed by a non-destructive read (watch /
+// get_copy): it must exist, but is not consumed.
+func (l *Ledger) Copy(v string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.intended[v] {
+		l.violations = append(l.violations,
+			fmt.Sprintf("phantom: copy returned value %q no put ever deposited", v))
+	}
+}
+
+// Stats summarizes the ledger for run logs.
+func (l *Ledger) Stats() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("acked=%d uncertain-puts=%d observed=%d uncertain-takes=%d",
+		len(l.acked), len(l.uncertainPut), len(l.observed), l.uncertTakes)
+}
+
+// Check returns every invariant violation, or nil if the run converged.
+func (l *Ledger) Check() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	errs := append([]string(nil), l.violations...)
+	var missing []string
+	for v := range l.acked {
+		if l.observed[v] == 0 {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) > l.uncertTakes {
+		sort.Strings(missing)
+		errs = append(errs, fmt.Sprintf(
+			"loss: %d acked values never observed but only %d uncertain takes could have consumed them: %v",
+			len(missing), l.uncertTakes, missing))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("oracle: %d violations:\n  %s", len(errs), strings.Join(errs, "\n  "))
+}

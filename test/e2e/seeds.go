@@ -1,0 +1,76 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Seed is one regression corpus entry: a (seed, action-count) pair that
+// once exposed a bug. The corpus is replayed before fresh seeds on every
+// run, so each found bug stays found.
+type Seed struct {
+	Seed    int64  `json:"seed"`
+	Actions int    `json:"actions"`
+	Note    string `json:"note,omitempty"`
+}
+
+// LoadSeeds reads the regression corpus. A missing file is an empty
+// corpus, not an error.
+func LoadSeeds(path string) ([]Seed, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seeds []Seed
+	if err := json.Unmarshal(data, &seeds); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return seeds, nil
+}
+
+// AppendSeed adds a newly-found failing seed to the corpus file,
+// de-duplicating exact (seed, actions) repeats.
+func AppendSeed(path string, s Seed) error {
+	seeds, err := LoadSeeds(path)
+	if err != nil {
+		return err
+	}
+	for _, have := range seeds {
+		if have.Seed == s.Seed && have.Actions == s.Actions {
+			return nil
+		}
+	}
+	seeds = append(seeds, s)
+	data, err := json.MarshalIndent(seeds, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// MinimizePrefix binary-searches the smallest action-count prefix of a
+// failing trace that still fails, probing at most maxProbes times (each
+// probe is a full cluster run, so the budget matters). fails(n) must
+// report whether the n-action prefix reproduces the failure; n itself is
+// known-failing and is returned if the budget runs out before the search
+// narrows further.
+func MinimizePrefix(n, maxProbes int, fails func(n int) bool) int {
+	lo, hi := 1, n // invariant: hi fails; lo-1 (when probed) passed
+	for probes := 0; lo < hi && probes < maxProbes; probes++ {
+		mid := lo + (hi-lo)/2
+		if fails(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi
+}
