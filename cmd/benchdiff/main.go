@@ -1,0 +1,200 @@
+// Command benchdiff compares two directories of bench tables
+// (BENCH_E<n>.json, written by `dmemo-bench -json`) and flags perf
+// regressions: any time-per-op cell that got more than -threshold slower
+// (default 15%), and ANY increase in an allocs/op cell — the allocation
+// budget is a hard invariant (E13), not a tolerance band.
+//
+//	benchdiff old-dir new-dir            # report, exit 1 on regressions
+//	benchdiff -threshold 0.25 old new    # looser time tolerance
+//
+// Tables are matched by experiment ID, rows by their first (label) column,
+// and only metric columns are compared: column names containing "ns/op",
+// "us/op", "ns/node", or "allocs/op". Rows or tables present on one side
+// only are reported as informational, never as failures — experiments come
+// and go across PRs.
+//
+// CI runs this advisorily against the committed baseline (bench-tables/):
+// quick-mode numbers on shared runners are too noisy to gate merges, but
+// the report in the log makes a perf cliff visible the moment it lands.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// table mirrors internal/bench's stable tableJSON shape.
+type table struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "fractional time-per-op slowdown tolerated before flagging")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.15] <old-dir> <new-dir>")
+		os.Exit(2)
+	}
+	oldTabs, err := loadDir(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newTabs, err := loadDir(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regressions := 0
+	compared := 0
+	ids := make([]string, 0, len(newTabs))
+	for id := range newTabs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		nt := newTabs[id]
+		ot, ok := oldTabs[id]
+		if !ok {
+			fmt.Printf("%s: new experiment (no baseline)\n", id)
+			continue
+		}
+		oldRows := rowIndex(ot)
+		for _, row := range nt.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			oldRow, ok := oldRows[row[0]]
+			if !ok {
+				fmt.Printf("%s[%s]: new row (no baseline)\n", id, row[0])
+				continue
+			}
+			for ci, col := range nt.Columns {
+				kind := metricKind(col)
+				if kind == metricNone || ci >= len(row) {
+					continue
+				}
+				oci := columnIndex(ot.Columns, col)
+				if oci < 0 || oci >= len(oldRow) {
+					continue
+				}
+				oldV, ok1 := parseCell(oldRow[oci])
+				newV, ok2 := parseCell(row[ci])
+				if !ok1 || !ok2 {
+					continue
+				}
+				compared++
+				switch kind {
+				case metricTime:
+					if oldV > 0 && newV > oldV*(1+*threshold) {
+						regressions++
+						fmt.Printf("REGRESSION %s[%s] %s: %s -> %s (+%.1f%%, threshold %.0f%%)\n",
+							id, row[0], col, oldRow[oci], row[ci], 100*(newV/oldV-1), 100**threshold)
+					}
+				case metricAllocs:
+					// Any measurable increase trips: allocs/op is a budget,
+					// and the fuzz term only absorbs AllocsPerRun averaging.
+					if newV > oldV+0.01 {
+						regressions++
+						fmt.Printf("REGRESSION %s[%s] %s: %s -> %s (allocs/op may never rise)\n",
+							id, row[0], col, oldRow[oci], row[ci])
+					}
+				}
+			}
+		}
+	}
+
+	fmt.Printf("benchdiff: %d metric cells compared, %d regression(s)\n", compared, regressions)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+type metric int
+
+const (
+	metricNone metric = iota
+	metricTime
+	metricAllocs
+)
+
+// metricKind classifies a column by its name. Time-per-op columns follow the
+// internal/bench conventions (ns/op, us/op, ns/node); allocation columns all
+// contain "allocs".
+func metricKind(col string) metric {
+	c := strings.ToLower(col)
+	switch {
+	case strings.Contains(c, "allocs"):
+		return metricAllocs
+	case strings.Contains(c, "ns/op"), strings.Contains(c, "us/op"), strings.Contains(c, "ns/node"):
+		return metricTime
+	}
+	return metricNone
+}
+
+// parseCell reads a numeric cell. internal/bench formats floats with %.4g,
+// so plain ParseFloat covers every metric cell; anything else (durations,
+// percentages, labels) is skipped by the caller.
+func parseCell(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return v, err == nil
+}
+
+// rowIndex keys a table's rows by their first (label) column. Later
+// duplicates win, matching how a reader scans the table bottom-up; in
+// practice labels are unique per experiment.
+func rowIndex(t table) map[string][]string {
+	idx := make(map[string][]string, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) > 0 {
+			idx[row[0]] = row
+		}
+	}
+	return idx
+}
+
+func columnIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// loadDir reads every BENCH_*.json table under dir, keyed by experiment ID.
+func loadDir(dir string) (map[string]table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%s: no BENCH_*.json tables", dir)
+	}
+	out := make(map[string]table, len(paths))
+	for _, p := range paths {
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var t table
+		if err := json.Unmarshal(blob, &t); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if t.ID == "" {
+			return nil, fmt.Errorf("%s: table has no id", p)
+		}
+		out[t.ID] = t
+	}
+	return out, nil
+}

@@ -49,7 +49,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
 	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose handling takes at least this long in the slow-request log (/slowz); 0 disables span timing")
-	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness)")
+	traceSample := flag.Float64("trace-sample", 0, "span-sample this fraction of entry requests into /tracez (1 = all, 0 = none); requests a memo server already sampled are always traced through")
+	traceRing := flag.Int("trace-ring", 0, "sampled traces kept in the /tracez ring (0 = default 256)")
+	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness). With -debug-addr a second line `debug <addr>` names the debug endpoint")
 	flag.Parse()
 
 	if *host == "" {
@@ -76,7 +78,10 @@ func main() {
 				e.Trace, e.Hop, e.Op, e.Folder, e.Where, e.Dur)
 		})
 	}
-	srvOpts := []folder.ServerOption{folder.WithBatchPolicy(pol), folder.WithSlowLog(slow)}
+	// The tracer exists even at -trace-sample 0: a request some memo server
+	// sampled upstream still collects spans here (relay-only mode).
+	tracer := obs.NewTracer(fmt.Sprintf("folder-%d@%s", *id, *host), *traceSample, *traceRing)
+	srvOpts := []folder.ServerOption{folder.WithBatchPolicy(pol), folder.WithSlowLog(slow), folder.WithTracer(tracer)}
 
 	var srv *folder.Server
 	if *dataDir != "" {
@@ -104,28 +109,35 @@ func main() {
 		log.Fatalf("folderserverd: %v", err)
 	}
 	log.Printf("folderserverd: folder server %d on %s listening at %s", *id, *host, l.Addr())
+
+	// The debug server unifies /metrics, /statusz, /slowz, /tracez, and pprof
+	// on one listener: off by default, and when enabled, bind a loopback
+	// address unless you mean to expose the profiler. Started before the
+	// ready file is published so the file can carry the debug address too.
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, slow,
+			obs.WithTraceRing(tracer.Ring()))
+		if err := debug.Start(); err != nil {
+			log.Fatalf("folderserverd: debug server: %v", err)
+		}
+		log.Printf("folderserverd: debug endpoints on %s", debug.Addr())
+	}
 	if *readyFile != "" {
-		// Publish the bound address atomically (temp file + rename) so a
-		// polling harness never reads a torn write.
+		// Publish the readiness info atomically (temp file + rename) so a
+		// polling harness never reads a torn write: bound address first,
+		// then `debug <addr>` when the debug server is up.
+		ready := l.Addr() + "\n"
+		if debug != nil {
+			ready += "debug " + debug.Addr() + "\n"
+		}
 		tmp := *readyFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(l.Addr()+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(tmp, []byte(ready), 0o644); err != nil {
 			log.Fatalf("folderserverd: ready file: %v", err)
 		}
 		if err := os.Rename(tmp, *readyFile); err != nil {
 			log.Fatalf("folderserverd: ready file: %v", err)
 		}
-	}
-
-	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
-	// listener: off by default, and when enabled, bind a loopback address
-	// unless you mean to expose the profiler.
-	var debug *obs.DebugServer
-	if *debugAddr != "" {
-		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, slow)
-		if err := debug.Start(); err != nil {
-			log.Fatalf("folderserverd: debug server: %v", err)
-		}
-		log.Printf("folderserverd: debug endpoints on %s", debug.Addr())
 	}
 
 	// Serve until SIGINT/SIGTERM: stop accepting, then flush and close the

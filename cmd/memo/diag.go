@@ -1,0 +1,312 @@
+// Diagnostic mode: cluster-wide observability from the shell.
+//
+//	memo top   -nodes a=127.0.0.1:6060,b=127.0.0.1:6061        # refreshing cluster table
+//	memo top   -ready-files 'a.ready,b.ready' -once            # one-shot, addrs from ready files
+//	memo trace -nodes ... 0x1f3a8c22d9e47b01                   # one trace's merged timeline
+//
+// Both subcommands scrape the daemons' debug endpoints (-debug-addr):
+// `top` renders one row per node from /statusz (which embeds the /metrics
+// snapshot, the slow-request totals, and peer-link health), and `trace`
+// fetches one trace ID's samples from every node's /tracez ring and merges
+// them into a single time-ordered span timeline — the entry node holds the
+// full tree, relay nodes hold their subtrees, and the merge dedups the
+// overlap. Node addresses come from -nodes (name=addr pairs) or from daemon
+// ready files, whose `debug <addr>` line memoserverd/folderserverd write
+// when started with both -ready-file and -debug-addr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// nodeTarget is one scrape target: a display name and a debug address.
+type nodeTarget struct {
+	Name string
+	Addr string
+}
+
+// parseTargets builds the scrape list from -nodes ("name=addr" or bare
+// "addr", comma-separated) and -ready-files (comma-separated paths; the
+// name is the file's base name minus its extension, the address the
+// `debug <addr>` line the daemons write).
+func parseTargets(nodes, readyFiles string) ([]nodeTarget, error) {
+	var out []nodeTarget
+	for _, part := range strings.Split(nodes, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			out = append(out, nodeTarget{Name: name, Addr: addr})
+		} else {
+			out = append(out, nodeTarget{Name: part, Addr: part})
+		}
+	}
+	for _, path := range strings.Split(readyFiles, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		addr := ""
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "debug "); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("%s: no `debug <addr>` line (daemon started without -debug-addr?)", path)
+		}
+		name := filepath.Base(path)
+		name = strings.TrimSuffix(name, filepath.Ext(name))
+		out = append(out, nodeTarget{Name: name, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no targets: give -nodes or -ready-files")
+	}
+	return out, nil
+}
+
+// scrapeJSON fetches one debug endpoint and decodes its JSON body. The
+// short timeout keeps a dead node from stalling the whole table.
+func scrapeJSON(addr, path string, v any) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// statuszView is the subset of /statusz `memo top` renders.
+type statuszView struct {
+	Metrics []struct {
+		Name    string `json:"name"`
+		Samples []struct {
+			Value *int64 `json:"value,omitempty"`
+		} `json:"samples"`
+	} `json:"metrics"`
+	Links    json.RawMessage `json:"links"`
+	SlowTot  int64           `json:"slow_requests_total"`
+	TraceTot int64           `json:"traces_total"`
+}
+
+// sum adds every sample of one series (all label sets).
+func (s *statuszView) sum(name string) int64 {
+	var total int64
+	for i := range s.Metrics {
+		if s.Metrics[i].Name != name {
+			continue
+		}
+		for _, smp := range s.Metrics[i].Samples {
+			if smp.Value != nil {
+				total += *smp.Value
+			}
+		}
+	}
+	return total
+}
+
+// linkSummary condenses the /statusz links array (LinkStats / RedialerStats)
+// into "dials/faults" plus the first live error, if any.
+func (s *statuszView) linkSummary() string {
+	if len(s.Links) == 0 {
+		return "-"
+	}
+	var links []struct {
+		Peer    string `json:"Peer"`
+		Dials   int64  `json:"Dials"`
+		Faults  int64  `json:"Faults"`
+		LastErr string `json:"LastErr"`
+	}
+	if err := json.Unmarshal(s.Links, &links); err != nil {
+		return "-"
+	}
+	var dials, faults int64
+	firstErr := ""
+	for _, l := range links {
+		dials += l.Dials
+		faults += l.Faults
+		if firstErr == "" && l.LastErr != "" {
+			firstErr = l.Peer + ": " + l.LastErr
+		}
+	}
+	out := fmt.Sprintf("%d/%d", dials, faults)
+	if firstErr != "" {
+		out += " (" + firstErr + ")"
+	}
+	return out
+}
+
+// runTop renders the cluster table: one row per node, refreshed every
+// -interval until interrupted (or exactly once with -once).
+func runTop(args []string) int {
+	fs := flag.NewFlagSet("memo top", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated name=debug-addr (or bare debug-addr) scrape targets")
+	ready := fs.String("ready-files", "", "comma-separated daemon ready files naming their debug endpoints")
+	once := fs.Bool("once", false, "render one table and exit")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	targets, err := parseTargets(*nodes, *ready)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memo top:", err)
+		return exitUsage
+	}
+	for {
+		renderTop(os.Stdout, targets)
+		if *once {
+			return exitOK
+		}
+		time.Sleep(*interval)
+		fmt.Println()
+	}
+}
+
+func renderTop(w io.Writer, targets []nodeTarget) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tUP\tLOCAL\tFWD\tRETRY\tRPC\tMEMOS\tHIDDEN\tSLOW\tTRACES\tLINKS d/f")
+	for _, t := range targets {
+		var st statuszView
+		if err := scrapeJSON(t.Addr, "/statusz", &st); err != nil {
+			fmt.Fprintf(tw, "%s\tdown\t-\t-\t-\t-\t-\t-\t-\t-\t%v\n", t.Name, err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\tyes\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			t.Name,
+			st.sum("node_local_ops_total"),
+			st.sum("node_forwards_total"),
+			st.sum("node_retried_total"),
+			st.sum("rpc_server_requests_total"),
+			st.sum("folder_memos"),
+			st.sum("folder_delayed_hidden"),
+			st.SlowTot,
+			st.TraceTot,
+			st.linkSummary())
+	}
+	tw.Flush()
+}
+
+// runTrace merges one trace's spans from every node's /tracez ring into a
+// time-ordered timeline. Exit code 1 when no node holds the trace.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("memo trace", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated name=debug-addr (or bare debug-addr) scrape targets")
+	ready := fs.String("ready-files", "", "comma-separated daemon ready files naming their debug endpoints")
+	jsonOut := fs.Bool("json", false, "print the merged spans as one JSON object")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "memo trace: usage: memo trace [flags] <trace-id>")
+		return exitUsage
+	}
+	if _, err := strconv.ParseUint(id, 0, 64); err != nil {
+		fmt.Fprintf(os.Stderr, "memo trace: bad trace id %q: %v\n", id, err)
+		return exitUsage
+	}
+	targets, err := parseTargets(*nodes, *ready)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memo trace:", err)
+		return exitUsage
+	}
+
+	// Collect every node's samples for the trace. One request can leave
+	// several samples per node (retries, several hops served by one node)
+	// and the entry node's full tree overlaps the relays' subtrees, so the
+	// merge dedups on span identity.
+	var spans []wire.Span
+	seen := map[string]bool{}
+	scraped := 0
+	for _, t := range targets {
+		var body struct {
+			Recent []obs.TraceSample `json:"recent"`
+		}
+		if err := scrapeJSON(t.Addr, "/tracez?trace="+id, &body); err != nil {
+			fmt.Fprintf(os.Stderr, "memo trace: node %s: %v\n", t.Name, err)
+			continue
+		}
+		scraped++
+		for _, ts := range body.Recent {
+			for _, sp := range ts.Spans {
+				key := fmt.Sprintf("%s|%s|%s|%d|%d|%d|%d", sp.Node, sp.Layer, sp.Op, sp.Hop, sp.Start, sp.Dur, sp.Wait)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				spans = append(spans, sp)
+			}
+		}
+	}
+	if scraped == 0 {
+		fmt.Fprintln(os.Stderr, "memo trace: no node answered")
+		return exitErr
+	}
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "memo trace: trace %s not found on %d node(s) (ring evicted, or never sampled)\n", id, scraped)
+		return exitErr
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Hop < spans[j].Hop
+	})
+
+	if *jsonOut {
+		b, err := json.Marshal(struct {
+			Trace string      `json:"trace"`
+			Spans []wire.Span `json:"spans"`
+		}{id, spans})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memo trace: encode:", err)
+			return exitErr
+		}
+		fmt.Println(string(b))
+		return exitOK
+	}
+
+	nodeSet := map[string]bool{}
+	for _, sp := range spans {
+		nodeSet[sp.Node] = true
+	}
+	fmt.Printf("trace %s: %d spans across %d node(s)\n", id, len(spans), len(nodeSet))
+	base := spans[0].Start
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "START\tDUR\tWAIT\tNODE\tLAYER\tOP\tFOLDER\tHOP")
+	for _, sp := range spans {
+		wait := "-"
+		if sp.Wait > 0 {
+			wait = time.Duration(sp.Wait).String()
+		}
+		fmt.Fprintf(tw, "+%v\t%v\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			time.Duration(sp.Start-base), time.Duration(sp.Dur), wait,
+			sp.Node, sp.Layer, sp.Op, sp.Folder, sp.Hop)
+	}
+	tw.Flush()
+	return exitOK
+}

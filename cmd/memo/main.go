@@ -36,9 +36,17 @@ import (
 
 func main() {
 	// Op mode: "memo <op> [flags]" runs one Memo Language operation against
-	// a live daemon. Anything else is the classic launcher path.
-	if len(os.Args) >= 2 && opNames[os.Args[1]] {
-		os.Exit(runOp(os.Args[1], os.Args[2:]))
+	// a live daemon; "memo top"/"memo trace" scrape the daemons' debug
+	// endpoints (diag.go). Anything else is the classic launcher path.
+	if len(os.Args) >= 2 {
+		switch {
+		case os.Args[1] == "top":
+			os.Exit(runTop(os.Args[2:]))
+		case os.Args[1] == "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		case opNames[os.Args[1]]:
+			os.Exit(runOp(os.Args[1], os.Args[2:]))
+		}
 	}
 	dryRun := flag.Bool("n", false, "validate and print the plan without booting")
 	defaultADF := flag.String("default", "", "system default ADF supplying missing sections")

@@ -64,6 +64,10 @@ type opFlags struct {
 	jsonOut bool
 	retries int
 	lambda  float64
+	trace   bool
+	// lastTrace reports the trace ID the client stamped (set by connect, 0
+	// until a request ran); emit folds it into the result when -trace is on.
+	lastTrace func() uint64
 }
 
 func newOpFlags(op string) *opFlags {
@@ -75,6 +79,7 @@ func newOpFlags(op string) *opFlags {
 	o.fs.BoolVar(&o.jsonOut, "json", false, "print a single JSON result line on stdout")
 	o.fs.IntVar(&o.retries, "retries", 2, "transparent retries of the request after a link failure (dedup tokens keep them exactly-once)")
 	o.fs.Float64Var(&o.lambda, "lambda", 0, "placement topology attenuation; must match the value the daemons registered with")
+	o.fs.BoolVar(&o.trace, "trace", false, "mark the request sampled: every hop collects spans into its /tracez ring, and the result reports the trace ID for `memo trace`")
 	return o
 }
 
@@ -86,6 +91,7 @@ type result struct {
 	Value string `json:"value,omitempty"`
 	Empty bool   `json:"empty,omitempty"`
 	Error string `json:"error,omitempty"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // runOp executes one subcommand and returns the process exit code.
@@ -292,6 +298,10 @@ func (o *opFlags) connect() (*core.Memo, *memoserver.Client, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.trace {
+		client.EnableSampling()
+	}
+	o.lastTrace = client.LastTraceID
 	m, err := core.New(core.Config{
 		App:      f.App,
 		Host:     o.host,
@@ -343,6 +353,11 @@ func valueString(v transferable.Value) string {
 
 // emit prints the op's one result line and passes the exit code through.
 func emit(o *opFlags, r result, code int) int {
+	if o.trace && o.lastTrace != nil {
+		if id := o.lastTrace(); id != 0 {
+			r.Trace = fmt.Sprintf("%#x", id)
+		}
+	}
 	if o.jsonOut {
 		b, err := json.Marshal(r)
 		if err != nil {
@@ -361,6 +376,9 @@ func emit(o *opFlags, r result, code int) int {
 		fmt.Printf("%s %s: %s\n", r.Op, r.Key, r.Value)
 	default:
 		fmt.Printf("%s %s: ok\n", r.Op, r.Key)
+	}
+	if r.Trace != "" {
+		fmt.Printf("trace %s (fetch with: memo trace %s)\n", r.Trace, r.Trace)
 	}
 	return code
 }

@@ -82,7 +82,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve the debug endpoints (/metrics, /statusz, /slowz, /debug/pprof/) on this address (e.g. localhost:6060); empty disables them")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -debug-addr")
 	slowThreshold := flag.Duration("slow-request-threshold", 0, "record requests whose dispatch takes at least this long in the slow-request log (/slowz); 0 disables span timing")
-	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness)")
+	traceSample := flag.Float64("trace-sample", 0, "span-sample this fraction of entry requests (1 = all, 0.01 = every 100th, 0 = none); sampled requests collect per-layer spans at every hop into /tracez. Requests another node sampled are always traced through")
+	traceRing := flag.Int("trace-ring", 0, "sampled traces kept in the /tracez ring (0 = default 256)")
+	readyFile := flag.String("ready-file", "", "after the listener is bound, atomically write the actual TCP address here (supports -listen :0; harnesses poll this file for readiness). With -debug-addr a second line `debug <addr>` names the debug endpoint")
 	flag.Parse()
 
 	if *host == "" {
@@ -128,6 +130,8 @@ func main() {
 			DataDir:              *dataDir,
 			Durable:              durable.Config{Sync: syncMode, SnapshotEvery: *snapshotEvery},
 			SlowRequestThreshold: *slowThreshold,
+			TraceSample:          *traceSample,
+			TraceRingSize:        *traceRing,
 		})
 	node.RegisterMetrics(obs.Default)
 	if sl := node.SlowLog(); sl != nil {
@@ -142,22 +146,30 @@ func main() {
 		log.Fatalf("memoserverd: %v", err)
 	}
 	log.Printf("memoserverd: host %s listening on %s", *host, mt.boundAddr)
-	if *readyFile != "" {
-		if err := writeReadyFile(*readyFile, mt.boundAddr); err != nil {
-			log.Fatalf("memoserverd: %v", err)
-		}
-	}
 
-	// The debug server unifies /metrics, /statusz, /slowz, and pprof on one
-	// listener: off by default, and when enabled, bind a loopback address
-	// unless you mean to expose the profiler.
+	// The debug server unifies /metrics, /statusz, /slowz, /tracez, and pprof
+	// on one listener: off by default, and when enabled, bind a loopback
+	// address unless you mean to expose the profiler. Started before the
+	// ready file is published so the file can carry the debug address too
+	// (`memo top` and the e2e forensics scraper read it from there).
 	var debug *obs.DebugServer
 	if *debugAddr != "" {
-		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, node.SlowLog())
+		debug = obs.NewDebugServer(*debugAddr, []*obs.Registry{obs.Default}, node.SlowLog(),
+			obs.WithTraceRing(node.Tracer().Ring()),
+			obs.WithLinkStatus(func() any { return node.LinkStats() }))
 		if err := debug.Start(); err != nil {
 			log.Fatalf("memoserverd: debug server: %v", err)
 		}
 		log.Printf("memoserverd: debug endpoints on %s", debug.Addr())
+	}
+	if *readyFile != "" {
+		ready := mt.boundAddr + "\n"
+		if debug != nil {
+			ready += "debug " + debug.Addr() + "\n"
+		}
+		if err := writeReadyFile(*readyFile, ready); err != nil {
+			log.Fatalf("memoserverd: %v", err)
+		}
 	}
 
 	// Serve until SIGINT/SIGTERM, then shut down in order: stop accepting,
@@ -178,11 +190,13 @@ func main() {
 	log.Printf("memoserverd: folder state flushed; bye")
 }
 
-// writeReadyFile publishes the daemon's bound address atomically: write to
+// writeReadyFile publishes the daemon's readiness info atomically: write to
 // a temp file, then rename, so a polling harness never reads a torn write.
-func writeReadyFile(path, addr string) error {
+// The first line is the bound TCP address; optional further lines carry
+// `key value` extras (currently `debug <addr>`).
+func writeReadyFile(path, content string) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
 		return err
 	}
 	return os.Rename(tmp, path)

@@ -31,6 +31,11 @@ type Server struct {
 	// its node-wide log), so one /slowz shows a request's spans across
 	// layers. Nil-safe throughout.
 	slow *obs.SlowLog
+	// tracer, when non-nil, owns span sets for requests that reach Handle
+	// without an enclosing dispatch wrapper — the standalone folderserverd
+	// deployment, where this server is the whole node. Under a memo server
+	// the node's own tracer owns the set and Begin here returns nil.
+	tracer *obs.Tracer
 	// where names this server in slow-log spans, e.g. "folder-3@bonnie".
 	where string
 	// ownsStore marks a store this server opened itself (OpenServer): Close
@@ -51,6 +56,15 @@ func WithBatchPolicy(p rpc.Policy) ServerOption {
 // (trace ID, hop, op, duration) for requests at or over the log's threshold.
 func WithSlowLog(sl *obs.SlowLog) ServerOption {
 	return func(s *Server) { s.slow = sl }
+}
+
+// WithTracer attaches a span tracer for the standalone deployment: Handle
+// begins and finishes span sets itself (sampling entry requests at the
+// tracer's rate, always collecting wire-sampled ones) and records them into
+// the tracer's ring for /tracez. Servers embedded in a memo server do not
+// need this — the node's dispatch wrapper owns the set.
+func WithTracer(tr *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
 }
 
 // NewServer wraps a store. cache configures the thread cache (§4.1); the
@@ -113,43 +127,81 @@ func (s *Server) Crash() {
 // memo server submits Handle calls through this server's thread cache via
 // Submit. With a slow log attached and enabled, each request is timed as
 // one span (the Enabled check is a single atomic load, so a disabled log
-// costs no time.Now on the hot path).
+// costs no time.Now on the hot path). A sampled request (one whose dispatch
+// wrapper attached a SpanSet) additionally threads an opTrace through the
+// store and emits folder and durable spans with the shard-lock wait, park
+// time, and group-commit wait it accumulated. With a tracer attached
+// (standalone folderserverd) Handle owns the set itself: it begins one for
+// sampled or sampler-admitted entry requests and finishes it into the
+// tracer's ring, returning the spans on the response for the rpc layer.
 func (s *Server) Handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
-	if !s.slow.Enabled() {
-		return s.handle(q, cancel)
+	if set := s.tracer.Begin(q); set != nil {
+		return s.tracer.Finish(q, set, s.handleSpans(q, cancel))
+	}
+	return s.handleSpans(q, cancel)
+}
+
+// handleSpans times one request into the slow log and, when an enclosing
+// wrapper attached a SpanSet, emits this layer's spans into it.
+func (s *Server) handleSpans(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+	traced := q.Sampled && q.Spans != nil
+	if !traced && !s.slow.Enabled() {
+		return s.handle(q, cancel, nil)
+	}
+	var ot *opTrace
+	if traced {
+		ot = new(opTrace)
 	}
 	start := time.Now()
-	resp := s.handle(q, cancel)
-	s.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), s.ID, s.where, time.Since(start))
+	resp := s.handle(q, cancel, ot)
+	dur := time.Since(start)
+	if s.slow.Enabled() {
+		s.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), s.ID, s.where, dur)
+	}
+	if traced {
+		startNS := start.UnixNano()
+		q.Spans.Add(wire.Span{Node: s.where, Layer: "folder", Op: q.Op.String(),
+			Folder: s.ID, Hop: q.TraceHop, Start: startNS, Dur: int64(dur), Wait: ot.lockWaitNS})
+		if ot.parkNS > 0 {
+			// Aggregate time parked waiting for a memo; anchored at the op
+			// start (the store does not track individual park intervals).
+			q.Spans.Add(wire.Span{Node: s.where, Layer: "folder", Op: "park",
+				Folder: s.ID, Hop: q.TraceHop, Start: startNS, Dur: ot.parkNS})
+		}
+		if ot.commitNS > 0 {
+			q.Spans.Add(wire.Span{Node: s.where, Layer: "durable", Op: "commit",
+				Folder: s.ID, Hop: q.TraceHop, Start: startNS, Dur: ot.commitNS})
+		}
+	}
 	return resp
 }
 
-func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response {
+func (s *Server) handle(q *wire.Request, cancel <-chan struct{}, ot *opTrace) *wire.Response {
 	switch q.Op {
 	case wire.OpPut:
-		if err := s.store.PutToken(q.Key, q.Payload, q.Token); err != nil {
+		if err := s.store.putToken(q.Key, q.Payload, q.Token, ot); err != nil {
 			return wire.Errf("put: %v", err)
 		}
 		return wire.OK()
 	case wire.OpPutDelayed:
-		if err := s.store.PutDelayedToken(q.Key, q.Key2, q.Payload, q.Token); err != nil {
+		if err := s.store.putDelayedToken(q.Key, q.Key2, q.Payload, q.Token, ot); err != nil {
 			return wire.Errf("put_delayed: %v", err)
 		}
 		return wire.OK()
 	case wire.OpGet:
-		payload, err := s.store.GetToken(q.Key, q.Token, cancel)
+		payload, err := s.store.getToken(q.Key, q.Token, cancel, ot)
 		if err != nil {
 			return wire.Errf("get: %v", err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpGetCopy:
-		payload, err := s.store.GetCopy(q.Key, cancel)
+		payload, err := s.store.getCopy(q.Key, cancel, ot)
 		if err != nil {
 			return wire.Errf("get_copy: %v", err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpGetSkip:
-		payload, ok, err := s.store.GetSkipToken(q.Key, q.Token)
+		payload, ok, err := s.store.getSkipToken(q.Key, q.Token, ot)
 		if err != nil {
 			return wire.Errf("get_skip: %v", err)
 		}
@@ -159,13 +211,13 @@ func (s *Server) handle(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		return &wire.Response{Status: wire.StatusOK, Key: q.Key, Payload: payload}
 	case wire.OpAltTake:
 		// Empty key sets fail fast inside the store (ErrNoKeys).
-		k, payload, err := s.store.AltTakeToken(q.Keys, q.Token, cancel)
+		k, payload, err := s.store.altTakeToken(q.Keys, q.Token, cancel, ot)
 		if err != nil {
 			return wire.Errf("alt_take: %v", err)
 		}
 		return &wire.Response{Status: wire.StatusOK, Key: k, Payload: payload}
 	case wire.OpWatch:
-		k, err := s.store.Watch(q.Keys, cancel)
+		k, err := s.store.watch(q.Keys, cancel, ot)
 		if err != nil {
 			return wire.Errf("watch: %v", err)
 		}

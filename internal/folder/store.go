@@ -23,6 +23,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/obs"
@@ -307,6 +308,45 @@ func unwrapCopy(it item) []byte {
 	return out
 }
 
+// opTrace accumulates the wait components of one sampled folder operation:
+// time spent acquiring shard locks, time parked waiting for a memo, and time
+// blocked on WAL group commit. The server's Handle wrapper turns the totals
+// into folder/durable spans. A nil *opTrace (every public entry point, and
+// every unsampled request) is fully inert: the helpers branch on nil before
+// touching the clock, so the untraced path takes no timestamps and allocates
+// nothing.
+type opTrace struct {
+	lockWaitNS int64
+	parkNS     int64
+	commitNS   int64
+}
+
+// clock returns a start stamp for one timed section (0 when untraced).
+func (ot *opTrace) clock() int64 {
+	if ot == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+func (ot *opTrace) lockAcquired(t0 int64) {
+	if ot != nil {
+		ot.lockWaitNS += time.Now().UnixNano() - t0
+	}
+}
+
+func (ot *opTrace) parked(t0 int64) {
+	if ot != nil {
+		ot.parkNS += time.Now().UnixNano() - t0
+	}
+}
+
+func (ot *opTrace) committed(t0 int64) {
+	if ot != nil {
+		ot.commitNS += time.Now().UnixNano() - t0
+	}
+}
+
 // Put deposits a memo and releases any delayed values hidden in the folder.
 // The returned error is always nil on a memory-only store; on a durable
 // store it reports a failed commit (the deposit is then not acknowledged
@@ -325,16 +365,29 @@ func (s *Store) Put(key symbol.Key, payload []byte) error {
 //
 //memolint:must-check-error
 func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
+	return s.putToken(key, payload, token, nil)
+}
+
+// putToken is PutToken with an optional trace accumulator (nil = untraced).
+//
+//memolint:must-check-error
+func (s *Store) putToken(key symbol.Key, payload []byte, token uint64, ot *opTrace) error {
 	canon := key.Canon()
 	it := s.wrap(payload)
 	si := int(s.shardIndex(key))
 	sh := &s.shards[si]
+	t0 := ot.clock()
 	sh.mu.Lock()
+	ot.lockAcquired(t0)
 	if token != 0 && !s.tokens.noteIfNew(token) {
 		sh.mu.Unlock()
 		s.dupPuts.Inc()
 		if s.wal != nil {
-			return s.wal.Barrier(si)
+			tc := ot.clock()
+			if err := s.wal.Barrier(si); err != nil {
+				return err
+			}
+			ot.committed(tc)
 		}
 		return nil
 	}
@@ -380,9 +433,11 @@ func (s *Store) PutToken(key symbol.Key, payload []byte, token uint64) error {
 		}
 	}
 	if s.wal != nil {
+		tc := ot.clock()
 		if err := s.wal.Commit(si, seq); err != nil {
 			return err
 		}
+		ot.committed(tc)
 		s.maybeSnapshot()
 	}
 	return nil
@@ -418,16 +473,29 @@ func (s *Store) PutDelayed(trigger, dest symbol.Key, payload []byte) error {
 //
 //memolint:must-check-error
 func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token uint64) error {
+	return s.putDelayedToken(trigger, dest, payload, token, nil)
+}
+
+// putDelayedToken is PutDelayedToken with an optional trace accumulator.
+//
+//memolint:must-check-error
+func (s *Store) putDelayedToken(trigger, dest symbol.Key, payload []byte, token uint64, ot *opTrace) error {
 	canon := trigger.Canon()
 	it := s.wrap(payload)
 	si := int(s.shardIndex(trigger))
 	sh := &s.shards[si]
+	t0 := ot.clock()
 	sh.mu.Lock()
+	ot.lockAcquired(t0)
 	if token != 0 && !s.tokens.noteIfNew(token) {
 		sh.mu.Unlock()
 		s.dupPuts.Inc()
 		if s.wal != nil {
-			return s.wal.Barrier(si)
+			tc := ot.clock()
+			if err := s.wal.Barrier(si); err != nil {
+				return err
+			}
+			ot.committed(tc)
 		}
 		return nil
 	}
@@ -447,9 +515,11 @@ func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token 
 	sh.mu.Unlock()
 	s.delayedIn.Inc()
 	if s.wal != nil {
+		tc := ot.clock()
 		if err := s.wal.Commit(si, seq); err != nil {
 			return err
 		}
+		ot.committed(tc)
 		s.maybeSnapshot()
 	}
 	return nil
@@ -460,18 +530,27 @@ func (s *Store) PutDelayedToken(trigger, dest symbol.Key, payload []byte, token 
 //
 //memolint:must-check-error
 func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
+	return s.get(key, cancel, nil)
+}
+
+// get is Get with an optional trace accumulator (nil = untraced).
+//
+//memolint:must-check-error
+func (s *Store) get(key symbol.Key, cancel <-chan struct{}, ot *opTrace) ([]byte, error) {
 	canon := key.Canon()
 	si := int(s.shardIndex(key))
 	sh := &s.shards[si]
 	for {
+		t0 := ot.clock()
 		sh.mu.Lock()
+		ot.lockAcquired(t0)
 		f := sh.getFold(canon)
 		if len(f.items) > 0 {
 			it := sh.takeLocked(f)
 			seq := s.logTake(si, key, it, 0)
 			sh.gcFold(canon, f)
 			sh.mu.Unlock()
-			if err := s.commitTake(si, seq, key, it); err != nil {
+			if err := s.commitTake(si, seq, key, it, ot); err != nil {
 				return nil, err
 			}
 			s.takes.Inc()
@@ -480,9 +559,11 @@ func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 		w := make(chan struct{}, 1)
 		f.waiters = append(f.waiters, w)
 		sh.mu.Unlock()
+		tp := ot.clock()
 		select {
 		case <-w:
 			// Signalled; loop and race for the item.
+			ot.parked(tp)
 		case <-cancel:
 			dropWaiter(sh, canon, w)
 			return nil, ErrCanceled
@@ -493,10 +574,17 @@ func (s *Store) Get(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
 // GetCopy returns a copy of a memo without removing it, blocking until one
 // is available.
 func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) {
+	return s.getCopy(key, cancel, nil)
+}
+
+// getCopy is GetCopy with an optional trace accumulator (nil = untraced).
+func (s *Store) getCopy(key symbol.Key, cancel <-chan struct{}, ot *opTrace) ([]byte, error) {
 	canon := key.Canon()
 	sh := s.shardFor(key)
 	for {
+		t0 := ot.clock()
 		sh.mu.Lock()
+		ot.lockAcquired(t0)
 		f := sh.getFold(canon)
 		if len(f.items) > 0 {
 			i := int(sh.nextRand() % uint64(len(f.items)))
@@ -508,8 +596,10 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 		w := make(chan struct{}, 1)
 		f.waiters = append(f.waiters, w)
 		sh.mu.Unlock()
+		tp := ot.clock()
 		select {
 		case <-w:
+			ot.parked(tp)
 		case <-cancel:
 			dropWaiter(sh, canon, w)
 			return nil, ErrCanceled
@@ -524,10 +614,19 @@ func (s *Store) GetCopy(key symbol.Key, cancel <-chan struct{}) ([]byte, error) 
 //
 //memolint:must-check-error
 func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
+	return s.getSkip(key, nil)
+}
+
+// getSkip is GetSkip with an optional trace accumulator (nil = untraced).
+//
+//memolint:must-check-error
+func (s *Store) getSkip(key symbol.Key, ot *opTrace) ([]byte, bool, error) {
 	canon := key.Canon()
 	si := int(s.shardIndex(key))
 	sh := &s.shards[si]
+	t0 := ot.clock()
 	sh.mu.Lock()
+	ot.lockAcquired(t0)
 	f, ok := sh.folders[canon]
 	if !ok || len(f.items) == 0 {
 		sh.mu.Unlock()
@@ -537,7 +636,7 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 	seq := s.logTake(si, key, it, 0)
 	sh.gcFold(canon, f)
 	sh.mu.Unlock()
-	if err := s.commitTake(si, seq, key, it); err != nil {
+	if err := s.commitTake(si, seq, key, it, ot); err != nil {
 		return nil, false, err
 	}
 	s.takes.Inc()
@@ -551,15 +650,17 @@ func (s *Store) GetSkip(key symbol.Key) ([]byte, bool, error) {
 // cached result — a retry can therefore never consume a second memo, even
 // racing its own original. An abandoned claim (owner canceled, or its log
 // died) wakes the parked retries to race for a fresh claim.
-func (s *Store) awaitTakeToken(token uint64, cancel <-chan struct{}) (*takeResult, *tokEntry, bool, error) {
+func (s *Store) awaitTakeToken(token uint64, cancel <-chan struct{}, ot *opTrace) (*takeResult, *tokEntry, bool, error) {
 	for {
 		e, owner := s.tokens.claimTake(token)
 		if owner {
 			return nil, e, true, nil
 		}
 		if e.done != nil {
+			tp := ot.clock()
 			select {
 			case <-e.done:
+				ot.parked(tp)
 			case <-cancel:
 				return nil, nil, false, ErrCanceled
 			}
@@ -583,15 +684,17 @@ func (s *Store) awaitTakeToken(token uint64, cancel <-chan struct{}) (*takeResul
 // be acknowledged ahead of the removal it repeats), bumps the dup counter,
 // and hands back a private copy of the payload. ok is false for a cached
 // observed-empty miss.
-func (s *Store) takeFromCache(res *takeResult) (symbol.Key, []byte, bool, error) {
+func (s *Store) takeFromCache(res *takeResult, ot *opTrace) (symbol.Key, []byte, bool, error) {
 	s.dupTakes.Inc()
 	if res.empty {
 		return symbol.Key{}, nil, false, nil
 	}
 	if s.wal != nil {
+		tc := ot.clock()
 		if err := s.wal.Barrier(res.shard); err != nil {
 			return symbol.Key{}, nil, false, err
 		}
+		ot.committed(tc)
 	}
 	out := make([]byte, len(res.data))
 	copy(out, res.data)
@@ -606,15 +709,22 @@ func (s *Store) takeFromCache(res *takeResult) (symbol.Key, []byte, bool, error)
 //
 //memolint:must-check-error
 func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) ([]byte, error) {
+	return s.getToken(key, token, cancel, nil)
+}
+
+// getToken is GetToken with an optional trace accumulator (nil = untraced).
+//
+//memolint:must-check-error
+func (s *Store) getToken(key symbol.Key, token uint64, cancel <-chan struct{}, ot *opTrace) ([]byte, error) {
 	if token == 0 {
-		return s.Get(key, cancel)
+		return s.get(key, cancel, ot)
 	}
-	res, e, owner, err := s.awaitTakeToken(token, cancel)
+	res, e, owner, err := s.awaitTakeToken(token, cancel, ot)
 	if err != nil {
 		return nil, err
 	}
 	if !owner {
-		_, out, ok, err := s.takeFromCache(res)
+		_, out, ok, err := s.takeFromCache(res, ot)
 		if err != nil {
 			return nil, err
 		}
@@ -635,7 +745,9 @@ func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) (
 		}
 	}()
 	for {
+		t0 := ot.clock()
 		sh.mu.Lock()
+		ot.lockAcquired(t0)
 		f := sh.getFold(canon)
 		if len(f.items) > 0 {
 			it := sh.takeLocked(f)
@@ -650,7 +762,7 @@ func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) (
 			resolved = true
 			sh.gcFold(canon, f)
 			sh.mu.Unlock()
-			if err := s.commitTake(si, seq, key, it); err != nil {
+			if err := s.commitTake(si, seq, key, it, ot); err != nil {
 				s.tokens.forget(token)
 				return nil, err
 			}
@@ -660,8 +772,10 @@ func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) (
 		w := make(chan struct{}, 1)
 		f.waiters = append(f.waiters, w)
 		sh.mu.Unlock()
+		tp := ot.clock()
 		select {
 		case <-w:
+			ot.parked(tp)
 		case <-cancel:
 			dropWaiter(sh, canon, w)
 			return nil, ErrCanceled
@@ -677,21 +791,30 @@ func (s *Store) GetToken(key symbol.Key, token uint64, cancel <-chan struct{}) (
 //
 //memolint:must-check-error
 func (s *Store) GetSkipToken(key symbol.Key, token uint64) ([]byte, bool, error) {
+	return s.getSkipToken(key, token, nil)
+}
+
+// getSkipToken is GetSkipToken with an optional trace accumulator.
+//
+//memolint:must-check-error
+func (s *Store) getSkipToken(key symbol.Key, token uint64, ot *opTrace) ([]byte, bool, error) {
 	if token == 0 {
-		return s.GetSkip(key)
+		return s.getSkip(key, ot)
 	}
-	res, e, owner, err := s.awaitTakeToken(token, nil)
+	res, e, owner, err := s.awaitTakeToken(token, nil, ot)
 	if err != nil {
 		return nil, false, err
 	}
 	if !owner {
-		_, out, ok, err := s.takeFromCache(res)
+		_, out, ok, err := s.takeFromCache(res, ot)
 		return out, ok, err
 	}
 	canon := key.Canon()
 	si := int(s.shardIndex(key))
 	sh := &s.shards[si]
+	t0 := ot.clock()
 	sh.mu.Lock()
+	ot.lockAcquired(t0)
 	f, ok := sh.folders[canon]
 	if !ok || len(f.items) == 0 {
 		s.tokens.resolveTake(e, &takeResult{empty: true, shard: si})
@@ -705,7 +828,7 @@ func (s *Store) GetSkipToken(key symbol.Key, token uint64) ([]byte, bool, error)
 	})
 	sh.gcFold(canon, f)
 	sh.mu.Unlock()
-	if err := s.commitTake(si, seq, key, it); err != nil {
+	if err := s.commitTake(si, seq, key, it, ot); err != nil {
 		s.tokens.forget(token)
 		return nil, false, err
 	}
@@ -719,18 +842,25 @@ func (s *Store) GetSkipToken(key symbol.Key, token uint64) ([]byte, bool, error)
 //
 //memolint:must-check-error
 func (s *Store) AltTakeToken(keys []symbol.Key, token uint64, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+	return s.altTakeToken(keys, token, cancel, nil)
+}
+
+// altTakeToken is AltTakeToken with an optional trace accumulator.
+//
+//memolint:must-check-error
+func (s *Store) altTakeToken(keys []symbol.Key, token uint64, cancel <-chan struct{}, ot *opTrace) (symbol.Key, []byte, error) {
 	if token == 0 {
-		return s.AltTake(keys, cancel)
+		return s.altTake(keys, cancel, ot)
 	}
 	if len(keys) == 0 {
 		return symbol.Key{}, nil, ErrNoKeys
 	}
-	res, e, owner, err := s.awaitTakeToken(token, cancel)
+	res, e, owner, err := s.awaitTakeToken(token, cancel, ot)
 	if err != nil {
 		return symbol.Key{}, nil, err
 	}
 	if !owner {
-		k, out, ok, err := s.takeFromCache(res)
+		k, out, ok, err := s.takeFromCache(res, ot)
 		if err != nil {
 			return symbol.Key{}, nil, err
 		}
@@ -750,7 +880,7 @@ func (s *Store) AltTakeToken(keys []symbol.Key, token uint64, cancel <-chan stru
 	var it item
 	var seq uint64
 	var seqShard int
-	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+	found, err := s.awaitGroups(groups, canons, cancel, ot, func(g altGroup) int {
 		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
 		for j := range g.idxs {
 			idx := g.idxs[(off+j)%len(g.idxs)]
@@ -771,7 +901,7 @@ func (s *Store) AltTakeToken(keys []symbol.Key, token uint64, cancel <-chan stru
 	if err != nil {
 		return symbol.Key{}, nil, err
 	}
-	if err := s.commitTake(seqShard, seq, keys[found], it); err != nil {
+	if err := s.commitTake(seqShard, seq, keys[found], it, ot); err != nil {
 		s.tokens.forget(token)
 		return symbol.Key{}, nil, err
 	}
@@ -797,14 +927,16 @@ func (s *Store) logTake(si int, key symbol.Key, it item, token uint64) uint64 {
 //
 //memolint:forbids-shard-lock
 //memolint:must-check-error
-func (s *Store) commitTake(si int, seq uint64, key symbol.Key, it item) error {
+func (s *Store) commitTake(si int, seq uint64, key symbol.Key, it item, ot *opTrace) error {
 	if s.wal == nil {
 		return nil
 	}
+	tc := ot.clock()
 	if err := s.wal.Commit(si, seq); err != nil {
 		s.untake(key, it)
 		return err
 	}
+	ot.committed(tc)
 	s.maybeSnapshot()
 	return nil
 }
@@ -877,7 +1009,7 @@ func canonsOf(keys []symbol.Key) []string {
 // moving on, so a Put that lands on an already-visited shard finds w
 // registered there and no wakeup is lost. Blocks until visit succeeds or
 // cancel closes.
-func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan struct{}, visit func(g altGroup) int) (int, error) {
+func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan struct{}, ot *opTrace, visit func(g altGroup) int) (int, error) {
 	for {
 		w := make(chan struct{}, 1)
 		start := int(s.nextSeq() % uint64(len(groups)))
@@ -886,7 +1018,9 @@ func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan st
 		for gi := range groups {
 			g := groups[(start+gi)%len(groups)]
 			s.altScans.Inc()
+			t0 := ot.clock()
 			g.sh.mu.Lock()
+			ot.lockAcquired(t0)
 			found = visit(g)
 			if found < 0 {
 				for _, idx := range g.idxs {
@@ -906,8 +1040,10 @@ func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan st
 			}
 			return found, nil
 		}
+		tp := ot.clock()
 		select {
 		case <-w:
+			ot.parked(tp)
 			s.dropWaiterGroups(groups, canons, w)
 		case <-cancel:
 			s.dropWaiterGroups(groups, canons, w)
@@ -923,6 +1059,13 @@ func (s *Store) awaitGroups(groups []altGroup, canons []string, cancel <-chan st
 //
 //memolint:must-check-error
 func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, []byte, error) {
+	return s.altTake(keys, cancel, nil)
+}
+
+// altTake is AltTake with an optional trace accumulator (nil = untraced).
+//
+//memolint:must-check-error
+func (s *Store) altTake(keys []symbol.Key, cancel <-chan struct{}, ot *opTrace) (symbol.Key, []byte, error) {
 	if len(keys) == 0 {
 		return symbol.Key{}, nil, ErrNoKeys
 	}
@@ -931,7 +1074,7 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 	var it item
 	var seq uint64
 	var seqShard int
-	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+	found, err := s.awaitGroups(groups, canons, cancel, ot, func(g altGroup) int {
 		off := int(g.sh.nextRand() % uint64(len(g.idxs)))
 		for j := range g.idxs {
 			idx := g.idxs[(off+j)%len(g.idxs)]
@@ -948,7 +1091,7 @@ func (s *Store) AltTake(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, 
 	if err != nil {
 		return symbol.Key{}, nil, err
 	}
-	if err := s.commitTake(seqShard, seq, keys[found], it); err != nil {
+	if err := s.commitTake(seqShard, seq, keys[found], it, ot); err != nil {
 		return symbol.Key{}, nil, err
 	}
 	s.takes.Inc()
@@ -981,7 +1124,7 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 				seq := s.logTake(si, keys[idx], it, 0)
 				g.sh.gcFold(canons[idx], f)
 				g.sh.mu.Unlock()
-				if err := s.commitTake(si, seq, keys[idx], it); err != nil {
+				if err := s.commitTake(si, seq, keys[idx], it, nil); err != nil {
 					return symbol.Key{}, nil, false, err
 				}
 				s.takes.Inc()
@@ -998,12 +1141,17 @@ func (s *Store) AltSkip(keys []symbol.Key) (symbol.Key, []byte, bool, error) {
 // per-server Watches plus retry (see the core package). An empty key set
 // fails immediately with ErrNoKeys.
 func (s *Store) Watch(keys []symbol.Key, cancel <-chan struct{}) (symbol.Key, error) {
+	return s.watch(keys, cancel, nil)
+}
+
+// watch is Watch with an optional trace accumulator (nil = untraced).
+func (s *Store) watch(keys []symbol.Key, cancel <-chan struct{}, ot *opTrace) (symbol.Key, error) {
 	if len(keys) == 0 {
 		return symbol.Key{}, ErrNoKeys
 	}
 	canons := canonsOf(keys)
 	groups := s.groupByShard(keys)
-	found, err := s.awaitGroups(groups, canons, cancel, func(g altGroup) int {
+	found, err := s.awaitGroups(groups, canons, cancel, ot, func(g altGroup) int {
 		for _, idx := range g.idxs {
 			if f, ok := g.sh.folders[canons[idx]]; ok && len(f.items) > 0 {
 				return idx

@@ -3,6 +3,7 @@ package memoserver
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -34,12 +35,28 @@ type Client struct {
 	// requests, and the ID rides the wire hop by hop so every server's
 	// slow-request log names the same request.
 	trace bool
+	// sample additionally marks every request sampled, forcing span
+	// collection at every hop regardless of the servers' sampling rates.
+	sample bool
+	// lastTrace remembers the trace ID of the most recent Do, so a caller
+	// (the memo CLI) can fetch the trace it just generated.
+	lastTrace atomic.Uint64
 }
 
 // EnableTracing makes Do stamp a trace ID on every untraced request.
 // Tracing is off by default: traceless requests stay byte-identical on the
 // wire to pre-trace clients.
 func (c *Client) EnableTracing() { c.trace = true }
+
+// EnableSampling makes Do mark every request sampled (and stamp a trace ID):
+// each hop collects spans and the entry memo server records the full tree in
+// its /tracez ring. Implies EnableTracing.
+func (c *Client) EnableSampling() { c.trace = true; c.sample = true }
+
+// LastTraceID reports the trace ID stamped on the most recent Do (0 before
+// any traced request) — how `memo trace` learns which trace to fetch after
+// a traced op.
+func (c *Client) LastTraceID() uint64 { return c.lastTrace.Load() }
 
 // DialFunc matches Network.DialFrom.
 type DialFunc func(srcHost, addr string) (transport.Conn, error)
@@ -104,6 +121,12 @@ func (c *Client) Do(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 		// spans; like Token, the ID travels as a flagged batch-entry
 		// extension, not in the request codec.
 		q.TraceID = obs.NewTraceID()
+	}
+	if c.sample {
+		q.Sampled = true
+	}
+	if q.TraceID != 0 {
+		c.lastTrace.Store(q.TraceID)
 	}
 	for attempt := 0; ; attempt++ {
 		conn, epoch, err := c.link.get(cancel)

@@ -127,6 +127,14 @@ type Config struct {
 	// recorded with their wire-propagated trace ID. Zero disables span
 	// timing entirely.
 	SlowRequestThreshold time.Duration
+	// TraceSample is the span-sampling rate for requests that enter the
+	// cluster at this node: 1 samples every entry request, 1/n every nth,
+	// 0 (the default) samples none locally. Requests another node sampled
+	// are always traced through regardless — the sampled bit rides the wire.
+	TraceSample float64
+	// TraceRingSize bounds the per-node sampled-trace ring served at
+	// /tracez (0 = the obs default).
+	TraceRingSize int
 }
 
 // listenNet is the slice of a transport a Node drives directly; both
@@ -162,6 +170,11 @@ type Node struct {
 	// server this node creates so one log shows a request's spans across
 	// layers. Nil-safe; disabled unless Config.SlowRequestThreshold > 0.
 	slow *obs.SlowLog
+	// tracer is the node's span-tracing front end: entry sampling at
+	// Config.TraceSample, span-set ownership around dispatch, and the
+	// /tracez ring. Always non-nil — a rate-0 node still collects spans for
+	// requests other nodes sampled.
+	tracer *obs.Tracer
 	// where names this node in slow-log spans, e.g. "memo@glen-ellyn".
 	where string
 
@@ -233,12 +246,17 @@ func newNode(host string, t listenNet, dial func(string, string) (transport.Conn
 	if cfg.SlowRequestThreshold > 0 {
 		n.slow = obs.NewSlowLog(cfg.SlowRequestThreshold, 0)
 	}
+	n.tracer = obs.NewTracer(n.where, cfg.TraceSample, cfg.TraceRingSize)
 	return n
 }
 
 // SlowLog exposes the node's slow-request log (nil when disabled); the
 // daemon wires its emit callback and /slowz endpoint to it.
 func (n *Node) SlowLog() *obs.SlowLog { return n.slow }
+
+// Tracer exposes the node's span tracer; the daemon serves its ring at
+// /tracez.
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
 
 // Start binds the memo-server address and begins serving.
 func (n *Node) Start() error {
@@ -479,14 +497,38 @@ func (n *Node) lookupApp(name string) (*App, bool) {
 // (which may wait on a folder), honouring cancel. With the slow-request log
 // armed, each dispatch is timed as one span under this node's name (the
 // disabled check is one atomic load — no time.Now on an uninstrumented
-// daemon).
+// daemon). Sampled requests — entry requests the tracer admits, or requests
+// that arrived with the sampled bit set — additionally own a span set for
+// the duration of the dispatch: every layer below appends into it, and
+// Finish records the completed set into the /tracez ring and ships it back
+// toward the entry node on the response.
 func (n *Node) Dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response {
-	if !n.slow.Enabled() {
+	set := n.tracer.Begin(q)
+	if set == nil && !n.slow.Enabled() {
 		return n.dispatch(q, cancel)
 	}
 	start := time.Now()
 	resp := n.dispatch(q, cancel)
-	n.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), q.FolderID, n.where, time.Since(start))
+	dur := time.Since(start)
+	if n.slow.Enabled() {
+		n.slow.Observe(q.TraceID, q.TraceHop, q.Op.String(), q.FolderID, n.where, dur)
+	}
+	if set != nil {
+		startNS := start.UnixNano()
+		var wait int64
+		if q.EnqueueNS > 0 && startNS > q.EnqueueNS {
+			// Time spent in the rpc dispatch queue before a thread picked the
+			// request up (stamped by the rpc server only on sampled entries).
+			wait = startNS - q.EnqueueNS
+		}
+		set.Add(wire.Span{Layer: "memo", Op: q.Op.String(), Folder: q.FolderID,
+			Hop: q.TraceHop, Start: startNS, Dur: int64(dur), Wait: wait})
+		resp = n.tracer.Finish(q, set, resp)
+	} else if n.slow.Enabled() && dur >= n.slow.Threshold() {
+		// Slow but unsampled: record a single-span sample so /tracez always
+		// has the requests /slowz complains about, even at -trace-sample 0.
+		n.tracer.RecordSlow(q, "memo", q.Op.String(), start, dur)
+	}
 	return resp
 }
 
@@ -561,8 +603,19 @@ func (n *Node) dispatch(q *wire.Request, cancel <-chan struct{}) *wire.Response 
 		// never reads a reused buffer. Blocking ops carry no payload, so
 		// this copies only on the NoLocalInline put path.
 		q.Retain()
+		// The handler goroutine appends spans through the same q.Spans
+		// pointer; pin the set so an abandoned handler (cancel below) can
+		// never race the dispatch wrapper's Finish returning it to the pool.
+		// Nil-safe when the request is unsampled.
+		spans := q.Spans
+		spans.Retain()
 		respCh := make(chan *wire.Response, 1)
-		if err := fs.Submit(func() { respCh <- fs.Handle(q, cancel) }); err != nil {
+		if err := fs.Submit(func() {
+			resp := fs.Handle(q, cancel)
+			spans.Release()
+			respCh <- resp
+		}); err != nil {
+			spans.Release()
 			return wire.Errf("folder server %d: %v", q.FolderID, err)
 		}
 		select {
@@ -634,6 +687,10 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 		fq.Token = newToken()
 	}
 	n.forwards.Inc()
+	var linkStartNS int64
+	if q.Sampled && q.Spans != nil {
+		linkStartNS = time.Now().UnixNano()
+	}
 	for attempt := 0; ; attempt++ {
 		conn, epoch, err := link.get(cancel)
 		if err != nil {
@@ -650,6 +707,18 @@ func (n *Node) forward(app *App, q *wire.Request, targetHost string, cancel <-ch
 		}
 		resp, err := conn.Call(&fq, cancel)
 		if err == nil {
+			if linkStartNS != 0 {
+				// Merge the remote hop's spans into this node's set now (and
+				// strip them from resp so Finish doesn't add them twice), then
+				// record the whole forward — dial, linger, retries, remote
+				// work — as one link span named after the next-hop peer.
+				if len(resp.Spans) > 0 {
+					q.Spans.AddMany(resp.Spans)
+					resp.Spans = nil
+				}
+				q.Spans.Add(wire.Span{Layer: "link", Op: hop, Folder: q.FolderID,
+					Hop: q.TraceHop, Start: linkStartNS, Dur: time.Now().UnixNano() - linkStartNS})
+			}
 			return resp
 		}
 		if err == rpc.ErrCanceled {

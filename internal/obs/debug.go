@@ -8,34 +8,57 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // DebugServer is the one debug HTTP endpoint a daemon exposes (-debug-addr):
 // /metrics (Prometheus text format over every attached registry), /statusz
-// (JSON snapshot plus recent slow requests), /slowz (the slow-request ring
-// alone), and /debug/pprof/* (the net/http/pprof handlers, mounted on this
-// server's own mux rather than a bare http.ListenAndServe goroutine — so
-// profiling shares the lifecycle, the listener closes on Shutdown, and a
-// serve error surfaces on Done instead of being logged and lost).
+// (JSON snapshot plus recent slow requests and link health), /slowz (the
+// slow-request ring alone), /tracez (the sampled-trace ring), and
+// /debug/pprof/* (the net/http/pprof handlers, mounted on this server's own
+// mux rather than a bare http.ListenAndServe goroutine — so profiling shares
+// the lifecycle, the listener closes on Shutdown, and a serve error surfaces
+// on Done instead of being logged and lost).
 type DebugServer struct {
-	regs []*Registry
-	slow *SlowLog
+	regs  []*Registry
+	slow  *SlowLog
+	ring  *TraceRing
+	links func() any
 
 	ln   net.Listener
 	srv  *http.Server
 	done chan error
 }
 
+// DebugOption customizes a DebugServer at construction.
+type DebugOption func(*DebugServer)
+
+// WithTraceRing attaches the node's sampled-trace ring: /tracez serves it,
+// and /statusz reports its totals.
+func WithTraceRing(r *TraceRing) DebugOption {
+	return func(d *DebugServer) { d.ring = r }
+}
+
+// WithLinkStatus attaches a per-scrape link-health snapshot (a daemon's
+// Node.LinkStats or a client's Stats) rendered under "links" in /statusz.
+func WithLinkStatus(fn func() any) DebugOption {
+	return func(d *DebugServer) { d.links = fn }
+}
+
 // NewDebugServer builds a debug server for addr serving the given
 // registries (scraped in order) and, when non-nil, the slow-request log.
 // Call Start to bind and serve.
-func NewDebugServer(addr string, regs []*Registry, slow *SlowLog) *DebugServer {
+func NewDebugServer(addr string, regs []*Registry, slow *SlowLog, opts ...DebugOption) *DebugServer {
 	d := &DebugServer{regs: regs, slow: slow, done: make(chan error, 1)}
+	for _, o := range opts {
+		o(d)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/statusz", d.handleStatusz)
 	mux.HandleFunc("/slowz", d.handleSlowz)
+	mux.HandleFunc("/tracez", d.handleTracez)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -97,9 +120,11 @@ func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // statuszBody is the /statusz JSON shape.
 type statuszBody struct {
-	Metrics []seriesJSON `json:"metrics"`
-	Slow    []SlowEntry  `json:"slow_requests,omitempty"`
-	SlowTot int64        `json:"slow_requests_total"`
+	Metrics  []seriesJSON `json:"metrics"`
+	Links    any          `json:"links,omitempty"`
+	Slow     []SlowEntry  `json:"slow_requests,omitempty"`
+	SlowTot  int64        `json:"slow_requests_total"`
+	TraceTot int64        `json:"traces_total"`
 }
 
 func (d *DebugServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -107,8 +132,12 @@ func (d *DebugServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	for _, r := range d.regs {
 		body.Metrics = append(body.Metrics, r.Snapshot()...)
 	}
+	if d.links != nil {
+		body.Links = d.links()
+	}
 	body.Slow = d.slow.Recent()
 	body.SlowTot = d.slow.Recorded()
+	body.TraceTot = d.ring.Recorded()
 	writeJSON(w, body)
 }
 
@@ -118,6 +147,25 @@ func (d *DebugServer) handleSlowz(w http.ResponseWriter, _ *http.Request) {
 		Total     int64         `json:"total"`
 		Recent    []SlowEntry   `json:"recent"`
 	}{d.slow.Threshold(), d.slow.Recorded(), d.slow.Recent()})
+}
+
+// handleTracez serves the sampled-trace ring: every recent sample, or —
+// with ?trace=<id> (decimal) — only that trace's samples. `memo trace`
+// scrapes this from every node and merges the timelines.
+func (d *DebugServer) handleTracez(w http.ResponseWriter, req *http.Request) {
+	recent := d.ring.Recent()
+	if s := req.URL.Query().Get("trace"); s != "" {
+		id, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			http.Error(w, "tracez: bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		recent = d.ring.Get(id)
+	}
+	writeJSON(w, struct {
+		Total  int64         `json:"total"`
+		Recent []TraceSample `json:"recent"`
+	}{d.ring.Recorded(), recent})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -77,3 +77,70 @@ func TestSteadyStateCallAllocBudget(t *testing.T) {
 		t.Fatalf("steady-state call allocates %.1f/op, budget 12 (seed path was ~29)", allocs)
 	}
 }
+
+// TestSampledCallAllocBudget gates the span-sampled call path the same way:
+// a sampled request carries the trace extension out (trace id, hop, sampled
+// flag on the batch entry), collects an rpc send span into its pooled
+// SpanSet, and the owner copies the set out with Finish. That is allowed a
+// small fixed budget over the unsampled path — sampling one request in N
+// must never make tracing the expensive part of the request.
+func TestSampledCallAllocBudget(t *testing.T) {
+	ip := transport.NewInProc()
+	l, err := ip.Listen("srv/rpc-sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tc := threadcache.New(threadcache.Config{})
+	defer tc.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mux := transport.NewMux(conn, 1<<20)
+			go mux.Run()
+			go func() {
+				for {
+					ch, err := mux.Accept()
+					if err != nil {
+						return
+					}
+					go Serve(ch, echoBenchHandler, tc.SubmitArg, Policy{})
+				}
+			}()
+		}
+	}()
+	conn, err := ip.Dial("srv/rpc-sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := transport.NewMux(conn, 1<<20)
+	go mux.Run()
+	defer mux.Close()
+	c := NewConnResilient(mux.Channel(1), Policy{}, Resilience{})
+	defer c.Close()
+
+	sampledCall := func() {
+		set := wire.NewSpanSet()
+		q := &wire.Request{Op: wire.OpPing, TraceID: 0x5A17, Sampled: true, Spans: set}
+		if _, err := c.Call(q, nil); err != nil {
+			t.Fatal(err)
+		}
+		if spans := set.Finish("gate"); len(spans) == 0 {
+			t.Fatal("sampled call collected no spans")
+		}
+		set.Release()
+	}
+	for i := 0; i < 64; i++ {
+		sampledCall()
+	}
+	allocs := testing.AllocsPerRun(300, sampledCall)
+	// Budget: the unsampled path holds 12; the sampled path adds the Finish
+	// copy and trace bookkeeping. 20 trips on any real regression (e.g. a
+	// per-span allocation or an unpooled SpanSet).
+	if allocs > 20 {
+		t.Fatalf("sampled call allocates %.1f/op, budget 20 (unsampled budget is 12)", allocs)
+	}
+}

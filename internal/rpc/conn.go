@@ -47,6 +47,11 @@ type Conn struct {
 type call struct {
 	rc   chan *wire.Response
 	sent atomic.Bool
+	// sentAtNS is the UnixNano stamp of the frame carrying this call hitting
+	// the wire, taken only for sampled requests — the batcher-linger half of
+	// the rpc span. Written in markSent, read by the caller after the
+	// response arrives (the transport round trip orders the two).
+	sentAtNS int64
 }
 
 var callPool = sync.Pool{New: func() any {
@@ -56,6 +61,7 @@ var callPool = sync.Pool{New: func() any {
 func getCall() *call {
 	ca := callPool.Get().(*call)
 	ca.sent.Store(false)
+	ca.sentAtNS = 0
 	return ca
 }
 
@@ -98,7 +104,8 @@ func NewConnResilient(ch transport.Conn, pol Policy, res Resilience) *Conn {
 // markSent stamps outbound activity and flags each request entry's call as
 // handed to the wire, just before the frame ships.
 func (c *Conn) markSent(entries []wire.BatchEntry) {
-	c.lastSent.Store(time.Now().UnixNano())
+	now := time.Now().UnixNano()
+	c.lastSent.Store(now)
 	c.mu.Lock()
 	for _, e := range entries {
 		if e.Cancel || e.Heartbeat {
@@ -106,6 +113,9 @@ func (c *Conn) markSent(entries []wire.BatchEntry) {
 		}
 		if ca, ok := c.pending[e.ID]; ok {
 			ca.sent.Store(true)
+			if e.Sampled {
+				ca.sentAtNS = now
+			}
 		}
 	}
 	c.mu.Unlock()
@@ -148,13 +158,29 @@ func (c *Conn) call(q *wire.Request, cancel <-chan struct{}) (*wire.Response, er
 	c.pending[id] = ca
 	c.mu.Unlock()
 
-	// The dedup token and trace ride the batch entry, not the request
-	// codec, so they re-attach at every forwarding hop without touching the
-	// legacy single-frame protocol.
-	c.out.add(wire.BatchEntry{ID: id, Token: q.Token, Trace: q.TraceID, Hop: q.TraceHop, Msg: msg})
+	// The dedup token, trace, and sampled bit ride the batch entry, not the
+	// request codec, so they re-attach at every forwarding hop without
+	// touching the legacy single-frame protocol.
+	var startNS int64
+	if q.Sampled {
+		startNS = time.Now().UnixNano()
+	}
+	c.out.add(wire.BatchEntry{ID: id, Token: q.Token, Trace: q.TraceID, Hop: q.TraceHop, Sampled: q.Sampled, Msg: msg})
 
 	select {
 	case resp := <-ca.rc:
+		if q.Sampled && q.Spans != nil {
+			// The rpc client span: full call round trip, with the time the
+			// request lingered in the batcher before hitting the wire as its
+			// wait component.
+			endNS := time.Now().UnixNano()
+			var linger int64
+			if ca.sentAtNS > startNS {
+				linger = ca.sentAtNS - startNS
+			}
+			q.Spans.Add(wire.Span{Layer: "rpc", Op: "send", Folder: q.FolderID,
+				Hop: q.TraceHop, Start: startNS, Dur: endNS - startNS, Wait: linger})
+		}
 		callPool.Put(ca)
 		return resp, nil
 	case <-cancel:
@@ -232,6 +258,14 @@ func (c *Conn) recvLoop() {
 				return
 			}
 			resp.Retain()
+			if len(e.Spans) > 0 {
+				// DecodeSpans copies out of the pooled frame, so the spans
+				// may outlive it; a malformed blob from a peer drops the
+				// spans, never the connection.
+				if spans, serr := wire.DecodeSpans(e.Spans); serr == nil {
+					resp.Spans = spans
+				}
+			}
 			c.mu.Lock()
 			ca, ok := c.pending[e.ID]
 			if ok {

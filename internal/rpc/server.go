@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pool"
 	"repro/internal/symbol"
@@ -238,10 +239,16 @@ func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 		s.respond(e.ID, wire.Errf("bad request: %v", err))
 		return
 	}
-	// Re-attach the batch-entry dedup token and trace; the request codec
-	// does not carry them.
+	// Re-attach the batch-entry dedup token, trace, and sampled bit; the
+	// request codec does not carry them. Only sampled requests get a receive
+	// stamp — the dispatch wrapper turns it into the queue-wait component of
+	// its span — so the unsampled path takes no clock reading here.
 	t.q.Token = e.Token
 	t.q.TraceID, t.q.TraceHop = e.Trace, e.Hop
+	t.q.Sampled = e.Sampled
+	if e.Sampled {
+		t.q.EnqueueNS = time.Now().UnixNano()
+	}
 	t.s, t.id = s, e.ID
 	s.mu.Lock()
 	if s.down {
@@ -279,9 +286,15 @@ func (s *server) dispatch(e wire.BatchEntry, fb *frameBuf) {
 // respond queues one response for batched delivery, encoded into a pooled
 // buffer the batcher recycles once the frame ships. ResponseOverhead bounds
 // the whole message (key and error string included), so the append never
-// outgrows the buffer.
+// outgrows the buffer. Spans collected for a sampled request ship as a
+// flag-gated span blob on the same entry, in their own pooled buffer.
 func (s *server) respond(id uint64, resp *wire.Response) {
 	msg := wire.AppendResponse(pool.Get(wire.ResponseOverhead(resp)), resp)
+	if len(resp.Spans) > 0 {
+		sp := wire.AppendSpans(pool.Get(wire.SpansOverhead(resp.Spans)), resp.Spans)
+		s.out.add(wire.BatchEntry{ID: id, Spans: sp, Msg: msg})
+		return
+	}
 	s.out.add(wire.BatchEntry{ID: id, Msg: msg})
 }
 

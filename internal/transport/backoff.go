@@ -131,15 +131,25 @@ type RedialerStats struct {
 	// Faults counts reports of a live conn dying (stale-epoch reports are
 	// not counted — only ones that actually tore a conn down).
 	Faults int64
+	// LastErr is the most recent dial error, empty while the link is healthy
+	// (cleared by a successful dial) — the human-readable why behind a
+	// failing link in /statusz.
+	LastErr string `json:",omitempty"`
 }
 
 // Stats snapshots the link's health counters.
 func (r *Redialer) Stats() RedialerStats {
-	return RedialerStats{
+	st := RedialerStats{
 		Dials:       r.dials.Load(),
 		FailedDials: r.failedDials.Load(),
 		Faults:      r.faults.Load(),
 	}
+	r.mu.Lock()
+	if r.lastErr != nil {
+		st.LastErr = r.lastErr.Error()
+	}
+	r.mu.Unlock()
+	return st
 }
 
 // NewRedialer wraps dial with reconnect state. The zero Backoff means the

@@ -27,16 +27,20 @@ import (
 //	  byte    flags (bit 0: cancel — abandon the in-flight request `id`;
 //	          bit 1: heartbeat — liveness probe/echo, no payload;
 //	          bit 2: token — an at-most-once dedup token follows;
-//	          bit 3: trace — a request trace ID and hop counter follow)
+//	          bit 3: trace — a request trace ID and hop counter follow;
+//	          bit 4: sampled — the request is span-sampled (request batches);
+//	          bit 5: spans — an encoded span blob follows (response batches))
 //	  uvarint dedup token (present only when flag bit 2 is set)
 //	  uvarint trace id, uvarint hop (present only when flag bit 3 is set)
+//	  uvarint len, then len bytes of an encoded span blob (see span.go;
+//	          present only when flag bit 5 is set)
 //	  uvarint len, then len bytes of an encoded Request or Response
 //	          (empty for cancel and heartbeat entries)
 //
-// The token and trace are flag-gated extensions rather than Request fields
-// so that frames without them are byte-identical to version 1 frames that
-// predate them, and the request codec (shared with the single-frame legacy
-// protocol) stays untouched.
+// The token, trace, sampled bit, and span blob are flag-gated extensions
+// rather than Request fields so that frames without them are byte-identical
+// to version 1 frames that predate them, and the request codec (shared with
+// the single-frame legacy protocol) stays untouched.
 //
 // Single-frame messages remain valid: their first byte is an Op or Status,
 // both of which are small constants, so IsBatchFrame cleanly discriminates.
@@ -89,6 +93,13 @@ type BatchEntry struct {
 	// Hop is the request's forward-hop counter, carried alongside Trace
 	// (present on the wire only when Trace is non-zero).
 	Hop int
+	// Sampled marks a span-sampled request; meaningful only in request
+	// batches. The serving hop collects spans and returns them on its
+	// response entry.
+	Sampled bool
+	// Spans is an encoded span blob (AppendSpans output) riding a response
+	// entry back toward the request's entry node; empty = none.
+	Spans []byte
 	// Msg is an encoded Request (BatchRequest) or Response (BatchResponse).
 	Msg []byte
 }
@@ -98,6 +109,8 @@ const (
 	entryFlagHeartbeat byte = 1 << 1
 	entryFlagToken     byte = 1 << 2
 	entryFlagTrace     byte = 1 << 3
+	entryFlagSampled   byte = 1 << 4
+	entryFlagSpans     byte = 1 << 5
 )
 
 // IsBatchFrame reports whether buf is a batch frame rather than a single
@@ -134,6 +147,12 @@ func AppendBatch(dst []byte, kind BatchKind, entries []BatchEntry) []byte {
 		if e.Trace != 0 {
 			flags |= entryFlagTrace
 		}
+		if e.Sampled {
+			flags |= entryFlagSampled
+		}
+		if len(e.Spans) != 0 {
+			flags |= entryFlagSpans
+		}
 		w.byte(flags)
 		if e.Token != 0 {
 			w.u64(e.Token)
@@ -142,16 +161,20 @@ func AppendBatch(dst []byte, kind BatchKind, entries []BatchEntry) []byte {
 			w.u64(e.Trace)
 			w.u64(uint64(e.Hop))
 		}
+		if len(e.Spans) != 0 {
+			w.bytes(e.Spans)
+		}
 		w.bytes(e.Msg)
 	}
 	return w.buf
 }
 
 // BatchOverhead conservatively bounds the encoded size of a batch frame
-// carrying entries whose Msg bytes total msgBytes: frame header plus
-// worst-case per-entry framing (id, flags, token, trace, length).
+// carrying entries whose Msg plus span-blob bytes total msgBytes: frame
+// header plus worst-case per-entry framing (id, flags, token, trace, span
+// length, message length).
 func BatchOverhead(entries, msgBytes int) int {
-	return 16 + msgBytes + entries*(2*10+1+10+2*10)
+	return 16 + msgBytes + entries*(2*10+1+10+2*10+10)
 }
 
 // EncodeBatch serializes a batch frame into a fresh buffer.
@@ -217,6 +240,16 @@ func DecodeBatchInto(dst []BatchEntry, buf []byte) (BatchKind, []BatchEntry, err
 		if flags&entryFlagTrace != 0 {
 			e.Trace = r.u64()
 			e.Hop = int(r.u64())
+			if e.Trace == 0 {
+				// Non-canonical frame (trace flag without a trace id): the
+				// hop counter is meaningless without the id, and dropping it
+				// keeps decode→encode canonical, like a flagged zero token.
+				e.Hop = 0
+			}
+		}
+		e.Sampled = flags&entryFlagSampled != 0
+		if flags&entryFlagSpans != 0 {
+			e.Spans = r.bytes()
 		}
 		e.Msg = r.bytes()
 		if r.err != nil {

@@ -170,10 +170,12 @@ func FuzzDecodeBatch(f *testing.F) {
 		reqEntries = append(reqEntries, BatchEntry{ID: uint64(i), Msg: EncodeRequest(q)})
 	}
 	reqEntries = append(reqEntries, BatchEntry{ID: 99, Cancel: true}, BatchEntry{ID: 98, Heartbeat: true},
-		BatchEntry{ID: 97, Token: 0xABCDEF, Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(3)})})
+		BatchEntry{ID: 97, Token: 0xABCDEF, Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(3)})},
+		BatchEntry{ID: 96, Sampled: true, Trace: 0x1F3A8C22, Hop: 1, Msg: EncodeRequest(&Request{Op: OpPut, Key: symbol.K(4)})})
 	for i, p := range seedResponses() {
 		respEntries = append(respEntries, BatchEntry{ID: uint64(i), Msg: EncodeResponse(p)})
 	}
+	respEntries = append(respEntries, BatchEntry{ID: 95, Spans: AppendSpans(nil, sampleSpans()), Msg: EncodeResponse(OK())})
 	f.Add(EncodeBatch(BatchRequest, reqEntries))
 	f.Add(EncodeBatch(BatchResponse, respEntries))
 	f.Add(EncodeBatch(BatchRequest, nil))
@@ -212,6 +214,9 @@ func FuzzDecodeBatch(f *testing.F) {
 			if entries[i].ID != entries2[i].ID || entries[i].Cancel != entries2[i].Cancel ||
 				entries[i].Heartbeat != entries2[i].Heartbeat ||
 				entries[i].Token != entries2[i].Token ||
+				entries[i].Trace != entries2[i].Trace || entries[i].Hop != entries2[i].Hop ||
+				entries[i].Sampled != entries2[i].Sampled ||
+				!bytes.Equal(entries[i].Spans, entries2[i].Spans) ||
 				!bytes.Equal(entries[i].Msg, entries2[i].Msg) {
 				t.Fatalf("entry %d diverged", i)
 			}

@@ -122,6 +122,19 @@ type Request struct {
 	// TraceHop counts memo-server forwards the request has taken (0 = the
 	// hop the client issued). Carried on the wire only alongside TraceID.
 	TraceHop int
+	// Sampled marks the request for span collection. Like Token, it is NOT
+	// part of the request codec — it rides the batch entry as a flag bit
+	// (see batch.go) and the rpc layer re-attaches it at every hop.
+	Sampled bool
+	// EnqueueNS is the local receive timestamp the rpc server stamps on
+	// sampled requests (Unix nanoseconds; 0 = unstamped) so the dispatch
+	// wrapper can report dispatch-queue wait. Never on the wire.
+	EnqueueNS int64
+	// Spans is the span set of the node currently handling this sampled
+	// request: created by the owning dispatch wrapper, appended to by every
+	// layer below it. Never on the wire — spans travel back on response
+	// batch entries (see span.go).
+	Spans *SpanSet
 }
 
 // Response answers a Request.
@@ -133,6 +146,10 @@ type Response struct {
 	Payload []byte
 	// Err is the message accompanying StatusErr.
 	Err string
+	// Spans carries the spans collected while serving a sampled request.
+	// NOT part of the response codec — the rpc server encodes them as a
+	// batch-entry span blob and the client decodes them back (see span.go).
+	Spans []Span
 }
 
 // Errors returned by decoding.
@@ -364,6 +381,7 @@ func DecodeRequestInto(q *Request, buf []byte) error {
 	q.TargetHost = r.str()
 	q.Token = 0
 	q.TraceID, q.TraceHop = 0, 0
+	q.Sampled, q.EnqueueNS, q.Spans = false, 0, nil
 	if r.err != nil {
 		return r.err
 	}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Compare a fresh quick-mode bench run against the committed baseline tables
+# and flag regressions (>15% time-per-op, or ANY allocs/op increase).
+#
+#   ./scripts/benchdiff.sh                # fresh run vs bench-tables/
+#   ./scripts/benchdiff.sh old/ new/      # diff two existing table dirs
+#
+# Exit code is benchdiff's: 1 when a regression is flagged. CI runs this
+# advisorily (quick-mode numbers on shared runners are noisy); locally it is
+# the fast answer to "did my change slow anything down?".
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+if [ $# -eq 2 ]; then
+	exec go run ./cmd/benchdiff "$1" "$2"
+fi
+
+baseline="bench-tables"
+[ -d "$baseline" ] || {
+	echo "benchdiff.sh: no committed baseline at $baseline/" >&2
+	echo "seed one with: go run ./cmd/dmemo-bench -quick -json $baseline" >&2
+	exit 2
+}
+
+fresh="$(mktemp -d)"
+trap 'rm -rf "$fresh"' EXIT
+echo "==> fresh quick-mode bench run"
+go run ./cmd/dmemo-bench -quick -json "$fresh" >/dev/null
+echo "==> diff vs committed baseline ($baseline/)"
+go run ./cmd/benchdiff "$baseline" "$fresh"

@@ -26,9 +26,13 @@ echo "==> build daemons"
 go build -o "$tmp/memoserverd" ./cmd/memoserverd
 go build -o "$tmp/folderserverd" ./cmd/folderserverd
 
+echo "==> build memo CLI"
+go build -o "$tmp/memo" ./cmd/memo
+
 echo "==> start daemons"
 "$tmp/memoserverd" -host smoke -listen 127.0.0.1:7640 \
 	-debug-addr 127.0.0.1:7641 -slow-request-threshold 1ms \
+	-trace-sample 1 -ready-file "$tmp/smoke.ready" \
 	-data-dir "$tmp/memo-data" >"$tmp/memoserverd.log" 2>&1 &
 memo_pid=$!
 pids+=("$memo_pid")
@@ -86,6 +90,64 @@ curl -sf "http://127.0.0.1:7641/statusz" | grep -q '"metrics"' || {
 	echo "memoserverd /statusz not serving JSON" >&2
 	exit 1
 }
+
+echo "==> traced request lands in /tracez"
+cat >"$tmp/smoke.adf" <<'EOF'
+APP smoke
+HOSTS
+smoke 1 sun4 1
+FOLDERS
+0 smoke
+PROCESSES
+0 boss smoke
+EOF
+"$tmp/memo" register -adf "$tmp/smoke.adf" -addr 127.0.0.1:7640 -host smoke -json >/dev/null || {
+	echo "memo register failed" >&2
+	cat "$tmp/memoserverd.log" >&2
+	exit 1
+}
+put_out="$("$tmp/memo" put -adf "$tmp/smoke.adf" -addr 127.0.0.1:7640 -host smoke \
+	-key 7 -value smoked -trace -json)" || {
+	echo "memo put -trace failed" >&2
+	exit 1
+}
+trace_id="$(printf '%s' "$put_out" | sed -n 's/.*"trace":"\([^"]*\)".*/\1/p')"
+[ -n "$trace_id" ] || {
+	echo "memo put -trace reported no trace id: $put_out" >&2
+	exit 1
+}
+curl -sf "http://127.0.0.1:7641/tracez?trace=$trace_id" | grep -q '"layer": *"memo"' || {
+	echo "/tracez does not serve the sampled trace $trace_id" >&2
+	curl -s "http://127.0.0.1:7641/tracez" >&2 || true
+	exit 1
+}
+
+echo "==> memo top -once renders the cluster table"
+top_out="$("$tmp/memo" top -once -ready-files "$tmp/smoke.ready")" || {
+	echo "memo top -once failed" >&2
+	exit 1
+}
+printf '%s\n' "$top_out" | grep -q '^NODE' || {
+	echo "memo top output missing table header: $top_out" >&2
+	exit 1
+}
+printf '%s\n' "$top_out" | grep -q '^smoke[[:space:]]*yes' || {
+	echo "memo top did not render node 'smoke' as up: $top_out" >&2
+	exit 1
+}
+
+echo "==> memo trace merges the span timeline"
+trace_out="$("$tmp/memo" trace -ready-files "$tmp/smoke.ready" "$trace_id")" || {
+	echo "memo trace $trace_id failed" >&2
+	exit 1
+}
+for layer in memo folder durable; do
+	printf '%s\n' "$trace_out" | grep -q "$layer" || {
+		echo "memo trace timeline missing layer $layer:" >&2
+		printf '%s\n' "$trace_out" >&2
+		exit 1
+	}
+done
 
 echo "==> graceful shutdown (SIGTERM)"
 kill -TERM "$memo_pid" "$folder_pid"

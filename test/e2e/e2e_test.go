@@ -194,7 +194,10 @@ func readyAddr(t *testing.T, path string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return strings.TrimSpace(string(data))
+	// First line only: with -debug-addr the file carries a `debug <addr>`
+	// second line.
+	line, _, _ := strings.Cut(string(data), "\n")
+	return strings.TrimSpace(line)
 }
 
 // rawDo sends one wire request over a fresh TCP mux channel — the protocol

@@ -188,7 +188,9 @@ func (d *Daemon) Term() error {
 		d.logf.Close()
 		d.cmd = nil
 		if err != nil {
-			return fmt.Errorf("daemon %s: unclean exit: %v", d.Host, err)
+			// Exit 66 is the race detector; whatever it was, the log is
+			// about to vanish with the run's TempDir, so quote its tail.
+			return fmt.Errorf("daemon %s: unclean exit: %v\n%s", d.Host, err, logTail(d.LogPath, 60))
 		}
 	case <-time.After(15 * time.Second):
 		d.Kill()
@@ -286,6 +288,9 @@ func NewCluster(dir string, bins Binaries, logff func(string, ...any)) (*Cluster
 			"-heartbeat-interval", "250ms",
 			"-redial-backoff", "20ms",
 			"-link-retries", "2",
+			// Sample every request: a failed run's forensics bundle gets the
+			// span trees of whatever the oracle is about to complain about.
+			"-trace-sample", "1",
 		}
 		for p := range c.Proxies {
 			from, to := pairOf(p)
@@ -426,6 +431,61 @@ func (c *Cluster) Abort() {
 			p.Close()
 		}
 	}
+}
+
+// Forensics scrapes every node's debug endpoints into dir — called on a
+// failed run before the cluster is torn down, so the artifact bundle holds
+// the metrics, link health, slow-request rings, and span trees of the run
+// the oracle rejected. Per-node scrape failures are recorded inside the
+// bundle instead of aborting it: a node may legitimately be dead at failure
+// time.
+func (c *Cluster) Forensics(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range c.Nodes {
+		for _, ep := range []struct{ path, file string }{
+			{"/metrics", d.Host + "-metrics.txt"},
+			{"/statusz", d.Host + "-statusz.json"},
+			{"/slowz", d.Host + "-slowz.json"},
+			{"/tracez", d.Host + "-tracez.json"},
+		} {
+			body, err := scrapeBody(d.Debug, ep.path)
+			if err != nil {
+				body = []byte("scrape failed: " + err.Error() + "\n")
+			}
+			if werr := os.WriteFile(filepath.Join(dir, ep.file), body, 0o644); werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
+}
+
+// logTail returns the last n lines of a daemon log for error messages —
+// the run directory is a TempDir, so this is the only copy that survives.
+func logTail(path string, n int) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "(log unreadable: " + err.Error() + ")"
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// scrapeBody fetches one debug endpoint with a short timeout (forensics run
+// while nodes may be dead; a hang here must not stall the teardown).
+func scrapeBody(debugAddr, path string) ([]byte, error) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get("http://" + debugAddr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // SumGauge scrapes /metrics on every node and sums the given series

@@ -81,6 +81,17 @@ func RunChaos(dir string, bins Binaries, seed int64, n int, logf func(string, ..
 	clean := false
 	defer func() {
 		if !clean {
+			// Scrape the forensics bundle before tearing the cluster down:
+			// the bundle lands in the package directory next to
+			// regression_seeds.json (the run's own dir is a TempDir the test
+			// framework deletes). A minimization sweep rewrites it per
+			// failing probe, so it ends up describing the minimal failure.
+			fdir := fmt.Sprintf("forensics-seed%d", seed)
+			if ferr := c.Forensics(fdir); ferr != nil {
+				c.logf("forensics scrape: %v", ferr)
+			} else {
+				c.logf("forensics bundle (metrics, statusz, slowz, tracez per node) written to %s", fdir)
+			}
 			c.Abort()
 		}
 	}()
